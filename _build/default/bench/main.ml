@@ -1,0 +1,731 @@
+(* Reproduction harness: regenerates every quantitative claim of the
+   paper's evaluation (Sections 3-7, worked examples in Section 6) as
+   experiment tables E1..E10 (see DESIGN.md for the per-experiment index
+   and EXPERIMENTS.md for recorded paper-vs-measured results), followed by
+   Bechamel microbenchmarks of the solver components.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- tables  # experiment tables only
+     dune exec bench/main.exe -- micro   # microbenchmarks only
+*)
+
+let header id title =
+  Printf.printf "\n==== %s: %s ====\n" id title
+
+let rowf fmt = Printf.printf fmt
+
+let fint = float_of_int
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Section 6.1: matmul lower bound equals                         *)
+(*      max(L1 L2 L3 / sqrt M, L1 L2, L2 L3, L1 L3)                    *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1" "matmul bound = max(L1L2L3/sqrt(M), L1L2, L2L3, L1L3)  [Sec 6.1]";
+  rowf "%8s %8s %8s %8s | %14s %14s %8s %14s\n" "L1" "L2" "L3" "M" "ours" "paper formula"
+    "ratio" "classic-only";
+  let cases =
+    [
+      (1024, 1024, 1024, 1024);
+      (1024, 1024, 256, 1024);
+      (1024, 1024, 32, 1024);
+      (1024, 1024, 8, 1024);
+      (1024, 1024, 1, 1024);
+      (4, 4096, 4096, 1024);
+      (4096, 2, 4096, 1024);
+      (64, 64, 64, 16384);
+      (2048, 16, 16, 4096);
+      (512, 512, 512, 64);
+    ]
+  in
+  List.iter
+    (fun (l1, l2, l3, m) ->
+      let spec = Kernels.matmul ~l1 ~l2 ~l3 in
+      let b = Lower_bound.communication spec ~m in
+      let formula =
+        Float.max
+          (fint l1 *. fint l2 *. fint l3 /. sqrt (fint m))
+          (Float.max (fint l1 *. fint l2) (Float.max (fint l2 *. fint l3) (fint l1 *. fint l3)))
+      in
+      rowf "%8d %8d %8d %8d | %14.4g %14.4g %8.3f %14.4g\n" l1 l2 l3 m b.Lower_bound.words_paper
+        formula
+        (b.Lower_bound.words_paper /. formula)
+        b.Lower_bound.words_classic)
+    cases;
+  print_endline
+    "expected shape: ratio ~ 1.0, except when all of L1 L2 L3 fit one cache-load (the 64^3 /";
+  print_endline
+    "M=16384 row), where the model's M-per-tile charge applies (the Section 6.3 caveat);";
+  print_endline "'classic-only' collapses when any bound is small."
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Section 6.1: the alpha family of optimal tilings               *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header "E2" "alpha-parameterized family of optimal matmul tiles  [Sec 6.1]";
+  let m = 4096 and l3 = 8 in
+  let spec = Kernels.matmul ~l1:1024 ~l2:1024 ~l3 in
+  rowf "%8s | %24s %10s %10s | %12s\n" "alpha" "tile" "volume" "M*L3" "LRU words";
+  let small = Kernels.matmul ~l1:128 ~l2:128 ~l3 in
+  List.iter
+    (fun (alpha, tile) ->
+      let run_tile = Array.map2 min tile small.Spec.bounds in
+      let words =
+        (Executor.run small ~schedule:(Schedules.Tiled run_tile) ~capacity:(3 * m))
+          .Executor.words_moved
+      in
+      rowf "%8s | %24s %10d %10d | %12d\n" (Rat.to_string alpha)
+        (Format.asprintf "%a" (Tiling.pp spec) tile)
+        (Tiling.volume tile) (m * l3) words)
+    (Alpha_family.sample ~steps:4 spec ~m);
+  print_endline
+    "expected shape: every alpha gives cardinality ~ M*L3 = 32768 and near-identical traffic;";
+  print_endline
+    "endpoints are the (M/L3, L3, L3) and (sqrt M, sqrt M, L3) tiles from the paper."
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Section 6.2: tensor contractions reduce to the matmul LP       *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header "E3" "tensor contraction LP = gamma-grouped matmul LP  [Sec 6.2]";
+  rowf "%24s | %12s %12s %8s\n" "(j,k,d) betas" "contraction" "grouped-mm" "equal";
+  let r = Rat.of_ints in
+  let cases =
+    [
+      (1, 3, 4, [| r 1 1; r 1 4; r 1 1; r 1 1 |]);
+      (1, 3, 4, [| r 1 1; r 1 1; r 1 8; r 1 8 |]);
+      (2, 4, 5, [| r 1 2; r 1 2; r 1 4; r 1 1; r 1 1 |]);
+      (1, 3, 5, [| r 1 1; r 1 1; r 1 1; r 1 1; r 1 1 |]);
+      (2, 4, 6, [| r 1 8; r 1 8; r 1 2; r 1 2; r 1 1; r 1 1 |]);
+    ]
+  in
+  List.iter
+    (fun (j, k, d, beta) ->
+      let bounds = Array.make d 4 in
+      let spec = Kernels.tensor_contraction ~j ~k ~d ~bounds in
+      let v = (Tiling.solve_lp spec ~beta).Tiling.value in
+      (* gamma grouping: gamma1 = x1..xj, gamma2 = x_{j+1}..x_{k-1},
+         gamma3 = x_k..x_d; the grouped problem is matmul with box
+         constraints Gamma_i. *)
+      let sum lo hi =
+        let acc = ref Rat.zero in
+        for i = lo to hi do
+          acc := Rat.add !acc beta.(i - 1)
+        done;
+        !acc
+      in
+      let g1 = sum 1 j and g2 = sum (j + 1) (k - 1) and g3 = sum k d in
+      let one = Rat.one in
+      let lp =
+        Lp.make Lp.Maximize [| one; one; one |]
+          [
+            Lp.constr [| one; Rat.zero; one |] Lp.Le one;
+            Lp.constr [| one; one; Rat.zero |] Lp.Le one;
+            Lp.constr [| Rat.zero; one; one |] Lp.Le one;
+            Lp.constr [| one; Rat.zero; Rat.zero |] Lp.Le g1;
+            Lp.constr [| Rat.zero; one; Rat.zero |] Lp.Le g2;
+            Lp.constr [| Rat.zero; Rat.zero; one |] Lp.Le g3;
+          ]
+      in
+      let v' = (Simplex.solve_exn lp).Simplex.objective in
+      rowf "%24s | %12s %12s %8b\n"
+        (Printf.sprintf "(%d,%d,%d)" j k d)
+        (Rat.to_string v) (Rat.to_string v') (Rat.equal v v'))
+    cases;
+  print_endline "expected shape: the two LP values agree exactly on every row."
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Section 6.2 / Section 1: pointwise-convolution layers          *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4" "pointwise convolutions with small channel counts  [Sec 1, 6.2]";
+  let m = 2048 in
+  rowf "%-22s | %12s %12s %12s %12s %8s\n" "layer (b,c,k,w,h)" "lower bound" "ours(LRU)"
+    "classic(LRU)" "untiled" "ours/LB";
+  List.iter
+    (fun (b, c, k, w, h) ->
+      let spec = Kernels.pointwise_conv ~b ~c ~k ~w ~h in
+      let bound = Lower_bound.communication spec ~m in
+      let run sched = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
+      let ours = run (Schedules.Tiled (Tiling.optimal_shared spec ~m)) in
+      let classic = run (Schedules.Tiled (Schedules.classic_tile spec ~m)) in
+      let naive = run Schedules.Untiled in
+      rowf "%-22s | %12.0f %12d %12d %12d %8.2f\n"
+        (Printf.sprintf "(%d,%d,%d,%d,%d)" b c k w h)
+        bound.Lower_bound.words ours classic naive
+        (fint ours /. bound.Lower_bound.words))
+    [
+      (4, 8, 16, 28, 28);
+      (4, 16, 32, 14, 14);
+      (4, 32, 64, 7, 7);
+      (4, 4, 128, 7, 7);
+      (32, 64, 64, 1, 1);
+      (8, 3, 32, 16, 16);
+    ];
+  print_endline
+    "expected shape: ours stays within a small constant of the bound on every layer;";
+  print_endline "classic degrades by up to an order of magnitude when c (or w,h) is small."
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Section 6.3: n-body pairwise interactions                      *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header "E5" "n-body: tile min(M^2, L1 M, L2 M, L1 L2), comm min(L1L2/M, L2, L1, M)  [Sec 6.3]";
+  let m = 256 in
+  rowf "%8s %8s | %12s %12s | %12s %12s %8s\n" "L1" "L2" "tile vol" "formula" "LB words"
+    "formula" "ratio";
+  List.iter
+    (fun (l1, l2) ->
+      let spec = Kernels.nbody ~l1 ~l2 in
+      let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
+      let sol = Tiling.solve_lp spec ~beta in
+      let cap = Float.exp (Rat.to_float sol.Tiling.value *. log (fint m)) in
+      let tile_formula = min (fint m *. fint m) (min (fint l1 *. fint m) (min (fint l2 *. fint m) (fint l1 *. fint l2))) in
+      let b = Lower_bound.communication spec ~m in
+      (* Section 6.3's min(L1L2/M, L2, L1, M) terms correspond to the four
+         candidate tile sizes; communication in words is
+         L1 L2 M / (max feasible tile) with the max tile being the min of
+         the four candidates. *)
+      let comm_formula = fint l1 *. fint l2 *. fint m /. tile_formula in
+      rowf "%8d %8d | %12.4g %12.4g | %12.4g %12.4g %8.3f\n" l1 l2 cap tile_formula
+        b.Lower_bound.words_paper comm_formula
+        (b.Lower_bound.words_paper /. comm_formula))
+    [ (4096, 4096); (32, 4096); (4096, 32); (256, 256); (32, 32); (4096, 2); (2, 4096) ];
+  print_endline
+    "expected shape: both ratios ~ 1.0; the last regimes show the Section-6.3 caveat where";
+  print_endline "the whole problem fits in cache and the model still charges M per tile."
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Sections 4-5: tightness of bound vs constructed tiling         *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  header "E6" "tightness: constructed tiling vs lower bound  [Sec 4-5]";
+  rowf "%-28s %6s | %12s %12s %12s %12s | %8s\n" "kernel" "M" "LB words" "analytic"
+    "LRU" "OPT" "LRU/LB";
+  let run_case name spec m =
+    let bound = Lower_bound.communication spec ~m in
+    let tile = Tiling.optimal_shared spec ~m in
+    let analytic = Tiling.analytic_traffic spec tile in
+    let a_total = analytic.Tiling.reads +. analytic.Tiling.writes in
+    let lru = (Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m).Executor.words_moved in
+    let opt =
+      (Executor.run ~policy:Policy.Opt spec ~schedule:(Schedules.Tiled tile) ~capacity:m)
+        .Executor.words_moved
+    in
+    rowf "%-28s %6d | %12.0f %12.0f %12d %12d | %8.2f\n" name m bound.Lower_bound.words a_total
+      lru opt
+      (fint lru /. bound.Lower_bound.words)
+  in
+  List.iter
+    (fun m -> run_case "matmul 64^3" (Kernels.matmul ~l1:64 ~l2:64 ~l3:64) m)
+    [ 256; 1024; 4096 ];
+  List.iter
+    (fun m -> run_case "matmul 128x128x8" (Kernels.matmul ~l1:128 ~l2:128 ~l3:8) m)
+    [ 256; 1024; 4096 ];
+  List.iter
+    (fun m -> run_case "conv (4,8,16,14,14)" (Kernels.pointwise_conv ~b:4 ~c:8 ~k:16 ~w:14 ~h:14) m)
+    [ 512; 2048 ];
+  print_endline
+    "expected shape: LRU/LB stays a small constant (< ~5) across kernels and cache sizes:";
+  print_endline
+    "the bound is tight up to the model's constant factors (Theorem 3; the paper charges";
+  print_endline
+    "each array a separate M-word budget, a real cache shares one). 'analytic' is the";
+  print_endline
+    "pessimistic per-tile-reload model; measured LRU beats it because the tile search";
+  print_endline "exploits block retention across adjacent tiles."
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Section 1: who wins when bounds are small                      *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7" "who wins: untiled vs classic vs arbitrary-bounds tiling  [Sec 1]";
+  let m = 1024 in
+  rowf "%-24s | %12s %12s %12s %12s | %18s\n" "kernel" "LB" "untiled" "classic" "ours"
+    "winner";
+  List.iter
+    (fun (name, spec) ->
+      let bound = Lower_bound.communication spec ~m in
+      let run sched = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
+      let naive = run Schedules.Untiled in
+      let classic = run (Schedules.Tiled (Schedules.classic_tile spec ~m)) in
+      let ours = run (Schedules.Tiled (Tiling.optimal_shared spec ~m)) in
+      let winner =
+        if ours <= classic && ours <= naive then "ours"
+        else if classic <= naive then "classic"
+        else "untiled"
+      in
+      rowf "%-24s | %12.0f %12d %12d %12d | %18s\n" name bound.Lower_bound.words naive classic
+        ours winner)
+    [
+      ("matmul 128^3", Kernels.matmul ~l1:128 ~l2:128 ~l3:128);
+      ("matmul 256x256x4", Kernels.matmul ~l1:256 ~l2:256 ~l3:4);
+      ("matvec 512x512", Kernels.matvec ~m:512 ~n:512);
+      ("outer 512x512", Kernels.outer_product ~m:512 ~n:512);
+      ("nbody 1024x64", Kernels.nbody ~l1:1024 ~l2:64);
+      ("conv (4,4,64,14,14)", Kernels.pointwise_conv ~b:4 ~c:4 ~k:64 ~w:14 ~h:14);
+    ];
+  print_endline
+    "expected shape: ours wins on every row; the margin grows as loop bounds shrink";
+  print_endline "below sqrt(M), where classic wastes its tile budget."
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Theorem 3: LP = dual = 2^d enumeration on random programs      *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header "E8" "Theorem 3 on random projective programs  [Sec 4-5]";
+  let rng = Random.State.make [| 0x5eed |] in
+  let trials = 60 in
+  let max_d = ref 0 in
+  let agreements = ref 0 in
+  for _ = 1 to trials do
+    let d = 2 + Random.State.int rng 4 in
+    let n = 2 + Random.State.int rng 3 in
+    max_d := max !max_d d;
+    let arrays =
+      Array.init n (fun j ->
+        let support =
+          List.filter (fun i -> i mod n = j || Random.State.bool rng) (List.init d (fun i -> i))
+        in
+        Spec.array_ref
+          ~mode:(if j = 0 then Spec.Update else Spec.Read)
+          (Printf.sprintf "A%d" j) support)
+    in
+    let loops = Array.init d (fun i -> Printf.sprintf "x%d" (i + 1)) in
+    let bounds = Array.init d (fun _ -> 1 + Random.State.int rng 64) in
+    match Spec.create ~name:"rand" ~loops ~bounds ~arrays with
+    | Error _ -> ()
+    | Ok spec ->
+      let beta =
+        Array.init d (fun _ -> Rat.of_ints (Random.State.int rng 17) 8)
+      in
+      let v1 = (Tiling.solve_lp spec ~beta).Tiling.value in
+      let v2 = (Simplex.solve_exn (Hbl_lp.dual_tiling spec ~beta)).Simplex.objective in
+      let v3 = (Lower_bound.exponent_by_enumeration spec ~beta).Lower_bound.k_hat in
+      if Rat.equal v1 v2 && Rat.equal v1 v3 then incr agreements
+      else
+        rowf "DISAGREEMENT: %s  lp=%s dual=%s enum=%s\n"
+          (Format.asprintf "%a" Spec.pp spec)
+          (Rat.to_string v1) (Rat.to_string v2) (Rat.to_string v3)
+  done;
+  rowf "%d/%d random programs (d <= %d): LP(5.1) = dual (5.5/5.6) = min_Q Theorem-2 bound\n"
+    !agreements trials !max_d;
+  print_endline "expected shape: agreement on every trial (exact rational equality)."
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Section 7: piecewise-linear closed forms                       *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  header "E9" "piecewise-linear closed form of the tile exponent  [Sec 7]";
+  List.iter
+    (fun (name, spec) ->
+      let cf = Closed_form.compute spec in
+      rowf "%-18s f(beta) = %s\n" name (Format.asprintf "%a" Closed_form.pp cf))
+    [
+      ("matmul", Kernels.matmul ~l1:4 ~l2:4 ~l3:4);
+      ("matvec", Kernels.matvec ~m:4 ~n:4);
+      ("nbody", Kernels.nbody ~l1:4 ~l2:4);
+      ("outer_product", Kernels.outer_product ~m:4 ~n:4);
+      ("contraction(1,3,4)", Kernels.tensor_contraction ~j:1 ~k:3 ~d:4 ~bounds:[| 4; 4; 4; 4 |]);
+      ("pointwise_conv", Kernels.pointwise_conv ~b:4 ~c:4 ~k:4 ~w:4 ~h:4);
+    ];
+  (* spot-check the forms against the LP at random rational betas *)
+  let rng = Random.State.make [| 0xf00d |] in
+  let checks = ref 0 and ok = ref 0 in
+  List.iter
+    (fun spec ->
+      let cf = Closed_form.compute spec in
+      for _ = 1 to 25 do
+        let beta =
+          Array.init (Spec.num_loops spec) (fun _ -> Rat.of_ints (Random.State.int rng 33) 8)
+        in
+        incr checks;
+        if Rat.equal (Closed_form.eval cf beta) (Tiling.solve_lp spec ~beta).Tiling.value then
+          incr ok
+      done)
+    [ Kernels.matmul ~l1:4 ~l2:4 ~l3:4; Kernels.nbody ~l1:4 ~l2:4;
+      Kernels.pointwise_conv ~b:4 ~c:4 ~k:4 ~w:4 ~h:4 ];
+  rowf "closed-form evaluations matching the LP: %d/%d\n" !ok !checks;
+  print_endline
+    "expected shape: matmul renders as min(3/2, 1+b, 1+b, 1+b, sum b) — the Section 6.1/7 form;";
+  print_endline "every random evaluation matches LP (5.1) exactly."
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Section 7: distributed-memory rectangular partitions          *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  header "E10" "rectangular partitions over P processors  [Sec 7]";
+  rowf "%-20s %4s | %14s %14s %14s %8s\n" "kernel" "P" "best grid" "per-proc words"
+    "lower bound" "ratio";
+  List.iter
+    (fun (name, spec, ps) ->
+      List.iter
+        (fun p ->
+          match Comm_model.best_grid spec ~p with
+          | None -> rowf "%-20s %4d | %14s\n" name p "(no grid)"
+          | Some g ->
+            let lb = Comm_model.lower_bound spec ~p in
+            rowf "%-20s %4d | %14s %14d %14.0f %8.2f\n" name p
+              (String.concat "x" (Array.to_list (Array.map string_of_int g.Comm_model.grid)))
+              g.Comm_model.words lb
+              (fint g.Comm_model.words /. lb))
+        ps)
+    [
+      ("matmul 512^3", Kernels.matmul ~l1:512 ~l2:512 ~l3:512, [ 4; 8; 16; 64 ]);
+      ("matmul 512x512x4", Kernels.matmul ~l1:512 ~l2:512 ~l3:4, [ 4; 16; 64 ]);
+      ("nbody 4096^2", Kernels.nbody ~l1:4096 ~l2:4096, [ 4; 16; 64 ]);
+    ];
+  print_endline
+    "expected shape: the best rectangular grid tracks the lower bound within the #arrays";
+  print_endline
+    "constant, and shifts processors away from small dimensions (cf. the 512x512x4 rows)."
+
+(* ------------------------------------------------------------------ *)
+(* E11 — multi-level hierarchies and nested tilings (model extension)  *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  header "E11" "nested tilings on a two-level hierarchy  [Sec 1/7 extension]";
+  rowf "%-22s %-28s | %12s %12s\n" "kernel" "schedule" "L1<->L2" "L2<->mem";
+  let run_case name spec caps =
+    let show label sched =
+      let r = Executor.run_hierarchy spec ~schedule:sched ~capacities:caps in
+      rowf "%-22s %-28s | %12d %12d\n" name label r.Executor.boundary_words.(0)
+        r.Executor.boundary_words.(1)
+    in
+    show "untiled" Schedules.Untiled;
+    show
+      (Printf.sprintf "tile for L1 (%d)" caps.(0))
+      (Schedules.Tiled (Tiling.optimal_shared spec ~m:caps.(0)));
+    show
+      (Printf.sprintf "tile for L2 (%d)" caps.(1))
+      (Schedules.Tiled (Tiling.optimal_shared spec ~m:caps.(1)));
+    show "nested (both)" (Schedules.Nested (Tiling.nested spec ~ms:caps));
+    rowf "%-22s %-28s | %12.0f %12.0f\n" name "per-level lower bound"
+      (Lower_bound.communication spec ~m:caps.(0)).Lower_bound.words
+      (Lower_bound.communication spec ~m:caps.(1)).Lower_bound.words
+  in
+  run_case "matmul 64^3" (Kernels.matmul ~l1:64 ~l2:64 ~l3:64) [| 256; 4096 |];
+  run_case "conv (4,8,16,14,14)" (Kernels.pointwise_conv ~b:4 ~c:8 ~k:16 ~w:14 ~h:14)
+    [| 256; 4096 |];
+  print_endline
+    "expected shape: each single-level tile wins at its own boundary and loses at the";
+  print_endline
+    "other; the nested tiling is close to each specialist's strong boundary and strictly";
+  print_endline
+    "better on its weak one, i.e. the model composes across levels. (When one tile is";
+  print_endline
+    "already optimal at both levels, as for the conv layer, nesting adds only a small";
+  print_endline "block-clipping overhead.)"
+
+(* ------------------------------------------------------------------ *)
+(* E12 — ablation: integer-tile construction strategies                *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  header "E12" "ablation: tile construction strategies (retention-model traffic)  [DESIGN.md]";
+  let m = 2048 in
+  rowf "%-24s | %14s %14s %14s %14s\n" "kernel" "classic" "per-array M/n" "per-array M"
+    "shared search";
+  List.iter
+    (fun (name, spec) ->
+      let n = Spec.num_arrays spec in
+      let traffic t =
+        let tr = Tiling.analytic_traffic_retained spec t in
+        tr.Tiling.reads +. tr.Tiling.writes
+      in
+      rowf "%-24s | %14.4g %14.4g %14.4g %14.4g\n" name
+        (traffic (Schedules.classic_tile spec ~m))
+        (traffic (Tiling.optimal spec ~m:(m / n)))
+        (traffic (Tiling.optimal spec ~m))
+        (traffic (Tiling.optimal_shared spec ~m)))
+    [
+      ("matmul 256^3", Kernels.matmul ~l1:256 ~l2:256 ~l3:256);
+      ("matmul 512x512x8", Kernels.matmul ~l1:512 ~l2:512 ~l3:8);
+      ("conv (8,4,32,14,14)", Kernels.pointwise_conv ~b:8 ~c:4 ~k:32 ~w:14 ~h:14);
+      ("nbody 4096x4096", Kernels.nbody ~l1:4096 ~l2:4096);
+      ("contraction(1,3,4)", Kernels.tensor_contraction ~j:1 ~k:3 ~d:4 ~bounds:[| 64; 64; 16; 16 |]);
+    ];
+  print_endline
+    "expected shape: traffic is the retention-aware analytic model (what LRU approximates";
+  print_endline
+    "when the working set leaves headroom). 'per-array M' ignores that the cache is shared";
+  print_endline
+    "(its tiles overflow a real cache; paper-model reference only); among executable";
+  print_endline
+    "strategies the shared-budget search matches or beats classic and the M/n scaling on";
+  print_endline "nearly every row (within a few percent elsewhere)."
+
+(* ------------------------------------------------------------------ *)
+(* E13 — loop interchange alone cannot reach the bound                 *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  header "E13" "loop interchange vs tiling  [Sec 1 motivation]";
+  let m = 512 in
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  let bound = Lower_bound.communication spec ~m in
+  rowf "%-26s | %12s %8s\n" "schedule" "LRU words" "x LB";
+  let show label sched =
+    let w = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
+    rowf "%-26s | %12d %8.2f\n" label w (fint w /. bound.Lower_bound.words)
+  in
+  let perms = [ [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |]; [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |] ] in
+  List.iter
+    (fun p ->
+      show
+        (Printf.sprintf "order %s"
+           (String.concat "," (Array.to_list (Array.map (fun i -> spec.Spec.loops.(i)) p))))
+        (Schedules.Permuted p))
+    perms;
+  show "optimal tiling" (Schedules.Tiled (Tiling.optimal_shared spec ~m));
+  rowf "%-26s | %12.0f %8.2f\n" "lower bound" bound.Lower_bound.words 1.0;
+  print_endline
+    "expected shape: every loop order stays an order of magnitude above the bound (matmul";
+  print_endline
+    "64^3, M = 512); only blocking closes the gap — interchange is not a substitute."
+
+(* ------------------------------------------------------------------ *)
+(* E14 — kernels beyond the paper's worked examples                    *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  header "E14" "generality: MTTKRP, batched matmul, 3-body (no hand analysis needed)";
+  let m = 1024 in
+  rowf "%-28s | %6s %14s %12s %12s %8s\n" "kernel" "s_HBL" "k_hat" "LB words" "ours(LRU)"
+    "ours/LB";
+  List.iter
+    (fun (name, spec) ->
+      let bound = Lower_bound.communication spec ~m in
+      let tile = Tiling.optimal_shared spec ~m in
+      let w = (Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m).Executor.words_moved in
+      rowf "%-28s | %6s %14s %12.0f %12d %8.2f\n" name
+        (Rat.to_string (Hbl_lp.s_hbl spec))
+        (Rat.to_string bound.Lower_bound.exponent.Lower_bound.k_hat)
+        bound.Lower_bound.words w
+        (fint w /. bound.Lower_bound.words))
+    [
+      ("mttkrp 64^3 x r=16", Kernels.mttkrp ~i:64 ~j:64 ~k:64 ~r:16);
+      ("mttkrp 64^3 x r=2", Kernels.mttkrp ~i:64 ~j:64 ~k:64 ~r:2);
+      ("batched mm 8x(48^3)", Kernels.batched_matmul ~batch:8 ~l1:48 ~l2:48 ~l3:48);
+      ("batched mm 128x(16^3)", Kernels.batched_matmul ~batch:128 ~l1:16 ~l2:16 ~l3:16);
+      ("three_body 128^3", Kernels.three_body ~l1:128 ~l2:128 ~l3:128);
+      ("three_body 4x128x128", Kernels.three_body ~l1:4 ~l2:128 ~l3:128);
+    ];
+  print_endline
+    "expected shape: the machinery handles every shape uniformly (the paper's point about";
+  print_endline
+    "niche kernels); measured traffic stays within a small constant of the bound, including";
+  print_endline "the tiny-rank / tiny-batch cases where classical analyses do not apply."
+
+(* ------------------------------------------------------------------ *)
+(* E15 — cache-line granularity (model refinement)                     *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header "E15" "cache lines: the word-granular model under 1/4/8-word lines";
+  let m = 1024 in
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  let bound = Lower_bound.communication spec ~m in
+  rowf "%-24s | %12s %12s %12s\n" "schedule" "line=1" "line=4" "line=8";
+  let tile = Tiling.optimal_shared spec ~m in
+  List.iter
+    (fun (label, sched) ->
+      let words lw =
+        (Executor.run ~line_words:lw spec ~schedule:sched ~capacity:m).Executor.words_moved
+      in
+      rowf "%-24s | %12d %12d %12d\n" label (words 1) (words 4) (words 8))
+    [ ("untiled", Schedules.Untiled); ("optimal tiling", Schedules.Tiled tile) ];
+  rowf "%-24s | %12.0f (word-granular model)\n" "lower bound" bound.Lower_bound.words;
+  print_endline
+    "expected shape: matmul walks rows contiguously in either schedule, so traffic is";
+  print_endline
+    "nearly line-size-invariant (the tiled version pays a small edge penalty: tile rows";
+  print_endline
+    "are not line-multiples); the tiling's advantage (4.4x at 1-word lines) persists at";
+  print_endline "every line size, and the word-granular bound stays valid throughout."
+
+(* ------------------------------------------------------------------ *)
+(* E17 — distributed: memory-dependent per-processor traffic           *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  header "E17" "distributed memory-dependent regime (Irony-Toledo-Tiskin shape)  [Sec 7]";
+  let spec = Kernels.matmul ~l1:128 ~l2:128 ~l3:128 in
+  rowf "%4s | %12s %16s | per-processor simulated words at M_local =\n" "P" "best grid"
+    "gather volume";
+  rowf "%4s | %12s %16s | %10s %10s %10s\n" "" "" "(mem-independent)" "256" "1024" "8192";
+  List.iter
+    (fun p ->
+      match Comm_model.best_grid spec ~p with
+      | None -> ()
+      | Some g ->
+        let sim m =
+          (Comm_model.simulate_processor spec ~grid:g.Comm_model.grid ~m_local:m)
+            .Comm_model.words_per_proc
+        in
+        rowf "%4d | %12s %16d | %10d %10d %10d\n" p
+          (String.concat "x" (Array.to_list (Array.map string_of_int g.Comm_model.grid)))
+          g.Comm_model.words (sim 256) (sim 1024) (sim 8192))
+    [ 1; 8; 64 ];
+  print_endline
+    "expected shape: with small local memories the simulated per-processor traffic exceeds";
+  print_endline
+    "the memory-independent gather volume (data is re-fetched), and it converges toward the";
+  print_endline
+    "gather volume as M_local grows — the classical memory-dependent/independent crossover;";
+  print_endline "more processors shrink both (smaller blocks per processor)."
+
+(* ------------------------------------------------------------------ *)
+(* E16 — ablation: exact rational vs floating-point simplex            *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  header "E16" "ablation: exact vs float simplex on the tiling LPs  [DESIGN.md]";
+  let rng = Random.State.make [| 0xacc |] in
+  let trials = 200 in
+  let max_dev = ref 0.0 in
+  let exact_rationals = ref 0 in
+  let tie_cases = ref 0 in
+  for _ = 1 to trials do
+    let d = 2 + Random.State.int rng 3 in
+    let n = 2 + Random.State.int rng 2 in
+    let arrays =
+      Array.init n (fun j ->
+        Spec.array_ref
+          ~mode:(if j = 0 then Spec.Update else Spec.Read)
+          (Printf.sprintf "A%d" j)
+          (List.filter (fun i -> i mod n = j || Random.State.bool rng) (List.init d (fun i -> i))))
+    in
+    let loops = Array.init d (fun i -> Printf.sprintf "x%d" (i + 1)) in
+    match
+      Spec.create ~name:"r" ~loops ~bounds:(Array.make d 4) ~arrays
+    with
+    | Error _ -> ()
+    | Ok spec ->
+      (* betas on a non-dyadic grid (thirds and sevenths): the exact
+         rationals have no finite binary representation, so the float
+         solver works with perturbed data throughout *)
+      let beta =
+        Array.init d (fun _ ->
+          Rat.of_ints (Random.State.int rng 9) (if Random.State.bool rng then 3 else 7))
+      in
+      let lp = Hbl_lp.tiling spec ~beta in
+      let exact = (Simplex.solve_exn lp).Simplex.objective in
+      if Bigint.to_int (Rat.den exact) > 1 then incr exact_rationals;
+      (match Simplex_float.solve lp with
+      | Simplex_float.Optimal f ->
+        let dev = Float.abs (f.Simplex_float.objective -. Rat.to_float exact) in
+        if dev > !max_dev then max_dev := dev;
+        (* a downstream exact comparison the float solver cannot make *)
+        if Rat.equal exact (Rat.of_ints 3 2) then incr tie_cases
+      | _ -> ())
+  done;
+  rowf "%d random degenerate tiling LPs (betas on thirds/sevenths):\n" trials;
+  rowf "  max |float - exact| objective deviation: %.3g\n" !max_dev;
+  rowf "  optima that are non-integer rationals (need exact arithmetic to state): %d\n"
+    !exact_rationals;
+  rowf "  optima exactly equal to 3/2 (Theorem-2 case boundary): %d\n" !tie_cases;
+  print_endline
+    "expected shape: float deviations are tiny but nonzero, and a large fraction of optima";
+  print_endline
+    "are non-integer rationals sitting exactly on Theorem-2 case boundaries — the equality";
+  print_endline
+    "tests that Theorem 3 requires (E8) are only possible with the exact solver.";
+  print_endline
+    "(The microbenchmarks below price this choice: exact solves are ~10-100x slower, but";
+  print_endline "still microseconds.)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let microbenches () =
+  let open Bechamel in
+  let open Toolkit in
+  header "MICRO" "solver microbenchmarks (Bechamel, monotonic clock)";
+  let mm = Kernels.matmul ~l1:1024 ~l2:1024 ~l3:8 in
+  let conv = Kernels.pointwise_conv ~b:8 ~c:4 ~k:32 ~w:14 ~h:14 in
+  let beta_mm = Lower_bound.beta_of_bounds ~m:4096 mm.Spec.bounds in
+  let beta_conv = Lower_bound.beta_of_bounds ~m:4096 conv.Spec.bounds in
+  let small_mm = Kernels.matmul ~l1:32 ~l2:32 ~l3:32 in
+  let tile32 = Tiling.optimal_shared small_mm ~m:512 in
+  let tests =
+    Test.make_grouped ~name:"tilings"
+      [
+        Test.make ~name:"hbl-lp-matmul" (Staged.stage (fun () -> Hbl_lp.s_hbl mm));
+        Test.make ~name:"tiling-lp-matmul"
+          (Staged.stage (fun () -> Tiling.solve_lp mm ~beta:beta_mm));
+        Test.make ~name:"tiling-lp-matmul-float"
+          (Staged.stage (fun () -> Simplex_float.solve (Hbl_lp.tiling mm ~beta:beta_mm)));
+        Test.make ~name:"tiling-lp-conv"
+          (Staged.stage (fun () -> Tiling.solve_lp conv ~beta:beta_conv));
+        Test.make ~name:"lower-bound-enum-conv(2^5 Q)"
+          (Staged.stage (fun () -> Lower_bound.exponent_by_enumeration conv ~beta:beta_conv));
+        Test.make ~name:"lower-bound-dual-conv"
+          (Staged.stage (fun () -> Lower_bound.exponent_by_lp conv ~beta:beta_conv));
+        Test.make ~name:"closed-form-matmul" (Staged.stage (fun () -> Closed_form.compute mm));
+        Test.make ~name:"integer-tile-shared-conv"
+          (Staged.stage (fun () -> Tiling.optimal_shared conv ~m:4096));
+        Test.make ~name:"simulate-matmul-32^3-lru"
+          (Staged.stage (fun () ->
+             Executor.run small_mm ~schedule:(Schedules.Tiled tile32) ~capacity:512));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  rowf "%-42s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      rowf "%-42s %16s\n" name pretty)
+    (List.sort compare rows)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "tables" || what = "all" then begin
+    e1 ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e5 ();
+    e6 ();
+    e7 ();
+    e8 ();
+    e9 ();
+    e10 ();
+    e11 ();
+    e12 ();
+    e13 ();
+    e14 ();
+    e15 ();
+    e16 ();
+    e17 ()
+  end;
+  if what = "micro" || what = "all" then microbenches ()

@@ -1,0 +1,319 @@
+(* Command-line interface to the tiling library.
+
+   Examples:
+
+     tilings analyze -k "i=1024, j=1024, k=8 : C[i,k] += A[i,j]*B[j,k]" -m 4096
+     tilings lower-bound --preset matvec -m 1024
+     tilings tile -k "x=4096, y=4096 : A[x] += B[x] * C[y]" -m 256
+     tilings closed-form --preset matmul
+     tilings simulate --preset matmul -m 512 --schedule optimal --policy lru
+     tilings partition --preset matmul -m 4096 --procs 8
+     tilings presets
+*)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Kernel selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let preset_specs = Kernels.all ()
+
+let resolve_spec kernel preset =
+  match (kernel, preset) with
+  | Some dsl, None -> (
+    match Parser.parse dsl with
+    | Ok s -> Ok s
+    | Error e -> Error (Printf.sprintf "cannot parse kernel: %s" (Parser.string_of_error e)))
+  | None, Some name -> (
+    match List.assoc_opt name preset_specs with
+    | Some s -> Ok s
+    | None ->
+      Error
+        (Printf.sprintf "unknown preset %S (try: %s)" name
+           (String.concat ", " (List.map fst preset_specs))))
+  | Some _, Some _ -> Error "give either --kernel or --preset, not both"
+  | None, None -> Error "a kernel is required: --kernel \"<dsl>\" or --preset <name>"
+
+let kernel_arg =
+  let doc =
+    "Kernel in the one-line DSL, e.g. \"i = 64, j = 64, k = 8 : C[i,k] += A[i,j] * B[j,k]\"."
+  in
+  Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"DSL" ~doc)
+
+let preset_arg =
+  let doc = "Use a stock kernel; see the $(b,presets) command for the list." in
+  Arg.(value & opt (some string) None & info [ "p"; "preset" ] ~docv:"NAME" ~doc)
+
+let cache_arg =
+  let doc = "Fast-memory (cache) size in words." in
+  Arg.(value & opt int 4096 & info [ "m"; "cache" ] ~docv:"WORDS" ~doc)
+
+let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let with_spec kernel preset f =
+  match resolve_spec kernel preset with
+  | Error msg -> fail "%s" msg
+  | Ok spec -> f spec
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run kernel preset m =
+    with_spec kernel preset (fun spec ->
+      if m < 2 then fail "cache must be at least 2 words"
+      else begin
+        Format.printf "%a@." Analyze.pp (Analyze.run spec ~m);
+        `Ok ()
+      end)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Lower bound, optimal tile, and attainment for a kernel")
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg))
+
+let lower_bound_cmd =
+  let run kernel preset m =
+    with_spec kernel preset (fun spec ->
+      if m < 2 then fail "cache must be at least 2 words"
+      else begin
+        Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound
+          (Lower_bound.communication spec ~m);
+        `Ok ()
+      end)
+  in
+  Cmd.v
+    (Cmd.info "lower-bound" ~doc:"Arbitrary-bounds communication lower bound (Theorem 2)")
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg))
+
+let tile_cmd =
+  let run kernel preset m =
+    with_spec kernel preset (fun spec ->
+      if m < Spec.num_arrays spec then fail "cache too small for this kernel"
+      else begin
+        let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
+        let sol = Tiling.solve_lp spec ~beta in
+        let per_array = Tiling.of_lambda spec ~m sol.Tiling.lambda in
+        let shared = Tiling.optimal_shared spec ~m in
+        Format.printf "%a@." Spec.pp spec;
+        Format.printf "LP (5.1) value: %a (tile cardinality M^%.4f)@." Rat.pp sol.Tiling.value
+          (Rat.to_float sol.Tiling.value);
+        Format.printf "lambda: [%s]@."
+          (String.concat "; " (List.map Rat.to_string (Array.to_list sol.Tiling.lambda)));
+        Format.printf "tile (paper model, M per array): %a  volume %d@." (Tiling.pp spec)
+          per_array (Tiling.volume per_array);
+        Format.printf "tile (shared cache of M words):  %a  volume %d@." (Tiling.pp spec)
+          shared (Tiling.volume shared);
+        `Ok ()
+      end)
+  in
+  Cmd.v
+    (Cmd.info "tile" ~doc:"Communication-optimal rectangular tile (Section 5)")
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg))
+
+let closed_form_cmd =
+  let run kernel preset =
+    with_spec kernel preset (fun spec ->
+      match Closed_form.compute spec with
+      | cf ->
+        Format.printf "%a@." Spec.pp spec;
+        Format.printf
+          "optimal tile cardinality = M^f with beta_i = log_M L_i and@.f(beta) = %a@."
+          Closed_form.pp cf;
+        `Ok ()
+      | exception Invalid_argument msg -> fail "%s" msg)
+  in
+  Cmd.v
+    (Cmd.info "closed-form"
+       ~doc:"Piecewise-linear closed form of the tile exponent (Section 7)")
+    Term.(ret (const run $ kernel_arg $ preset_arg))
+
+let schedule_conv =
+  Arg.enum [ ("optimal", `Optimal); ("classic", `Classic); ("untiled", `Untiled) ]
+
+let policy_conv =
+  Arg.enum [ ("lru", Policy.Lru); ("fifo", Policy.Fifo); ("opt", Policy.Opt) ]
+
+let simulate_cmd =
+  let run kernel preset m schedule policy =
+    with_spec kernel preset (fun spec ->
+      if m < Spec.num_arrays spec then fail "cache too small for this kernel"
+      else if Spec.iteration_count spec > 20_000_000 then
+        fail "kernel too large to simulate (> 2*10^7 iterations); shrink the bounds"
+      else begin
+        let sched =
+          match schedule with
+          | `Untiled -> Schedules.Untiled
+          | `Classic -> Schedules.Tiled (Schedules.classic_tile spec ~m)
+          | `Optimal -> Schedules.Tiled (Tiling.optimal_shared spec ~m)
+        in
+        let bound = Lower_bound.communication spec ~m in
+        let r = Executor.run ~policy spec ~schedule:sched ~capacity:m in
+        Format.printf "%a@." Spec.pp spec;
+        Format.printf "schedule: %s   policy: %s   cache: %d words@."
+          (Schedules.description spec sched)
+          (Policy.to_string policy) m;
+        Format.printf
+          "accesses %d   hits %d   misses %d   writebacks %d@."
+          r.Executor.stats.Cache.accesses r.Executor.stats.Cache.hits
+          r.Executor.stats.Cache.misses r.Executor.stats.Cache.writebacks;
+        Format.printf "words moved: %d   lower bound: %.0f   ratio: %.3f@."
+          r.Executor.words_moved bound.Lower_bound.words
+          (float_of_int r.Executor.words_moved /. bound.Lower_bound.words);
+        `Ok ()
+      end)
+  in
+  let schedule_arg =
+    Arg.(value & opt schedule_conv `Optimal & info [ "schedule" ] ~docv:"SCHED"
+           ~doc:"One of $(b,optimal), $(b,classic), $(b,untiled).")
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv Policy.Lru & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Replacement policy: $(b,lru), $(b,fifo) or $(b,opt) (Belady).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the kernel on the cache simulator and count traffic")
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ schedule_arg $ policy_arg))
+
+let partition_cmd =
+  let run kernel preset procs =
+    with_spec kernel preset (fun spec ->
+      if procs < 1 then fail "need at least one processor"
+      else begin
+        Format.printf "%a@." Spec.pp spec;
+        (match Comm_model.best_grid spec ~p:procs with
+        | None -> Format.printf "P = %d does not factor within the loop bounds@." procs
+        | Some g ->
+          Format.printf "best rectangular grid for P = %d: %s@." procs
+            (String.concat " x " (Array.to_list (Array.map string_of_int g.Comm_model.grid)));
+          Format.printf "per-processor block: %s   communication: %d words@."
+            (String.concat " x " (Array.to_list (Array.map string_of_int g.Comm_model.block)))
+            g.Comm_model.words;
+          Format.printf "per-processor lower bound: %.0f words@."
+            (Comm_model.lower_bound spec ~p:procs));
+        `Ok ()
+      end)
+  in
+  let procs_arg =
+    Arg.(value & opt int 8 & info [ "procs" ] ~docv:"P" ~doc:"Number of processors.")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Distributed-memory rectangular partition and its lower bound (Section 7)")
+    Term.(ret (const run $ kernel_arg $ preset_arg $ procs_arg))
+
+let codegen_cmd =
+  let run kernel preset m lang untiled =
+    with_spec kernel preset (fun spec ->
+      let lang = match lang with `C -> Codegen.C | `OCaml -> Codegen.OCaml in
+      if untiled then begin
+        print_string (Codegen.emit_untiled ~lang spec);
+        `Ok ()
+      end
+      else if m < Spec.num_arrays spec then fail "cache too small for this kernel"
+      else begin
+        let tile = Tiling.optimal_shared spec ~m in
+        print_string (Codegen.emit ~lang spec ~tile);
+        `Ok ()
+      end)
+  in
+  let lang_arg =
+    Arg.(value & opt (enum [ ("c", `C); ("ocaml", `OCaml) ]) `C
+           & info [ "lang" ] ~docv:"LANG" ~doc:"Target language: $(b,c) or $(b,ocaml).")
+  in
+  let untiled_arg =
+    Arg.(value & flag & info [ "untiled" ] ~doc:"Emit the nest as written, without tiling.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Emit compilable source for the communication-optimal tiled nest")
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ lang_arg $ untiled_arg))
+
+let hierarchy_cmd =
+  let run kernel preset caps =
+    with_spec kernel preset (fun spec ->
+      match caps with
+      | [] -> fail "give at least one cache level with --levels"
+      | _ ->
+        let capacities = Array.of_list caps in
+        let ok = ref true in
+        Array.iteri
+          (fun k c ->
+            if c < Spec.num_arrays spec || (k > 0 && c <= capacities.(k - 1)) then ok := false)
+          capacities;
+        if not !ok then fail "levels must be strictly increasing and large enough"
+        else if Spec.iteration_count spec > 20_000_000 then
+          fail "kernel too large to simulate; shrink the bounds"
+        else begin
+          let tiles = Tiling.nested spec ~ms:capacities in
+          Format.printf "%a@." Spec.pp spec;
+          List.iteri
+            (fun k t ->
+              Format.printf "level %d (M = %d words): tile %a@." (k + 1) capacities.(k)
+                (Tiling.pp spec) t)
+            tiles;
+          let r =
+            Executor.run_hierarchy spec ~schedule:(Schedules.Nested tiles) ~capacities
+          in
+          Array.iteri
+            (fun k w ->
+              let dest = if k = Array.length capacities - 1 then "memory" else Printf.sprintf "L%d" (k + 2) in
+              Format.printf "traffic L%d -> %s: %d words@." (k + 1) dest w)
+            r.Executor.boundary_words;
+          `Ok ()
+        end)
+  in
+  let levels_arg =
+    Arg.(value & opt (list int) [ 512; 16384 ]
+           & info [ "levels" ] ~docv:"M1,M2,.."
+               ~doc:"Cache capacities in words, fastest first (strictly increasing).")
+  in
+  Cmd.v
+    (Cmd.info "hierarchy"
+       ~doc:"Nested tiling for a multi-level memory hierarchy, with simulated traffic")
+    Term.(ret (const run $ kernel_arg $ preset_arg $ levels_arg))
+
+let regions_cmd =
+  let run kernel preset =
+    with_spec kernel preset (fun spec ->
+      match Closed_form.compute spec with
+      | cf ->
+        Format.printf "%a@.f(beta) = %a@.@." Spec.pp spec Closed_form.pp cf;
+        List.iter
+          (fun r -> Format.printf "%a@.@." (Closed_form.pp_region ~loops:spec.Spec.loops) r)
+          (Closed_form.regions cf);
+        `Ok ()
+      | exception Invalid_argument msg -> fail "%s" msg)
+  in
+  Cmd.v
+    (Cmd.info "regions"
+       ~doc:"Critical regions of the piecewise-linear tile exponent (multiparametric view)")
+    Term.(ret (const run $ kernel_arg $ preset_arg))
+
+let presets_cmd =
+  let run () =
+    List.iter (fun (name, spec) -> Format.printf "%-20s %a@." name Spec.pp spec) preset_specs;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "presets" ~doc:"List the stock kernels") Term.(ret (const run $ const ()))
+
+let () =
+  let doc = "communication-optimal tilings for projective nested loops (Dinh & Demmel, SPAA 2020)" in
+  let info = Cmd.info "tilings" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            analyze_cmd;
+            lower_bound_cmd;
+            tile_cmd;
+            closed_form_cmd;
+            regions_cmd;
+            simulate_cmd;
+            hierarchy_cmd;
+            partition_cmd;
+            codegen_cmd;
+            presets_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/capsule_contraction.ml: Analyze Array Closed_form Executor Format List Lower_bound Parser Schedules Spec String Tiling

@@ -1,0 +1,1 @@
+examples/capsule_contraction.mli:

@@ -1,0 +1,1 @@
+examples/compiler_pass.ml: Array Codegen Filename Format List Lower_bound Parser Sys Tiling Unix

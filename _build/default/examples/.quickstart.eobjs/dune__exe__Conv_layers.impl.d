@@ -1,0 +1,1 @@
+examples/conv_layers.ml: Executor Format Kernels List Lower_bound Schedules Tiling

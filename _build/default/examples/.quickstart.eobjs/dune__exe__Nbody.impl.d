@@ -1,0 +1,1 @@
+examples/nbody.ml: Executor Format Kernels List Lower_bound Schedules Tiling

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analyze Closed_form Executor Format Lower_bound Parser Schedules Tiling

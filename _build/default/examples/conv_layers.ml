@@ -1,0 +1,51 @@
+(* Pointwise-convolution layer sweep — the paper's machine-learning
+   motivation (Sections 1 and 6.2).
+
+   1x1 ("pointwise") convolutions appear throughout depthwise-separable
+   architectures (MobileNet-style). Their channel counts are often small,
+   so the classical square tiling is infeasible and the classical lower
+   bound is wrong; the arbitrary-bounds machinery handles every layer
+   uniformly. For each layer of a MobileNet-like stack we print the lower
+   bound, the optimal tile, and the simulated traffic of (a) our tiling
+   and (b) the clamped classical tiling.
+
+     dune exec examples/conv_layers.exe
+*)
+
+type layer = { name : string; b : int; c : int; k : int; w : int; h : int }
+
+(* Shapes follow the pointwise (1x1) convolutions of a MobileNet-v1-style
+   network, scaled down so the cache simulation stays fast. *)
+let layers =
+  [
+    { name = "pw1"; b = 4; c = 8; k = 16; w = 28; h = 28 };
+    { name = "pw2"; b = 4; c = 16; k = 32; w = 14; h = 14 };
+    { name = "pw3"; b = 4; c = 32; k = 64; w = 7; h = 7 };
+    { name = "pw4-narrow"; b = 4; c = 4; k = 128; w = 7; h = 7 };
+    { name = "pw5-1x1 image"; b = 32; c = 64; k = 64; w = 1; h = 1 };
+  ]
+
+let () =
+  let m = 2048 in
+  Format.printf "Pointwise convolution layers, cache M = %d words@." m;
+  Format.printf "%-14s %12s %12s %12s %12s %8s@." "layer" "lower bound" "ours(LRU)"
+    "classic(LRU)" "untiled" "ours/LB";
+  List.iter
+    (fun l ->
+      let spec = Kernels.pointwise_conv ~b:l.b ~c:l.c ~k:l.k ~w:l.w ~h:l.h in
+      let bound = Lower_bound.communication spec ~m in
+      let ours = Tiling.optimal_shared spec ~m in
+      let classic = Schedules.classic_tile spec ~m in
+      let run sched = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
+      let w_ours = run (Schedules.Tiled ours) in
+      let w_classic = run (Schedules.Tiled classic) in
+      let w_naive = run Schedules.Untiled in
+      Format.printf "%-14s %12.0f %12d %12d %12d %8.2f@." l.name bound.Lower_bound.words
+        w_ours w_classic w_naive
+        (float_of_int w_ours /. bound.Lower_bound.words))
+    layers;
+  Format.printf
+    "@.'classic' clamps the square %s-style tile to the loop bounds; with small channel@."
+    "sqrt(M/3)";
+  Format.printf
+    "counts it wastes most of the cache, which is exactly the gap the paper closes.@."

@@ -1,0 +1,40 @@
+(* n-body pairwise interactions (Section 6.3 of the paper).
+
+   A two-loop nest where every particle interacts with every other:
+   A1[x1] += f(A2[x1], A3[x2]). The optimal tile is
+   min(M^2, L1*M, L2*M, L1*L2) points; its shape changes regime as the
+   particle counts shrink relative to the cache. This example walks the
+   four regimes, printing the analytic tile, its simulated traffic, and
+   the Section-6.3 caveat case where everything fits in cache.
+
+     dune exec examples/nbody.exe
+*)
+
+let () =
+  let m = 256 in
+  Format.printf "n-body pairwise interactions, cache M = %d words@.@." m;
+  let cases =
+    [
+      ("both large (M^2 regime)", 4096, 4096);
+      ("L1 small (L1*M regime)", 32, 4096);
+      ("L2 small (L2*M regime)", 4096, 32);
+      ("both small (L1*L2 regime: all fits)", 32, 32);
+    ]
+  in
+  Format.printf "%-38s %12s %14s %12s %10s@." "case" "tile" "tile volume" "LB words"
+    "LRU words";
+  List.iter
+    (fun (label, l1, l2) ->
+      let spec = Kernels.nbody ~l1 ~l2 in
+      let bound = Lower_bound.communication spec ~m in
+      let tile = Tiling.optimal_shared spec ~m in
+      let run = Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m in
+      Format.printf "%-38s %12s %14d %12.0f %10d@." label
+        (Format.asprintf "%a" (Tiling.pp spec) tile)
+        (Tiling.volume tile) bound.Lower_bound.words run.Executor.words_moved)
+    cases;
+  Format.printf
+    "@.Note (Section 6.3): in the last regime the whole problem fits in cache, and the@.";
+  Format.printf
+    "model's M-word-per-tile charge makes the printed bound conservative; the measured@.";
+  Format.printf "traffic is just the compulsory reads and writes.@."

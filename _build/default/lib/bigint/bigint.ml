@@ -1,0 +1,491 @@
+(* Arbitrary-precision signed integers.
+
+   Representation: sign-magnitude. [mag] is a little-endian array of base
+   [2^30] digits with no leading (high-order) zeros; [sign] is -1, 0 or 1
+   and is 0 exactly when [mag] is empty. Base 2^30 keeps every
+   intermediate product [digit * digit + carry] well inside OCaml's 63-bit
+   native [int] range. *)
+
+let bits_per_digit = 30
+let base = 1 lsl bits_per_digit
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned digit-array) primitives                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Strip high-order zero digits so magnitudes are canonical. *)
+let normalize_mag (a : int array) : int array =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let make_signed sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let mcompare (a : int array) (b : int array) : int =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+
+let madd (a : int array) (b : int array) : int array =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr bits_per_digit
+  done;
+  r.(lr - 1) <- !carry;
+  normalize_mag r
+
+(* Precondition: a >= b as magnitudes. *)
+let msub (a : int array) (b : int array) : int array =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize_mag r
+
+let mmul_school (a : int array) (b : int array) : int array =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let s = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- s land mask;
+          carry := s lsr bits_per_digit
+        done;
+        (* Propagate the remaining carry; it can span several digits. *)
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land mask;
+          carry := s lsr bits_per_digit;
+          incr k
+        done
+      end
+    done;
+    normalize_mag r
+  end
+
+let karatsuba_threshold = 32
+
+(* Split [a] at digit position [k] into (low, high). *)
+let msplit (a : int array) (k : int) : int array * int array =
+  let la = Array.length a in
+  if la <= k then (a, [||])
+  else (normalize_mag (Array.sub a 0 k), Array.sub a k (la - k))
+
+let rec mmul (a : int array) (b : int array) : int array =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if la < karatsuba_threshold || lb < karatsuba_threshold then mmul_school a b
+  else begin
+    (* Karatsuba: a = a1*B^k + a0, b = b1*B^k + b0;
+       a*b = z2*B^2k + (z1 - z2 - z0)*B^k + z0 with
+       z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1). *)
+    let k = (if la > lb then la else lb) / 2 in
+    let a0, a1 = msplit a k and b0, b1 = msplit b k in
+    let z0 = mmul a0 b0 in
+    let z2 = mmul a1 b1 in
+    let z1 = mmul (madd a0 a1) (madd b0 b1) in
+    let mid = msub (msub z1 z2) z0 in
+    let shift m s =
+      let lm = Array.length m in
+      if lm = 0 then [||]
+      else begin
+        let r = Array.make (lm + s) 0 in
+        Array.blit m 0 r s lm;
+        r
+      end
+    in
+    madd (madd z0 (shift mid k)) (shift z2 (2 * k))
+  end
+
+(* Shift magnitude left by [n] bits. *)
+let mshift_left (a : int array) (n : int) : int array =
+  let la = Array.length a in
+  if la = 0 || n = 0 then a
+  else begin
+    let words = n / bits_per_digit and bits = n mod bits_per_digit in
+    let r = Array.make (la + words + 1) 0 in
+    if bits = 0 then Array.blit a 0 r words la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        r.(i + words) <- v land mask;
+        carry := v lsr bits_per_digit
+      done;
+      r.(la + words) <- !carry
+    end;
+    normalize_mag r
+  end
+
+(* Shift magnitude right by [n] bits (truncating). *)
+let mshift_right (a : int array) (n : int) : int array =
+  let la = Array.length a in
+  if la = 0 || n = 0 then a
+  else begin
+    let words = n / bits_per_digit and bits = n mod bits_per_digit in
+    if words >= la then [||]
+    else begin
+      let lr = la - words in
+      let r = Array.make lr 0 in
+      if bits = 0 then Array.blit a words r 0 lr
+      else begin
+        for i = 0 to lr - 1 do
+          let lo = a.(i + words) lsr bits in
+          let hi = if i + words + 1 < la then (a.(i + words + 1) lsl (bits_per_digit - bits)) land mask else 0 in
+          r.(i) <- lo lor hi
+        done
+      end;
+      normalize_mag r
+    end
+  end
+
+(* Divide magnitude by a single digit; returns (quotient, remainder). *)
+let mdivmod_digit (a : int array) (d : int) : int array * int =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl bits_per_digit) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize_mag q, !r)
+
+let digit_bits (d : int) : int =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  go d 0
+
+(* Knuth Algorithm D (TAOCP vol. 2, 4.3.1). Requires |b| >= 2 digits and
+   |a| >= |b|; returns (quotient, remainder) magnitudes. *)
+let mdivmod_knuth (a : int array) (b : int array) : int array * int array =
+  let n = Array.length b in
+  (* D1: normalize so the top divisor digit is >= base/2. *)
+  let s = bits_per_digit - digit_bits b.(n - 1) in
+  let v = mshift_left b s in
+  let u0 = mshift_left a s in
+  let m = Array.length u0 - n in
+  (* u gets one extra high digit for the algorithm. *)
+  let u = Array.make (Array.length u0 + 1) 0 in
+  Array.blit u0 0 u 0 (Array.length u0);
+  let q = Array.make (m + 1) 0 in
+  let vn1 = v.(n - 1) and vn2 = if n >= 2 then v.(n - 2) else 0 in
+  for j = m downto 0 do
+    (* D3: estimate qhat from the top two digits of the current remainder. *)
+    let num = (u.(j + n) lsl bits_per_digit) lor u.(j + n - 1) in
+    let qhat = ref (num / vn1) and rhat = ref (num mod vn1) in
+    let adjusting = ref true in
+    while !adjusting do
+      if !qhat >= base || (!qhat * vn2) > ((!rhat lsl bits_per_digit) lor u.(j + n - 2)) then begin
+        decr qhat;
+        rhat := !rhat + vn1;
+        if !rhat >= base then adjusting := false
+      end
+      else adjusting := false
+    done;
+    (* D4: multiply and subtract qhat * v from u[j .. j+n]. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr bits_per_digit;
+      let d = u.(i + j) - (p land mask) - !borrow in
+      if d < 0 then begin
+        u.(i + j) <- d + base;
+        borrow := 1
+      end
+      else begin
+        u.(i + j) <- d;
+        borrow := 0
+      end
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    (* D5/D6: if we subtracted too much, add the divisor back once. *)
+    if d < 0 then begin
+      u.(j + n) <- d + base;
+      decr qhat;
+      let carry2 = ref 0 in
+      for i = 0 to n - 1 do
+        let s2 = u.(i + j) + v.(i) + !carry2 in
+        u.(i + j) <- s2 land mask;
+        carry2 := s2 lsr bits_per_digit
+      done;
+      u.(j + n) <- (u.(j + n) + !carry2) land mask
+    end
+    else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  (* D8: denormalize the remainder. *)
+  let r = mshift_right (normalize_mag (Array.sub u 0 n)) s in
+  (normalize_mag q, r)
+
+let mdivmod (a : int array) (b : int array) : int array * int array =
+  if Array.length b = 0 then raise Division_by_zero
+  else if mcompare a b < 0 then ([||], a)
+  else if Array.length b = 1 then begin
+    let q, r = mdivmod_digit a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else mdivmod_knuth a b
+
+(* ------------------------------------------------------------------ *)
+(* Signed interface                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_negative t = t.sign < 0
+
+let rec of_int (i : int) : t =
+  if i = 0 then zero
+  else if i = min_int then
+    (* [abs min_int] overflows; build it as -(2^62). *)
+    let m = of_int (min_int / 2) in
+    { m with mag = mshift_left m.mag 1 }
+  else begin
+    let sign = if i < 0 then -1 else 1 in
+    let v = abs i in
+    let rec digits acc v = if v = 0 then acc else digits ((v land mask) :: acc) (v lsr bits_per_digit) in
+    let ds = List.rev (digits [] v) in
+    { sign; mag = Array.of_list ds }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let num_bits t =
+  let l = Array.length t.mag in
+  if l = 0 then 0 else ((l - 1) * bits_per_digit) + digit_bits t.mag.(l - 1)
+
+let fits_int t =
+  let b = num_bits t in
+  b <= 62 || (t.sign < 0 && b = 63 && Array.for_all (fun d -> d = 0) (Array.sub t.mag 0 (Array.length t.mag - 1)) && t.mag.(Array.length t.mag - 1) = 1 lsl (62 mod bits_per_digit))
+
+let to_int_opt t =
+  if not (fits_int t) then None
+  else if num_bits t = 63 then Some min_int
+  else begin
+    let v = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      v := (!v lsl bits_per_digit) lor t.mag.(i)
+    done;
+    Some (if t.sign < 0 then - !v else !v)
+  end
+
+let to_int t =
+  match to_int_opt t with Some v -> v | None -> failwith "Bigint.to_int: overflow"
+
+let equal a b = a.sign = b.sign && mcompare a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mcompare a.mag b.mag
+  else mcompare b.mag a.mag
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then { t with sign = 1 } else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { sign = a.sign; mag = madd a.mag b.mag }
+  else begin
+    let c = mcompare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make_signed a.sign (msub a.mag b.mag)
+    else make_signed b.sign (msub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let succ a = add a one
+let pred a = sub a one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = mmul a.mag b.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else begin
+    let qm, rm = mdivmod a.mag b.mag in
+    let q = make_signed (a.sign * b.sign) qm in
+    let r = make_signed a.sign rm in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (pred q, add r b)
+  else (succ q, sub r b)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent"
+  else begin
+    let rec go acc base n =
+      if n = 0 then acc
+      else begin
+        let acc = if n land 1 = 1 then mul acc base else acc in
+        go acc (mul base base) (n lsr 1)
+      end
+    in
+    go one x n
+  end
+
+let rec gcd_mag a b = if b.sign = 0 then a else gcd_mag b (rem a b)
+let gcd a b = gcd_mag (abs a) (abs b)
+
+let lcm a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else abs (div (mul a b) (gcd a b))
+
+let shift_left t n =
+  if n < 0 then invalid_arg "Bigint.shift_left: negative shift"
+  else if t.sign = 0 then zero
+  else { t with mag = mshift_left t.mag n }
+
+let shift_right t n =
+  if n < 0 then invalid_arg "Bigint.shift_right: negative shift"
+  else if t.sign = 0 then zero
+  else begin
+    let m = mshift_right t.mag n in
+    if t.sign > 0 then make_signed 1 m
+    else begin
+      (* Arithmetic shift = floor division: round toward -infinity. *)
+      let truncated = make_signed (-1) m in
+      let back = shift_left truncated n in
+      if equal back t then truncated else pred truncated
+    end
+  end
+
+(* 10^9 is the largest power of ten below base 2^30, so decimal
+   conversion proceeds in 9-digit chunks. *)
+let decimal_chunk = 1_000_000_000
+let decimal_chunk_digits = 9
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks acc mag =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = mdivmod_digit mag decimal_chunk in
+        chunks (r :: acc) q
+      end
+    in
+    (match chunks [] t.mag with
+    | [] -> assert false
+    | first :: rest ->
+      if t.sign < 0 then Buffer.add_char buf '-';
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string_opt s =
+  let len = String.length s in
+  if len = 0 then None
+  else begin
+    let negative, start = match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0) in
+    let digits = Buffer.create len in
+    let ok = ref (start < len) in
+    String.iteri
+      (fun i c ->
+        if i >= start then
+          match c with
+          | '0' .. '9' -> Buffer.add_char digits c
+          | '_' -> ()
+          | _ -> ok := false)
+      s;
+    let ds = Buffer.contents digits in
+    if (not !ok) || String.length ds = 0 then None
+    else begin
+      let n = String.length ds in
+      let first = n mod decimal_chunk_digits in
+      let acc = ref zero in
+      let chunk_mul = of_int decimal_chunk in
+      let feed lo hi =
+        let v = int_of_string (String.sub ds lo (hi - lo)) in
+        acc := add (mul !acc chunk_mul) (of_int v)
+      in
+      if first > 0 then feed 0 first;
+      let pos = ref first in
+      while !pos < n do
+        feed !pos (!pos + decimal_chunk_digits);
+        pos := !pos + decimal_chunk_digits
+      done;
+      Some (if negative then neg !acc else !acc)
+    end
+  end
+
+let of_string s =
+  match of_string_opt s with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Bigint.of_string: %S" s)
+
+let to_float t =
+  let f = ref 0.0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  if t.sign < 0 then -. !f else !f
+
+let is_one t = equal t one
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = rem
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

@@ -1,0 +1,114 @@
+(** Arbitrary-precision signed integers.
+
+    This module is a self-contained bignum implementation used as the
+    substrate for exact rational arithmetic ({!module:Rat}), which in turn
+    backs the exact simplex solver. The representation is sign-magnitude
+    with little-endian base-[2^30] digit arrays; multiplication switches to
+    Karatsuba above a size threshold and division uses Knuth's Algorithm D.
+
+    All operations are purely functional; values are immutable. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+(** [None] if the value does not fit in a native [int]. *)
+
+val fits_int : t -> bool
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal literal. Underscores are allowed as
+    digit separators, as in OCaml integer literals.
+    @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+
+val to_float : t -> float
+(** Nearest float; loses precision beyond 53 bits, may be infinite. *)
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_negative : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|], and [r]
+    having the sign of [a] (truncated division, like OCaml's [/] and [mod]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: remainder always in [\[0, |b|)]. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+val shift_left : t -> int -> t
+(** Multiplication by [2^n], [n >= 0]. *)
+
+val shift_right : t -> int -> t
+(** Arithmetic shift: floor division by [2^n], [n >= 0]. *)
+
+val num_bits : t -> int
+(** Number of bits in the magnitude; [num_bits zero = 0]. *)
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( mod ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cachesim/trace.ml: Array Cache Hashtbl Policy

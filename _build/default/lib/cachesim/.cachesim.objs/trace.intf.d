@@ -1,0 +1,1 @@
+lib/cachesim/trace.mli: Cache Policy

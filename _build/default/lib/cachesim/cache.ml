@@ -1,0 +1,122 @@
+type stats = { accesses : int; hits : int; misses : int; evictions : int; writebacks : int }
+
+let words_moved ~line_words s = (s.misses + s.writebacks) * line_words
+
+(* Intrusive doubly-linked list node; the list order encodes recency (LRU)
+   or insertion order (FIFO): head = next victim, tail = most recent. *)
+type node = {
+  line : int;
+  mutable dirty : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  policy : Policy.t;
+  on_evict : (line:int -> dirty:bool -> unit) option;
+  line_words : int;
+  cap_lines : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable size : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+let create ?(line_words = 1) ?on_evict ~policy ~capacity () =
+  if line_words < 1 then invalid_arg "Cache.create: line_words must be positive";
+  if capacity < line_words then invalid_arg "Cache.create: capacity below one line";
+  if policy = Policy.Opt then
+    invalid_arg "Cache.create: OPT needs the full trace; use Trace.simulate";
+  {
+    policy;
+    on_evict;
+    line_words;
+    cap_lines = capacity / line_words;
+    table = Hashtbl.create 1024;
+    head = None;
+    tail = None;
+    size = 0;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+  }
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_tail t node =
+  node.prev <- t.tail;
+  node.next <- None;
+  (match t.tail with Some old -> old.next <- Some node | None -> t.head <- Some node);
+  t.tail <- Some node
+
+let evict_head t =
+  match t.head with
+  | None -> ()
+  | Some victim ->
+    unlink t victim;
+    Hashtbl.remove t.table victim.line;
+    t.size <- t.size - 1;
+    t.evictions <- t.evictions + 1;
+    if victim.dirty then t.writebacks <- t.writebacks + 1;
+    match t.on_evict with
+    | Some f -> f ~line:victim.line ~dirty:victim.dirty
+    | None -> ()
+
+let access t ~write addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr / t.line_words in
+  match Hashtbl.find_opt t.table line with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    if write then node.dirty <- true;
+    if t.policy = Policy.Lru then begin
+      (* Move to most-recent position; FIFO leaves insertion order. *)
+      unlink t node;
+      push_tail t node
+    end
+  | None ->
+    t.misses <- t.misses + 1;
+    if t.size >= t.cap_lines then evict_head t;
+    let node = { line; dirty = write; prev = None; next = None } in
+    Hashtbl.add t.table line node;
+    push_tail t node;
+    t.size <- t.size + 1
+
+let flush t =
+  let rec drain () =
+    match t.head with
+    | None -> ()
+    | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.line;
+      t.size <- t.size - 1;
+      if node.dirty then t.writebacks <- t.writebacks + 1;
+      (match t.on_evict with
+      | Some f -> f ~line:node.line ~dirty:node.dirty
+      | None -> ());
+      drain ()
+  in
+  drain ()
+
+let stats t =
+  {
+    accesses = t.accesses;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    writebacks = t.writebacks;
+  }
+
+let capacity_lines t = t.cap_lines
+let resident t addr = Hashtbl.mem t.table (addr / t.line_words)

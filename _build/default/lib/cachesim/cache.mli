@@ -1,0 +1,51 @@
+(** Online fully-associative cache simulator.
+
+    Models the paper's machine (Section 2): a fast memory of [capacity]
+    words in front of an unbounded slow memory. Communication is counted
+    in words: every miss moves one line ([line_words], default 1 — the
+    paper's model) from slow memory, and every eviction or flush of a
+    dirty line moves one line back.
+
+    Supports {!Policy.Lru} and {!Policy.Fifo} online; Belady-OPT needs the
+    future and lives in {!Trace.simulate}. Misses on writes allocate
+    (write-allocate, write-back). *)
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;  (** dirty lines written back on eviction or flush *)
+}
+
+val words_moved : line_words:int -> stats -> int
+(** [(misses + writebacks) * line_words] — total slow-memory traffic. *)
+
+type t
+
+val create :
+  ?line_words:int ->
+  ?on_evict:(line:int -> dirty:bool -> unit) ->
+  policy:Policy.t ->
+  capacity:int ->
+  unit ->
+  t
+(** [capacity] is in words and must be at least [line_words]. [on_evict]
+    is called for every line leaving the cache (evictions and
+    {!flush}) — {!module:Hierarchy} uses it to forward dirty write-backs
+    to the next level.
+    @raise Invalid_argument on a non-positive size, [line_words] not
+    dividing into capacity at least once, or [policy = Opt]. *)
+
+val access : t -> write:bool -> int -> unit
+(** Touch one word at the given address. *)
+
+val flush : t -> unit
+(** Write back all dirty lines (counted in [writebacks]) and empty the
+    cache. Call once at the end of a computation so output traffic is
+    accounted. *)
+
+val stats : t -> stats
+val capacity_lines : t -> int
+val resident : t -> int -> bool
+(** Is the line containing this word address currently cached? *)

@@ -1,0 +1,59 @@
+type t = { caches : Cache.t array; line_words : int }
+
+let create ?(line_words = 1) ?(policy = Policy.Lru) ~capacities () =
+  let n = Array.length capacities in
+  if n = 0 then invalid_arg "Hierarchy.create: need at least one level";
+  for k = 1 to n - 1 do
+    if capacities.(k) <= capacities.(k - 1) then
+      invalid_arg "Hierarchy.create: capacities must be strictly increasing"
+  done;
+  if policy = Policy.Opt then invalid_arg "Hierarchy.create: OPT is offline-only";
+  (* Build outermost-first so each level's eviction handler can reference
+     the next level. *)
+  let caches = Array.make n None in
+  for k = n - 1 downto 0 do
+    let on_evict =
+      if k = n - 1 then None
+      else begin
+        let next =
+          match caches.(k + 1) with Some c -> c | None -> assert false
+        in
+        (* A dirty line leaving level k is written to level k+1; clean
+           evictions are silent (lookup-through, non-inclusive). *)
+        Some
+          (fun ~line ~dirty ->
+            if dirty then Cache.access next ~write:true (line * line_words))
+      end
+    in
+    caches.(k) <- Some (Cache.create ~line_words ?on_evict ~policy ~capacity:capacities.(k) ())
+  done;
+  let caches = Array.map (function Some c -> c | None -> assert false) caches in
+  { caches; line_words }
+
+let levels t = Array.length t.caches
+
+(* An access walks down the hierarchy until it hits; each traversed level
+   records the access: level k sees the access iff all faster levels
+   missed. *)
+let access t ~write addr =
+  let n = Array.length t.caches in
+  let rec go k =
+    if k < n then begin
+      let c = t.caches.(k) in
+      let was_resident = Cache.resident c addr in
+      Cache.access c ~write addr;
+      if not was_resident then go (k + 1)
+    end
+  in
+  go 0
+
+let flush t = Array.iter Cache.flush t.caches
+
+let stats t = Array.map Cache.stats t.caches
+
+let traffic t =
+  Array.map
+    (fun c ->
+      let s = Cache.stats c in
+      Cache.words_moved ~line_words:t.line_words s)
+    t.caches

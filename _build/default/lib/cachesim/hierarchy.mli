@@ -1,0 +1,36 @@
+(** Multi-level memory hierarchy simulation.
+
+    The paper's model (one fast memory in front of slow memory) composes:
+    between every pair of adjacent levels the same lower bound applies
+    with [M] = the size of the faster level. This module chains caches in
+    a lookup-through cascade — an access that misses level [k] is
+    forwarded to level [k+1]; a dirty line evicted from level [k] is
+    written through to level [k+1] — so the traffic across each boundary
+    can be compared against the per-level bounds, and nested tilings
+    ({!Tiling.nested}, {!Schedules.Nested}) can be validated at every
+    level at once. *)
+
+type t
+
+val create : ?line_words:int -> ?policy:Policy.t -> capacities:int array -> unit -> t
+(** [capacities] are the level sizes in words, fastest (smallest) first;
+    they must be strictly increasing. Default policy is LRU at every
+    level.
+    @raise Invalid_argument on an empty or non-increasing ladder, or
+    [policy = Opt]. *)
+
+val levels : t -> int
+
+val access : t -> write:bool -> int -> unit
+
+val flush : t -> unit
+(** Flush every level, innermost first, cascading dirty write-backs. *)
+
+val stats : t -> Cache.stats array
+(** Per-level statistics. Level [k]'s accesses are exactly level
+    [k-1]'s misses plus its forwarded write-backs. *)
+
+val traffic : t -> int array
+(** [traffic t] has one entry per boundary: words moved between level
+    [k] and level [k+1] (the last entry is the traffic to main memory).
+    Entry [k] is [misses_k + writebacks_k] in words. *)

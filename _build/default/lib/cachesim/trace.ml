@@ -1,0 +1,135 @@
+type access = { addr : int; write : bool }
+type t = access array
+
+let read addr = { addr; write = false }
+let write addr = { addr; write = true }
+
+let words_touched trace =
+  let seen = Hashtbl.create 1024 in
+  Array.iter (fun a -> if not (Hashtbl.mem seen a.addr) then Hashtbl.add seen a.addr ()) trace;
+  Hashtbl.length seen
+
+(* ------------------------------------------------------------------ *)
+(* Max-heap of (key, line) with lazy invalidation, for Belady MIN.    *)
+(* ------------------------------------------------------------------ *)
+
+module Heap = struct
+  type entry = { key : int; line : int }
+  type h = { mutable a : entry array; mutable len : int }
+
+  let create () = { a = Array.make 64 { key = 0; line = 0 }; len = 0 }
+
+  let grow h =
+    let b = Array.make (2 * Array.length h.a) h.a.(0) in
+    Array.blit h.a 0 b 0 h.len;
+    h.a <- b
+
+  let push h e =
+    if h.len = Array.length h.a then grow h;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    (* Sift up. *)
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.a.((!i - 1) / 2).key < h.a.(!i).key do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.a.(0) <- h.a.(h.len);
+        (* Sift down. *)
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let biggest = ref !i in
+          if l < h.len && h.a.(l).key > h.a.(!biggest).key then biggest := l;
+          if r < h.len && h.a.(r).key > h.a.(!biggest).key then biggest := r;
+          if !biggest = !i then continue := false
+          else begin
+            let tmp = h.a.(!i) in
+            h.a.(!i) <- h.a.(!biggest);
+            h.a.(!biggest) <- tmp;
+            i := !biggest
+          end
+        done
+      end;
+      Some top
+    end
+end
+
+type opt_line = { mutable next : int; mutable dirty : bool }
+
+let simulate_opt ~line_words ~cap_lines (trace : t) : Cache.stats =
+  let n = Array.length trace in
+  (* next_use.(i): index of the next access to the same line after i, or
+     max_int if there is none. Computed in one backward pass. *)
+  let next_use = Array.make n max_int in
+  let last_seen = Hashtbl.create 1024 in
+  for i = n - 1 downto 0 do
+    let line = trace.(i).addr / line_words in
+    (match Hashtbl.find_opt last_seen line with
+    | Some j -> next_use.(i) <- j
+    | None -> ());
+    Hashtbl.replace last_seen line i
+  done;
+  let cached : (int, opt_line) Hashtbl.t = Hashtbl.create 1024 in
+  let heap = Heap.create () in
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 and writebacks = ref 0 in
+  let evict () =
+    (* Pop lazily until the heap entry matches the line's live next-use. *)
+    let rec go () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some { Heap.key; line } -> (
+        match Hashtbl.find_opt cached line with
+        | Some ol when ol.next = key ->
+          Hashtbl.remove cached line;
+          incr evictions;
+          if ol.dirty then incr writebacks
+        | _ -> go () (* stale entry *))
+    in
+    go ()
+  in
+  for i = 0 to n - 1 do
+    let a = trace.(i) in
+    let line = a.addr / line_words in
+    match Hashtbl.find_opt cached line with
+    | Some ol ->
+      incr hits;
+      ol.next <- next_use.(i);
+      if a.write then ol.dirty <- true;
+      Heap.push heap { Heap.key = next_use.(i); line }
+    | None ->
+      incr misses;
+      if Hashtbl.length cached >= cap_lines then evict ();
+      Hashtbl.add cached line { next = next_use.(i); dirty = a.write };
+      Heap.push heap { Heap.key = next_use.(i); line }
+  done;
+  (* Final flush: write back the remaining dirty lines. *)
+  Hashtbl.iter (fun _ ol -> if ol.dirty then incr writebacks) cached;
+  {
+    Cache.accesses = n;
+    hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
+    writebacks = !writebacks;
+  }
+
+let simulate ?(line_words = 1) ~policy ~capacity (trace : t) : Cache.stats =
+  if capacity < line_words then invalid_arg "Trace.simulate: capacity below one line";
+  match policy with
+  | Policy.Opt -> simulate_opt ~line_words ~cap_lines:(capacity / line_words) trace
+  | Policy.Lru | Policy.Fifo ->
+    let cache = Cache.create ~line_words ~policy ~capacity () in
+    Array.iter (fun a -> Cache.access cache ~write:a.write a.addr) trace;
+    Cache.flush cache;
+    Cache.stats cache

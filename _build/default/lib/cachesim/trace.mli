@@ -1,0 +1,23 @@
+(** Offline trace simulation, including Belady's optimal replacement.
+
+    A trace is the full word-level access sequence of a computation. For
+    {!Policy.Lru} and {!Policy.Fifo} this just streams into {!Cache}; for
+    {!Policy.Opt} it runs Belady's MIN algorithm (evict the resident line
+    whose next use is farthest away), which is the offline optimum and
+    therefore the fairest stand-in for the paper's idealized cache. *)
+
+type access = { addr : int; write : bool }
+
+type t = access array
+
+val read : int -> access
+val write : int -> access
+
+val simulate : ?line_words:int -> policy:Policy.t -> capacity:int -> t -> Cache.stats
+(** Simulate the whole trace and a final flush (dirty lines are written
+    back and counted).
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val words_touched : t -> int
+(** Number of distinct word addresses in the trace — a trivial lower
+    bound on read traffic for a cold cache. *)

@@ -1,0 +1,221 @@
+type lang = C | OCaml
+
+(* ------------------------------------------------------------------ *)
+(* Identifiers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b ch
+      | _ -> Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  if s = "" || match s.[0] with '0' .. '9' -> true | _ -> false then "a" ^ s else s
+
+(* Parameter names: unique, language-appropriate case. *)
+let param_names lang spec =
+  let n = Spec.num_arrays spec in
+  let used = Hashtbl.create 8 in
+  Array.init n (fun j ->
+    let raw = sanitize spec.Spec.arrays.(j).Spec.aname in
+    let base = match lang with C -> raw | OCaml -> String.lowercase_ascii raw in
+    let rec fresh cand k =
+      if Hashtbl.mem used cand then fresh (Printf.sprintf "%s_%d" base k) (k + 1) else cand
+    in
+    let name = fresh base 1 in
+    Hashtbl.add used name ();
+    name)
+
+(* Row-major linearized index expression of array [j] at the loop
+   variables, e.g. ((x1) * 8 + x3). *)
+let element_index spec j =
+  let sup = spec.Spec.arrays.(j).Spec.support in
+  let dims = Spec.array_dims spec j in
+  let buf = Buffer.create 32 in
+  Array.iteri
+    (fun k i ->
+      if k = 0 then Buffer.add_string buf (sanitize spec.Spec.loops.(i))
+      else begin
+        let inner = Buffer.contents buf in
+        Buffer.clear buf;
+        Buffer.add_string buf
+          (Printf.sprintf "(%s) * %d + %s" inner dims.(k) (sanitize spec.Spec.loops.(i)))
+      end)
+    sup;
+  if Array.length sup = 0 then "0" else Buffer.contents buf
+
+let element_ref lang spec params j =
+  match lang with
+  | C -> Printf.sprintf "%s[%s]" params.(j) (element_index spec j)
+  | OCaml -> Printf.sprintf "%s.(%s)" params.(j) (element_index spec j)
+
+let default_body spec =
+  let n = Spec.num_arrays spec in
+  let rhs = String.concat " * " (List.init (n - 1) (fun j -> Printf.sprintf "$%d" (j + 1))) in
+  let rhs = if rhs = "" then "$0" else rhs in
+  match spec.Spec.arrays.(0).Spec.mode with
+  | Spec.Update -> Printf.sprintf "$0 += %s" rhs
+  | Spec.Write | Spec.Read -> Printf.sprintf "$0 = %s" rhs
+
+(* Expand $k references; translate C-style "+=" / "*" / "=" assignment
+   bodies to OCaml when emitting OCaml. The OCaml rewrite happens on the
+   template, before $k expansion, so the integer arithmetic inside
+   generated index expressions is untouched. *)
+let expand_body lang spec params body =
+  let n = Spec.num_arrays spec in
+  let substitute body =
+    let buf = Buffer.create 64 in
+    let len = String.length body in
+    let i = ref 0 in
+    while !i < len do
+      (if body.[!i] = '$' then begin
+         let start = !i + 1 in
+         let stop = ref start in
+         while !stop < len && body.[!stop] >= '0' && body.[!stop] <= '9' do
+           incr stop
+         done;
+         if !stop = start then invalid_arg "Codegen: '$' must be followed by an array index";
+         let idx = int_of_string (String.sub body start (!stop - start)) in
+         if idx < 0 || idx >= n then
+           invalid_arg
+             (Printf.sprintf "Codegen: body references $%d but there are %d arrays" idx n);
+         Buffer.add_string buf (element_ref lang spec params idx);
+         i := !stop
+       end
+       else begin
+         Buffer.add_char buf body.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents buf
+  in
+  match lang with
+  | C -> substitute body ^ ";"
+  | OCaml ->
+    let float_ops rhs = String.concat "*." (String.split_on_char '*' rhs) in
+    let template =
+      match String.index_opt body '=' with
+      | Some eq when eq > 0 && body.[eq - 1] = '+' ->
+        let lhs = String.trim (String.sub body 0 (eq - 1)) in
+        let rhs = String.trim (String.sub body (eq + 1) (String.length body - eq - 1)) in
+        Printf.sprintf "%s <- %s +. %s" lhs lhs (float_ops rhs)
+      | Some eq when eq + 1 < String.length body && body.[eq + 1] <> '=' ->
+        let lhs = String.trim (String.sub body 0 eq) in
+        let rhs = String.trim (String.sub body (eq + 1) (String.length body - eq - 1)) in
+        Printf.sprintf "%s <- %s" lhs (float_ops rhs)
+      | _ -> body
+    in
+    substitute template
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type emitter = { buf : Buffer.t; mutable depth : int }
+
+let line e fmt =
+  Printf.ksprintf
+    (fun s ->
+      for _ = 1 to e.depth do
+        Buffer.add_string e.buf "  "
+      done;
+      Buffer.add_string e.buf s;
+      Buffer.add_char e.buf '\n')
+    fmt
+
+let emit_common ?(lang = C) ?body ?function_name spec ~tile_opt =
+  (match tile_opt with
+  | Some tile -> (
+    match Schedules.validate spec (Schedules.Tiled tile) with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Codegen.emit: " ^ msg))
+  | None -> ());
+  let params = param_names lang spec in
+  let body = match body with Some b -> b | None -> default_body spec in
+  let stmt = expand_body lang spec params body in
+  let d = Spec.num_loops spec in
+  let loops = Array.map sanitize spec.Spec.loops in
+  let bounds = spec.Spec.bounds in
+  let fname =
+    match function_name with
+    | Some f -> sanitize f
+    | None -> sanitize spec.Spec.name ^ match tile_opt with Some _ -> "_tiled" | None -> ""
+  in
+  let e = { buf = Buffer.create 1024; depth = 0 } in
+  (match lang with
+  | C ->
+    line e "/* %s: %s" fname
+      (Format.asprintf "%a" Spec.pp spec |> String.map (fun c -> if c = '\n' then ' ' else c));
+    (match tile_opt with
+    | Some tile ->
+      line e "   tile: %s */"
+        (String.concat " x " (Array.to_list (Array.map string_of_int tile)))
+    | None -> line e "   untiled */");
+    line e "void %s(%s) {" fname
+      (String.concat ", " (Array.to_list (Array.map (fun p -> "double *" ^ p) params)));
+    e.depth <- 1;
+    (match tile_opt with
+    | Some tile ->
+      Array.iteri
+        (fun i x ->
+          line e "for (int %s_0 = 0; %s_0 < %d; %s_0 += %d)" x x bounds.(i) x tile.(i);
+          e.depth <- e.depth + 1)
+        loops;
+      Array.iteri
+        (fun i x ->
+          line e "for (int %s = %s_0; %s < (%s_0 + %d < %d ? %s_0 + %d : %d); %s++)" x x x x
+            tile.(i) bounds.(i) x tile.(i) bounds.(i) x;
+          e.depth <- e.depth + 1)
+        loops
+    | None ->
+      Array.iteri
+        (fun i x ->
+          line e "for (int %s = 0; %s < %d; %s++)" x x bounds.(i) x;
+          e.depth <- e.depth + 1)
+        loops);
+    ignore d;
+    line e "%s" stmt;
+    e.depth <- 0;
+    line e "}"
+  | OCaml ->
+    line e "(* %s; %s *)" fname
+      (match tile_opt with
+      | Some tile ->
+        "tile " ^ String.concat "x" (Array.to_list (Array.map string_of_int tile))
+      | None -> "untiled");
+    line e "let %s %s =" fname (String.concat " " (Array.to_list params));
+    e.depth <- 1;
+    (match tile_opt with
+    | Some tile ->
+      Array.iteri
+        (fun i x ->
+          line e "for %s_b = 0 to %d do" x (((bounds.(i) + tile.(i) - 1) / tile.(i)) - 1);
+          e.depth <- e.depth + 1;
+          line e "let %s_0 = %s_b * %d in" x x tile.(i))
+        loops;
+      Array.iteri
+        (fun i x ->
+          line e "for %s = %s_0 to min %d (%s_0 + %d) - 1 do" x x bounds.(i) x tile.(i);
+          e.depth <- e.depth + 1)
+        loops
+    | None ->
+      Array.iteri
+        (fun i x ->
+          line e "for %s = 0 to %d do" x (bounds.(i) - 1);
+          e.depth <- e.depth + 1)
+        loops);
+    line e "%s" stmt;
+    for _ = 1 to (match tile_opt with Some _ -> 2 * d | None -> d) do
+      e.depth <- e.depth - 1;
+      line e "done"
+    done);
+  Buffer.contents e.buf
+
+let emit ?lang ?body ?function_name spec ~tile =
+  emit_common ?lang ?body ?function_name spec ~tile_opt:(Some tile)
+
+let emit_untiled ?lang ?body ?function_name spec =
+  emit_common ?lang ?body ?function_name spec ~tile_opt:None

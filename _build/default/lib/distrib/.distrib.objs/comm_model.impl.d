@@ -1,0 +1,1 @@
+lib/distrib/comm_model.ml: Array Executor Float Hashtbl Layout List Lower_bound Partition Rat Schedules Spec Tiling

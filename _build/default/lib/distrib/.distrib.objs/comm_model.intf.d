@@ -1,0 +1,1 @@
+lib/distrib/comm_model.mli: Spec

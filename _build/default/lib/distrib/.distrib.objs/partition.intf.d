@@ -1,0 +1,1 @@
+lib/distrib/partition.mli: Spec

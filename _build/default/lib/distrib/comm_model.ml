@@ -1,0 +1,84 @@
+type grid_cost = { grid : int array; block : int array; words : int }
+
+let cost spec ~grid =
+  let block = Partition.block_dims spec ~grid in
+  let words =
+    Array.fold_left
+      (fun acc (a : Spec.array_ref) ->
+        acc + Array.fold_left (fun f i -> f * block.(i)) 1 a.Spec.support)
+      0 spec.Spec.arrays
+  in
+  { grid; block; words }
+
+let best_grid spec ~p =
+  let candidates = Partition.grids spec ~p in
+  List.fold_left
+    (fun acc grid ->
+      let c = cost spec ~grid in
+      match acc with
+      | Some best when best.words <= c.words -> acc
+      | _ -> Some c)
+    None candidates
+
+let simulated_cost spec ~grid =
+  let block = Partition.block_dims spec ~grid in
+  let sub = Spec.with_bounds spec block in
+  let layout = Layout.make sub in
+  let seen = Hashtbl.create 1024 in
+  Schedules.iterate sub Schedules.Untiled (fun point ->
+    for j = 0 to Spec.num_arrays sub - 1 do
+      let addr = Layout.address layout j point in
+      if not (Hashtbl.mem seen addr) then Hashtbl.add seen addr ()
+    done);
+  Hashtbl.length seen
+
+type processor_run = {
+  grid : int array;
+  m_local : int;
+  tile : int array;
+  words_per_proc : int;
+}
+
+let simulate_processor spec ~grid ~m_local =
+  let block = Partition.block_dims spec ~grid in
+  let sub = Spec.with_bounds spec block in
+  if Spec.iteration_count sub > 20_000_000 then
+    invalid_arg "Comm_model.simulate_processor: block too large to simulate";
+  let tile = Tiling.optimal_shared sub ~m:m_local in
+  let r = Executor.run sub ~schedule:(Schedules.Tiled tile) ~capacity:m_local in
+  { grid = Array.copy grid; m_local; tile; words_per_proc = r.Executor.words_moved }
+
+(* Iterations coverable by a tile whose per-array footprint is at most f:
+   f^{k_hat} with beta measured in base f. *)
+let coverage spec f =
+  if f < 2.0 then 1.0
+  else begin
+    let log_f = log f in
+    let beta =
+      Array.map
+        (fun l -> if l <= 1 then Rat.zero else Rat.rationalize (log (float_of_int l) /. log_f))
+        spec.Spec.bounds
+    in
+    let e = Lower_bound.exponent_by_lp spec ~beta in
+    Float.exp (Rat.to_float e.Lower_bound.k_hat *. log_f)
+  end
+
+let min_footprint spec ~iterations =
+  if iterations <= 1.0 then 1.0
+  else begin
+    (* Coverage is monotone in f; bisect on integers. *)
+    let hi = ref 2 in
+    while coverage spec (float_of_int !hi) < iterations do
+      hi := !hi * 2
+    done;
+    let lo = ref (!hi / 2) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if coverage spec (float_of_int mid) >= iterations then hi := mid else lo := mid
+    done;
+    float_of_int !hi
+  end
+
+let lower_bound spec ~p =
+  let iterations = float_of_int (Spec.iteration_count spec) /. float_of_int p in
+  min_footprint spec ~iterations

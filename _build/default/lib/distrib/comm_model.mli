@@ -1,0 +1,61 @@
+(** Distributed-memory communication model (Section 7 extension).
+
+    Model: [P] processors, the arrays initially distributed; a processor
+    assigned an iteration block must receive every array element its
+    block touches, so its communication volume is the block's total
+    footprint [sum_j prod_{i in support j} ceil(L_i / p_i)] (we charge
+    output blocks symmetrically as sends). The cost of a grid is the
+    maximum over processors, i.e. the cost of one (full-size) block.
+
+    The matching lower bound reuses the sequential machinery: a processor
+    executing [V = prod L_i / P] iterations whose per-array footprint is
+    [F] covers at most [F^k_hat(F)] iterations (Theorem 2 with [M = F]),
+    so its footprint — and hence its received volume — must be at least
+    the smallest [F] with [F^k_hat(F) >= V]. *)
+
+type grid_cost = {
+  grid : int array;
+  block : int array;  (** per-processor block dimensions *)
+  words : int;  (** per-processor communication volume *)
+}
+
+val cost : Spec.t -> grid:int array -> grid_cost
+
+val best_grid : Spec.t -> p:int -> grid_cost option
+(** Minimum-cost rectangular grid over all factorizations; [None] when
+    [p] does not factor within the loop bounds. *)
+
+val simulated_cost : Spec.t -> grid:int array -> int
+(** Cross-check of {!cost} by execution: run one (full-size) block's
+    sub-nest and count the distinct words it touches — the data the
+    owning processor must receive. Equals [cost] exactly (tested), since
+    a rectangular block touches a rectangular sub-array of every array. *)
+
+type processor_run = {
+  grid : int array;
+  m_local : int;  (** per-processor fast-memory words *)
+  tile : int array;  (** the local tiling used inside the block *)
+  words_per_proc : int;
+      (** simulated words moved between one processor's fast memory and
+          the network/remote memory while executing its block *)
+}
+
+val simulate_processor : Spec.t -> grid:int array -> m_local:int -> processor_run
+(** The memory-{e dependent} distributed cost ([ITT04]-style): each
+    processor owns a rectangular block of the iteration space and runs it
+    through a local cache of [m_local] words using the
+    communication-optimal local tiling; everything beyond the cache is
+    remote traffic. Compare with {!cost}, the memory-independent gather
+    volume: for small [m_local] the simulated cost exceeds it (the
+    processor re-fetches data it cannot hold), and as [m_local] grows it
+    converges to the footprint.
+    @raise Invalid_argument if the block is too large to simulate. *)
+
+val min_footprint : Spec.t -> iterations:float -> float
+(** Smallest per-array footprint [F] such that a tile of footprint [F]
+    can cover [iterations] points (binary search over Theorem 2 with
+    [M = F]). This is the per-processor communication lower bound when
+    [iterations = prod L_i / P]. *)
+
+val lower_bound : Spec.t -> p:int -> float
+(** [min_footprint] at [iterations = prod L_i / p]. *)

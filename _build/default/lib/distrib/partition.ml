@@ -1,0 +1,28 @@
+let grids spec ~p =
+  if p < 1 then invalid_arg "Partition.grids: p must be positive";
+  let d = Spec.num_loops spec in
+  let bounds = spec.Spec.bounds in
+  let acc = ref [] in
+  let grid = Array.make d 1 in
+  (* Enumerate divisor assignments dimension by dimension. *)
+  let rec go i remaining =
+    if i = d then begin
+      if remaining = 1 then acc := Array.copy grid :: !acc
+    end
+    else
+      for f = 1 to min remaining bounds.(i) do
+        if remaining mod f = 0 then begin
+          grid.(i) <- f;
+          go (i + 1) (remaining / f)
+        end
+      done
+  in
+  go 0 p;
+  List.rev !acc
+
+let block_dims spec ~grid =
+  Array.init (Spec.num_loops spec) (fun i ->
+    let l = spec.Spec.bounds.(i) in
+    (l + grid.(i) - 1) / grid.(i))
+
+let block_iterations spec ~grid = Array.fold_left ( * ) 1 (block_dims spec ~grid)

@@ -1,0 +1,19 @@
+(** Rectangular partitions of the iteration space across processors.
+
+    Section 7 of the paper argues the memory model extends to
+    multiprocessor machines (after [Kni15]/[ITT04]) and that the optimal
+    way to split a projective loop nest over [P] processors is to give
+    each a rectangular block of the iteration space. This module
+    enumerates processor grids [p_1 x ... x p_d] with [prod p_i = P] and
+    the per-processor blocks they induce. *)
+
+val grids : Spec.t -> p:int -> int array list
+(** All factorizations of [p] into [d] per-dimension counts with
+    [1 <= p_i <= L_i]. Empty if [p] cannot be factored within the
+    bounds. *)
+
+val block_dims : Spec.t -> grid:int array -> int array
+(** Per-processor block dimensions [ceil(L_i / p_i)]. *)
+
+val block_iterations : Spec.t -> grid:int array -> int
+(** Iterations of the largest block: [prod_i ceil(L_i / p_i)]. *)

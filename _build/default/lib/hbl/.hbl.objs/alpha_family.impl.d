@@ -1,0 +1,1 @@
+lib/hbl/alpha_family.ml: Array List Rat Spec Stdlib Tiling

@@ -1,0 +1,1 @@
+lib/hbl/alpha_family.mli: Rat Spec

@@ -1,0 +1,1 @@
+lib/hbl/analyze.ml: Format Lower_bound Rat Spec Tiling

@@ -1,0 +1,1 @@
+lib/hbl/analyze.mli: Format Lower_bound Rat Spec Tiling

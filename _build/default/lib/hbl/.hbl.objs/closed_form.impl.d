@@ -1,0 +1,1 @@
+lib/hbl/closed_form.ml: Array Format Hashtbl List Lp Mat Rat Simplex Spec String Vec

@@ -1,0 +1,1 @@
+lib/hbl/closed_form.mli: Format Rat Spec

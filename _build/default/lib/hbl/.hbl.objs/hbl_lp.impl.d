@@ -1,0 +1,1 @@
+lib/hbl/hbl_lp.ml: Array List Lp Printf Rat Simplex Spec

@@ -1,0 +1,1 @@
+lib/hbl/hbl_lp.mli: Lp Rat Spec

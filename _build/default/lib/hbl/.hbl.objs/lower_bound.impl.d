@@ -1,0 +1,1 @@
+lib/hbl/lower_bound.ml: Array Float Format Hbl_lp List Printf Rat Simplex Spec String

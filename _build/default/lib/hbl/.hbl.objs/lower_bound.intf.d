@@ -1,0 +1,1 @@
+lib/hbl/lower_bound.mli: Format Rat Spec

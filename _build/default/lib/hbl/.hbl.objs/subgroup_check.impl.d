@@ -1,0 +1,1 @@
+lib/hbl/subgroup_check.ml: Array List Mat Random Rat Spec

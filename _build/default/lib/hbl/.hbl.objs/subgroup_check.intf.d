@@ -1,0 +1,1 @@
+lib/hbl/subgroup_check.mli: Rat Spec

@@ -1,0 +1,1 @@
+lib/hbl/tiling.ml: Array Float Format Hbl_lp List Lower_bound Rat Simplex Spec Stdlib

@@ -1,0 +1,1 @@
+lib/hbl/tiling.mli: Format Rat Spec

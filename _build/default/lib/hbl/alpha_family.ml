@@ -1,0 +1,39 @@
+let lambda ~beta3 ~alpha =
+  if Rat.sign alpha < 0 || Rat.compare alpha Rat.one > 0 then
+    invalid_arg "Alpha_family.lambda: alpha must lie in [0, 1]";
+  if Rat.sign beta3 < 0 || Rat.compare beta3 Rat.half > 0 then
+    invalid_arg "Alpha_family.lambda: beta3 must lie in [0, 1/2]";
+  let open Rat.Infix in
+  let one_minus_alpha = Rat.one - alpha in
+  [|
+    (alpha * Rat.half) + (one_minus_alpha * (Rat.one - beta3));
+    (alpha * Rat.half) + (one_minus_alpha * beta3);
+    beta3;
+  |]
+
+let is_matmul_shaped spec =
+  Spec.num_loops spec = 3
+  && Spec.num_arrays spec = 3
+  &&
+  let supports =
+    List.sort Stdlib.compare
+      (Array.to_list (Array.map (fun (a : Spec.array_ref) -> Array.to_list a.Spec.support) spec.Spec.arrays))
+  in
+  supports = [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] ]
+
+let tile spec ~m ~alpha =
+  if not (is_matmul_shaped spec) then invalid_arg "Alpha_family.tile: spec is not matmul-shaped";
+  let l3 = spec.Spec.bounds.(2) in
+  if float_of_int (l3 * l3) > float_of_int m then
+    invalid_arg "Alpha_family.tile: L3 exceeds sqrt M; use the classical cube tile";
+  let beta3 =
+    if l3 = 1 then Rat.zero
+    else Rat.rationalize (log (float_of_int l3) /. log (float_of_int m))
+  in
+  let beta3 = Rat.min beta3 Rat.half in
+  Tiling.of_lambda spec ~m (lambda ~beta3 ~alpha)
+
+let sample ?(steps = 4) spec ~m =
+  List.init (steps + 1) (fun i ->
+    let alpha = Rat.of_ints i steps in
+    (alpha, tile spec ~m ~alpha))

@@ -1,0 +1,32 @@
+(** The alpha-parameterized family of optimal matmul tilings (Section 6.1).
+
+    When the third matmul bound is small ([beta_3 <= 1/2]), every point of
+    the segment between the two extreme optimal tiles
+
+    - [M/L_3 x L_3 x L_3]  ([alpha = 0]) and
+    - [sqrt M x sqrt M x L_3]  ([alpha = 1])
+
+    optimizes LP (5.1):
+    [lambda_1 = alpha/2 + (1 - alpha)(1 - beta_3)],
+    [lambda_2 = alpha/2 + (1 - alpha) beta_3], [lambda_3 = beta_3],
+    all with tile cardinality [M * L_3]. The paper notes this freedom is
+    what lets a tuner pick tiles aligned with cache lines or vector units.
+    These functions are specific to matmul-shaped nests (3 loops, 3 arrays
+    with supports [{1,3}, {1,2}, {2,3}]). *)
+
+val lambda : beta3:Rat.t -> alpha:Rat.t -> Rat.t array
+(** The lambda vector above.
+    @raise Invalid_argument unless [0 <= alpha <= 1] and
+    [0 <= beta3 <= 1/2]. *)
+
+val is_matmul_shaped : Spec.t -> bool
+
+val tile : Spec.t -> m:int -> alpha:Rat.t -> int array
+(** Integer tile for a matmul-shaped spec whose third bound is small;
+    computed via {!Tiling.of_lambda} on {!lambda} with
+    [beta3 = log_M L_3].
+    @raise Invalid_argument if the spec is not matmul-shaped or
+    [L_3 > sqrt M] (the family degenerates to the classical cube there). *)
+
+val sample : ?steps:int -> Spec.t -> m:int -> (Rat.t * int array) list
+(** Tiles for [alpha = 0, 1/steps, ..., 1] (default 4 steps). *)

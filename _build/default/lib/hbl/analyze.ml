@@ -1,0 +1,41 @@
+type report = {
+  spec : Spec.t;
+  m : int;
+  beta : Rat.t array;
+  bound : Lower_bound.bound;
+  lp : Tiling.lp_solution;
+  tile : int array;
+  tile_volume : int;
+  tile_max_footprint : int;
+  tiles : int;
+  traffic : Tiling.traffic;
+  attainment : float;
+}
+
+let run spec ~m =
+  let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
+  let bound = Lower_bound.communication spec ~m in
+  let lp = Tiling.solve_lp spec ~beta in
+  let tile = Tiling.of_lambda spec ~m lp.Tiling.lambda in
+  let traffic = Tiling.analytic_traffic spec tile in
+  let moved = traffic.Tiling.reads +. traffic.Tiling.writes in
+  {
+    spec;
+    m;
+    beta;
+    bound;
+    lp;
+    tile;
+    tile_volume = Tiling.volume tile;
+    tile_max_footprint = Tiling.max_footprint spec tile;
+    tiles = Tiling.num_tiles spec tile;
+    traffic;
+    attainment = (if bound.Lower_bound.words > 0.0 then moved /. bound.Lower_bound.words else nan);
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>%a@,%a@,tile = %a  (volume %d, max footprint %d / M = %d, %d tiles)@,\
+                      tiled schedule traffic: %.4g reads + %.4g writes@,\
+                      attainment (traffic / lower bound) = %.3f@]"
+    Spec.pp r.spec Lower_bound.pp_bound r.bound (Tiling.pp r.spec) r.tile r.tile_volume
+    r.tile_max_footprint r.m r.tiles r.traffic.Tiling.reads r.traffic.Tiling.writes r.attainment

@@ -1,0 +1,25 @@
+(** One-call analysis: lower bound + optimal tile + attainment check.
+
+    This is the high-level entry point the examples and the CLI use; it
+    strings together {!Lower_bound}, {!Tiling} and the bookkeeping needed
+    to judge how close the constructed tiling comes to the bound. *)
+
+type report = {
+  spec : Spec.t;
+  m : int;
+  beta : Rat.t array;
+  bound : Lower_bound.bound;  (** the arbitrary-bounds communication lower bound *)
+  lp : Tiling.lp_solution;  (** continuous LP-(5.1) solution *)
+  tile : int array;  (** integer tile dimensions *)
+  tile_volume : int;
+  tile_max_footprint : int;
+  tiles : int;  (** number of tiles covering the iteration space *)
+  traffic : Tiling.traffic;  (** analytic words moved by the tiled schedule *)
+  attainment : float;
+      (** (reads+writes) / lower bound — small constant when the theory is
+          tight; the interesting experimental quantity *)
+}
+
+val run : Spec.t -> m:int -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,265 @@
+type piece = { constant : Rat.t; coeffs : Rat.t array }
+
+type t = { loops : string array; box : Rat.t; pieces : piece list }
+
+let eval_piece p beta =
+  let acc = ref p.constant in
+  Array.iteri (fun i c -> if not (Rat.is_zero c) then acc := Rat.add !acc (Rat.mul c beta.(i))) p.coeffs;
+  !acc
+
+let eval t beta =
+  if Array.length beta <> Array.length t.loops then invalid_arg "Closed_form.eval: arity";
+  match t.pieces with
+  | [] -> invalid_arg "Closed_form.eval: empty form"
+  | p :: rest -> List.fold_left (fun acc q -> Rat.min acc (eval_piece q beta)) (eval_piece p beta) rest
+
+(* n-choose-k subset enumeration with early cutoff via a callback. *)
+let iter_combinations n k f =
+  let choice = Array.make k 0 in
+  let rec go pos start =
+    if pos = k then f choice
+    else
+      for v = start to n - (k - pos) do
+        choice.(pos) <- v;
+        go (pos + 1) (v + 1)
+      done
+  in
+  if k <= n then go 0 0
+
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0.0
+  else begin
+    let acc = ref 1.0 in
+    for i = 0 to k - 1 do
+      acc := !acc *. float_of_int (n - i) /. float_of_int (i + 1)
+    done;
+    !acc
+  end
+
+let compute ?(box = Rat.of_int 4) spec =
+  let d = Spec.num_loops spec and n = Spec.num_arrays spec in
+  let nv = d + n in
+  (* Constraint rows of the dual polyhedron, as (coeffs, rhs) pairs over
+     the variables (zeta_1..zeta_d, s_1..s_n):
+       row i < d:        zeta_i + sum_{j in R_i} s_j >= 1
+       row d + k:        var_k >= 0 *)
+  let rows =
+    Array.init (d + nv) (fun r ->
+      if r < d then begin
+        let coeffs = Array.make nv Rat.zero in
+        coeffs.(r) <- Rat.one;
+        List.iter (fun j -> coeffs.(d + j) <- Rat.one) (Spec.touching_arrays spec r);
+        (coeffs, Rat.one)
+      end
+      else begin
+        let coeffs = Array.make nv Rat.zero in
+        coeffs.(r - d) <- Rat.one;
+        (coeffs, Rat.zero)
+      end)
+  in
+  if binomial (d + nv) nv > 1e6 then
+    invalid_arg "Closed_form.compute: shape too large for vertex enumeration";
+  let satisfied point =
+    Array.for_all
+      (fun (coeffs, rhs) -> Rat.compare (Vec.dot coeffs point) rhs >= 0)
+      rows
+  in
+  let vertices = Hashtbl.create 64 in
+  iter_combinations (d + nv) nv (fun choice ->
+    let a = Mat.init nv nv (fun i j -> (fst rows.(choice.(i))).(j)) in
+    let rhs = Array.init nv (fun i -> snd rows.(choice.(i))) in
+    if Mat.rank a = nv then begin
+      match Mat.solve a rhs with
+      | Some point when satisfied point ->
+        let key = String.concat "," (List.map Rat.to_string (Array.to_list point)) in
+        if not (Hashtbl.mem vertices key) then Hashtbl.add vertices key point
+      | _ -> ()
+    end);
+  let piece_of_vertex point =
+    let constant = ref Rat.zero in
+    for j = 0 to n - 1 do
+      constant := Rat.add !constant point.(d + j)
+    done;
+    { constant = !constant; coeffs = Array.sub point 0 d }
+  in
+  let raw_pieces =
+    Hashtbl.fold (fun _ point acc -> piece_of_vertex point :: acc) vertices []
+  in
+  (* Dedupe identical affine functions. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let key =
+        Rat.to_string p.constant ^ "|"
+        ^ String.concat "," (List.map Rat.to_string (Array.to_list p.coeffs))
+      in
+      if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key p)
+    raw_pieces;
+  let pieces = Hashtbl.fold (fun _ p acc -> p :: acc) tbl [] in
+  (* Deterministic order: by constant, then coefficients. *)
+  let cmp p q =
+    let c = Rat.compare p.constant q.constant in
+    if c <> 0 then c
+    else begin
+      let rec go i =
+        if i >= d then 0
+        else begin
+          let c = Rat.compare p.coeffs.(i) q.coeffs.(i) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    end
+  in
+  let pieces = List.sort cmp pieces in
+  (* Sequentially drop pieces that are nowhere strictly minimal on the
+     box: each drop is sound because the remaining pieces pointwise attain
+     the same minimum. *)
+  let strictly_minimal_somewhere p others =
+    match others with
+    | [] -> true
+    | _ ->
+      (* Variables: beta_1..beta_d, delta. Maximize delta subject to
+           g_q(beta) - g_p(beta) >= delta   for all other pieces q
+           beta_i <= box. *)
+      let nvars = d + 1 in
+      let obj = Array.init nvars (fun v -> if v = d then Rat.one else Rat.zero) in
+      let constrs =
+        List.map
+          (fun q ->
+            let coeffs =
+              Array.init nvars (fun v ->
+                if v = d then Rat.minus_one else Rat.sub q.coeffs.(v) p.coeffs.(v))
+            in
+            Lp.constr coeffs Lp.Ge (Rat.sub p.constant q.constant))
+          others
+        @ List.init d (fun i ->
+            let coeffs = Array.make nvars Rat.zero in
+            coeffs.(i) <- Rat.one;
+            Lp.constr coeffs Lp.Le box)
+      in
+      (match Simplex.solve (Lp.make Lp.Maximize obj constrs) with
+      | Simplex.Optimal sol -> Rat.sign sol.Simplex.objective > 0
+      | Simplex.Unbounded _ -> true
+      | Simplex.Infeasible -> false)
+  in
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | p :: rest ->
+      if strictly_minimal_somewhere p (List.rev_append kept rest) then prune (p :: kept) rest
+      else prune kept rest
+  in
+  let pieces = prune [] pieces in
+  { loops = spec.Spec.loops; box; pieces }
+
+let num_pieces t = List.length t.pieces
+
+(* ------------------------------------------------------------------ *)
+(* Parametric critical regions                                        *)
+(* ------------------------------------------------------------------ *)
+
+type region = {
+  piece : piece;
+  inequalities : (Rat.t array * Rat.t) list;
+  witness : Rat.t array;
+}
+
+(* A strictly interior point of piece [p]'s region: maximize the margin
+   delta with g_q - g_p >= delta for all other pieces, inside the box.
+   Kept pieces are strictly minimal somewhere, so delta > 0 exists. *)
+let interior_witness ~box ~d p others =
+  match others with
+  | [] -> Array.make d (Rat.div box Rat.two)
+  | _ ->
+    let nvars = d + 1 in
+    let obj = Array.init nvars (fun v -> if v = d then Rat.one else Rat.zero) in
+    let constrs =
+      List.map
+        (fun q ->
+          let coeffs =
+            Array.init nvars (fun v ->
+              if v = d then Rat.minus_one else Rat.sub q.coeffs.(v) p.coeffs.(v))
+          in
+          Lp.constr coeffs Lp.Ge (Rat.sub p.constant q.constant))
+        others
+      @ List.init d (fun i ->
+          let coeffs = Array.make nvars Rat.zero in
+          coeffs.(i) <- Rat.one;
+          Lp.constr coeffs Lp.Le box)
+    in
+    let sol = Simplex.solve_exn (Lp.make Lp.Maximize obj constrs) in
+    Array.sub sol.Simplex.primal 0 d
+
+let regions t =
+  let d = Array.length t.loops in
+  List.map
+    (fun p ->
+      let others = List.filter (fun q -> q != p) t.pieces in
+      let inequalities =
+        List.map
+          (fun q ->
+            (Array.map2 (fun qc pc -> Rat.sub qc pc) q.coeffs p.coeffs, Rat.sub p.constant q.constant))
+          others
+      in
+      { piece = p; inequalities; witness = interior_witness ~box:t.box ~d p others })
+    t.pieces
+
+let region_contains r beta =
+  List.for_all
+    (fun (a, c) ->
+      let lhs = ref Rat.zero in
+      Array.iteri (fun i ai -> lhs := Rat.add !lhs (Rat.mul ai beta.(i))) a;
+      Rat.compare !lhs c >= 0)
+    r.inequalities
+
+let pp_linear loops fmt coeffs =
+  let printed = ref false in
+  Array.iteri
+    (fun i c ->
+      if not (Rat.is_zero c) then begin
+        if !printed then Format.fprintf fmt " + ";
+        if not (Rat.equal c Rat.one) then Format.fprintf fmt "%a*" Rat.pp c;
+        Format.fprintf fmt "b(%s)" loops.(i);
+        printed := true
+      end)
+    coeffs;
+  if not !printed then Format.pp_print_string fmt "0"
+
+let pp_region ~loops fmt r =
+  Format.fprintf fmt "@[<v 2>piece ";
+  let p = r.piece in
+  if not (Rat.is_zero p.constant) then Format.fprintf fmt "%a" Rat.pp p.constant;
+  if not (Rat.is_zero p.constant) && not (Vec.is_zero p.coeffs) then
+    Format.fprintf fmt " + ";
+  if not (Vec.is_zero p.coeffs) then pp_linear loops fmt p.coeffs;
+  if Rat.is_zero p.constant && Vec.is_zero p.coeffs then Format.fprintf fmt "0";
+  Format.fprintf fmt " is optimal where:@,";
+  List.iter
+    (fun (a, c) -> Format.fprintf fmt "%a >= %a@," (pp_linear loops) a Rat.pp c)
+    r.inequalities;
+  Format.fprintf fmt "(witness beta = [%s])@]"
+    (String.concat "; " (List.map Rat.to_string (Array.to_list r.witness)))
+
+let pp fmt t =
+  Format.fprintf fmt "min(";
+  List.iteri
+    (fun idx p ->
+      if idx > 0 then Format.fprintf fmt ", ";
+      let printed = ref false in
+      if not (Rat.is_zero p.constant) then begin
+        Format.fprintf fmt "%a" Rat.pp p.constant;
+        printed := true
+      end;
+      Array.iteri
+        (fun i c ->
+          if not (Rat.is_zero c) then begin
+            if !printed then Format.fprintf fmt " + ";
+            if not (Rat.equal c Rat.one) then Format.fprintf fmt "%a*" Rat.pp c;
+            Format.fprintf fmt "b(%s)" t.loops.(i);
+            printed := true
+          end)
+        p.coeffs;
+      if not !printed then Format.fprintf fmt "0")
+    t.pieces;
+  Format.fprintf fmt ")"

@@ -1,0 +1,81 @@
+(** Communication lower bounds for arbitrary loop bounds (Section 4).
+
+    The central quantity is the optimal tile-size exponent
+    [k_hat = min_{Q subseteq [d]} k(Q)]: any execution segment that
+    touches at most [M] words of each array covers at most [M^k_hat]
+    iterations (Theorem 2), hence moving the whole iteration space through
+    a cache of [M] words costs at least
+    [(prod_i L_i / M^k_hat) * M = prod_i L_i * M^(1 - k_hat)] words of
+    traffic.
+
+    Two independent computations of [k_hat] are provided: the literal
+    [2^d] enumeration over small-index subsets [Q], and a single solve of
+    the dual tiling LP (Theorem 3 says they agree; tests assert it). *)
+
+type exponent = {
+  k_hat : Rat.t;  (** [log_M] of the tile-size upper bound *)
+  witness_q : int list;  (** a minimizing small-index set [Q] *)
+  shat : Rat.t array;  (** the per-array exponents achieving [k(Q)] *)
+}
+
+val beta_of_bounds : m:int -> int array -> Rat.t array
+(** [beta_of_bounds ~m bounds] is [log_M L_i] for each loop, capped below
+    at 0 ([L_i = 1] gives [beta_i = 0]) and converted to an exact rational
+    via continued fractions (denominator at most [10^6] — far finer than
+    any tile rounding effect).
+    @raise Invalid_argument if [m < 2] or some bound is non-positive. *)
+
+val beta_pow : base:int -> m_exp:int -> int -> Rat.t
+(** Exact [beta] for power-of-[base] sizes: with [M = base^m_exp] and
+    [L = base^l_exp], [beta = l_exp / m_exp] exactly. The argument is the
+    actual bound [L]; it must be a power of [base].
+    @raise Invalid_argument otherwise. *)
+
+val k_of_q : Spec.t -> beta:Rat.t array -> q:int list -> Rat.t
+(** Least Theorem-2 exponent for a fixed [Q] (see {!Hbl_lp.theorem2_q}). *)
+
+val k_of_q_literal : Spec.t -> beta:Rat.t array -> q:int list -> Rat.t
+(** The paper's literal formula: solve the [Q]-reduced HBL LP for
+    [s_hat], then evaluate
+    [sum_i s_hat_i + sum_{j in Q, sum_{i in R_j} s_hat_i <= 1}
+       beta_j (1 - sum_{i in R_j} s_hat_i)].
+    May exceed {!k_of_q} when the reduced LP has multiple optima; always a
+    valid upper-bound exponent. *)
+
+val exponent_by_enumeration : ?max_dim:int -> Spec.t -> beta:Rat.t array -> exponent
+(** [min_Q k(Q)] over all [2^d] subsets.
+    @raise Invalid_argument if [d > max_dim] (default 20). *)
+
+val exponent_by_lp : Spec.t -> beta:Rat.t array -> exponent
+(** Same value via one dual-tiling-LP solve; [witness_q] is read off the
+    optimal dual solution ([Q = {i : zeta_i > 0}], Theorem 3 case
+    analysis). *)
+
+type bound = {
+  exponent : exponent;
+  m : int;
+  iterations : float;  (** [prod_i L_i] *)
+  tile_cap : float;  (** [M^k_hat]: max iterations per cache-full of data *)
+  words : float;
+      (** the headline bound, valid in every regime:
+          [max(words_paper, trivial_words)] when the iteration space
+          needs more than one tile, and [trivial_words] when everything
+          fits one cache-full (the Section-6.3 caveat, where the paper's
+          formula charges a full [M] and over-states the requirement) *)
+  words_paper : float;
+      (** the paper's literal formula [iterations / tile_cap * M] — what
+          the reproduction tables compare against Section 6's closed
+          forms *)
+  words_classic : float;
+      (** the Section-3 large-bounds bound [iterations * M^(1 - s_HBL)],
+          for comparison; not valid to quote when bounds are small —
+          it can exceed or undershoot the true requirement *)
+  trivial_words : float;  (** size of all arrays: read inputs + write outputs once *)
+}
+
+val communication : Spec.t -> m:int -> bound
+(** The headline result: arbitrary-bounds communication lower bound for
+    executing the whole nest with a cache of [m] words. Uses
+    {!exponent_by_lp} and {!beta_of_bounds}. *)
+
+val pp_bound : Format.formatter -> bound -> unit

@@ -1,0 +1,71 @@
+let mat_of_rows rows =
+  Mat.of_rows (Array.map (fun r -> Array.map Rat.of_int r) rows)
+
+let rank_subgroup gens =
+  if Array.length gens = 0 then 0 else Mat.rank (mat_of_rows gens)
+
+let rank_image spec gens j =
+  if Array.length gens = 0 then 0
+  else begin
+    let sup = spec.Spec.arrays.(j).Spec.support in
+    let projected =
+      Array.map (fun row -> Array.map (fun i -> Rat.of_int row.(i)) sup) gens
+    in
+    if Array.length sup = 0 then 0 else Mat.rank (Mat.of_rows projected)
+  end
+
+let constraint_holds spec ~s gens =
+  let lhs = ref Rat.zero in
+  Array.iteri
+    (fun j sj ->
+      if not (Rat.is_zero sj) then
+        lhs := Rat.add !lhs (Rat.mul sj (Rat.of_int (rank_image spec gens j))))
+    s;
+  Rat.compare !lhs (Rat.of_int (rank_subgroup gens)) >= 0
+
+let axis_constraints_hold spec ~s =
+  let d = Spec.num_loops spec in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    let axis = Array.make d 0 in
+    axis.(i) <- 1;
+    if not (constraint_holds spec ~s [| axis |]) then ok := false
+  done;
+  !ok
+
+let verify_random_subgroups ?(trials = 200) ?(max_entry = 3) ~seed spec ~s =
+  let d = Spec.num_loops spec in
+  let rng = Random.State.make [| seed |] in
+  let ok = ref true in
+  for _ = 1 to trials do
+    if !ok then begin
+      let k = 1 + Random.State.int rng d in
+      let gens =
+        Array.init k (fun _ ->
+          Array.init d (fun _ -> Random.State.int rng ((2 * max_entry) + 1) - max_entry))
+      in
+      if not (constraint_holds spec ~s gens) then ok := false
+    end
+  done;
+  !ok
+
+let verify_all_axis_subsets spec ~s =
+  let d = Spec.num_loops spec in
+  let ok = ref true in
+  for mask = 0 to (1 lsl d) - 1 do
+    if !ok then begin
+      let axes =
+        List.filter_map
+          (fun i ->
+            if mask land (1 lsl i) <> 0 then begin
+              let axis = Array.make d 0 in
+              axis.(i) <- 1;
+              Some axis
+            end
+            else None)
+          (List.init d (fun i -> i))
+      in
+      if not (constraint_holds spec ~s (Array.of_list axes)) then ok := false
+    end
+  done;
+  !ok

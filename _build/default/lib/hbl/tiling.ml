@@ -1,0 +1,383 @@
+type lp_solution = { lambda : Rat.t array; value : Rat.t; dual : Rat.t array }
+
+let solve_lp spec ~beta =
+  let sol = Simplex.solve_exn (Hbl_lp.tiling spec ~beta) in
+  { lambda = sol.Simplex.primal; value = sol.Simplex.objective; dual = sol.Simplex.dual }
+
+let volume b = Array.fold_left ( * ) 1 b
+
+let footprint spec b j =
+  Array.fold_left (fun acc i -> acc * b.(i)) 1 spec.Spec.arrays.(j).Spec.support
+
+let max_footprint spec b =
+  let worst = ref 0 in
+  for j = 0 to Spec.num_arrays spec - 1 do
+    worst := max !worst (footprint spec b j)
+  done;
+  !worst
+
+let total_footprint spec b =
+  let acc = ref 0 in
+  for j = 0 to Spec.num_arrays spec - 1 do
+    acc := !acc + footprint spec b j
+  done;
+  !acc
+
+let is_feasible spec ~m b =
+  Array.length b = Spec.num_loops spec
+  && Array.for_all2 (fun bi li -> 1 <= bi && bi <= li) b spec.Spec.bounds
+  && max_footprint spec b <= m
+
+(* Largest b_i keeping every array containing loop i within the memory
+   budget, ignoring the current b_i. *)
+let cap_for_dim spec ~m b i =
+  let cap = ref spec.Spec.bounds.(i) in
+  Array.iter
+    (fun (a : Spec.array_ref) ->
+      if Array.exists (fun k -> k = i) a.Spec.support then begin
+        let others =
+          Array.fold_left
+            (fun acc k -> if k = i then acc else acc * b.(k))
+            1 a.Spec.support
+        in
+        cap := min !cap (m / others)
+      end)
+    spec.Spec.arrays;
+  !cap
+
+let of_lambda spec ~m lambda =
+  let d = Spec.num_loops spec in
+  if Array.length lambda <> d then invalid_arg "Tiling.of_lambda: arity mismatch";
+  if m < 1 then invalid_arg "Tiling.of_lambda: cache size must be positive";
+  let log_m = log (float_of_int m) in
+  let b =
+    Array.init d (fun i ->
+      let raw = Float.exp (Rat.to_float lambda.(i) *. log_m) in
+      let v = int_of_float (Float.round raw) in
+      Stdlib.min spec.Spec.bounds.(i) (Stdlib.max 1 v))
+  in
+  (* Repair: while some array overflows the budget, scale its largest
+     dimension down proportionally. Each step strictly shrinks that
+     dimension (integer division with footprint > m), and the all-ones
+     tile is feasible, so this terminates. *)
+  let overflowing () =
+    let bad = ref (-1) in
+    for j = 0 to Spec.num_arrays spec - 1 do
+      if !bad < 0 && footprint spec b j > m then bad := j
+    done;
+    !bad
+  in
+  let rec repair () =
+    let j = overflowing () in
+    if j >= 0 then begin
+      let sup = spec.Spec.arrays.(j).Spec.support in
+      let pick = ref sup.(0) in
+      Array.iter (fun i -> if b.(i) > b.(!pick) then pick := i) sup;
+      let fp = footprint spec b j in
+      b.(!pick) <- Stdlib.max 1 (b.(!pick) * m / fp);
+      repair ()
+    end
+  in
+  repair ();
+  (* Grow to a maximal feasible rectangle; each pass is monotone
+     non-decreasing and bounded by the loop bounds, so this terminates. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to d - 1 do
+      let cap = cap_for_dim spec ~m b i in
+      if cap > b.(i) then begin
+        b.(i) <- cap;
+        changed := true
+      end
+    done
+  done;
+  b
+
+let optimal spec ~m =
+  let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
+  let sol = solve_lp spec ~beta in
+  of_lambda spec ~m sol.lambda
+
+let num_tiles spec b =
+  let acc = ref 1 in
+  Array.iteri (fun i l -> acc := !acc * ((l + b.(i) - 1) / b.(i))) spec.Spec.bounds;
+  !acc
+
+type traffic = { reads : float; writes : float }
+
+let analytic_traffic spec b =
+  let d = Spec.num_loops spec in
+  let tiles_along = Array.init d (fun i -> (spec.Spec.bounds.(i) + b.(i) - 1) / b.(i)) in
+  let reads = ref 0.0 and writes = ref 0.0 in
+  Array.iteri
+    (fun j (a : Spec.array_ref) ->
+      (* Tile footprints factor per dimension, and clipped edge tiles in a
+         support dimension sum back to exactly L_i, so the words moved for
+         array j are array_words(j) * prod_{i not in supp} tiles_along(i). *)
+      let outside = ref 1.0 in
+      for i = 0 to d - 1 do
+        if not (Array.exists (fun k -> k = i) a.Spec.support) then
+          outside := !outside *. float_of_int tiles_along.(i)
+      done;
+      let words = float_of_int (Spec.array_words spec j) *. !outside in
+      (match a.Spec.mode with
+      | Spec.Read -> reads := !reads +. words
+      | Spec.Write -> writes := !writes +. words
+      | Spec.Update ->
+        reads := !reads +. words;
+        writes := !writes +. words))
+    spec.Spec.arrays;
+  { reads = !reads; writes = !writes }
+
+let analytic_traffic_retained_capped ~max_tiles spec b =
+  let d = Spec.num_loops spec in
+  let n = Spec.num_arrays spec in
+  let tiles_along = Array.init d (fun i -> (spec.Spec.bounds.(i) + b.(i) - 1) / b.(i)) in
+  let total_tiles = Array.fold_left ( * ) 1 tiles_along in
+  if total_tiles > max_tiles then analytic_traffic spec b
+  else begin
+    (* Walk the tile grid in lexicographic order; an array is (re)loaded
+       only when its projected block differs from the previous tile's. *)
+    let idx = Array.make d 0 in
+    let last = Array.make n (-1) in
+    let reads = ref 0.0 and writes = ref 0.0 in
+    let charge j =
+      let a = spec.Spec.arrays.(j) in
+      let fp = ref 1 in
+      Array.iter
+        (fun i ->
+          let o = idx.(i) * b.(i) in
+          fp := !fp * Stdlib.min b.(i) (spec.Spec.bounds.(i) - o))
+        a.Spec.support;
+      let words = float_of_int !fp in
+      match a.Spec.mode with
+      | Spec.Read -> reads := !reads +. words
+      | Spec.Write -> writes := !writes +. words
+      | Spec.Update ->
+        reads := !reads +. words;
+        writes := !writes +. words
+    in
+    let proj_key (a : Spec.array_ref) =
+      (* mixed-radix encoding of the projected tile coordinates *)
+      Array.fold_left (fun acc i -> (acc * (tiles_along.(i) + 1)) + idx.(i)) 0 a.Spec.support
+    in
+    let steps = ref total_tiles in
+    let continue = ref (total_tiles > 0) in
+    while !continue do
+      Array.iteri
+        (fun j a ->
+          let key = proj_key a in
+          if key <> last.(j) then begin
+            last.(j) <- key;
+            charge j
+          end)
+        spec.Spec.arrays;
+      (* odometer increment, innermost dimension fastest *)
+      decr steps;
+      if !steps = 0 then continue := false
+      else begin
+        let p = ref (d - 1) in
+        let carrying = ref true in
+        while !carrying do
+          idx.(!p) <- idx.(!p) + 1;
+          if idx.(!p) < tiles_along.(!p) then carrying := false
+          else begin
+            idx.(!p) <- 0;
+            decr p
+          end
+        done
+      end
+    done;
+    { reads = !reads; writes = !writes }
+  end
+
+let analytic_traffic_retained spec b = analytic_traffic_retained_capped ~max_tiles:2_000_000 spec b
+
+(* The objective the shared-budget search minimizes. Retention credit is
+   only real when the working set leaves LRU some headroom: at
+   exactly-full capacity a cyclic reuse pattern degenerates to a full
+   thrash (classic LRU pathology), so tiles above 3/4 of the budget are
+   judged by the pessimistic per-tile-reload model. The grid-walk is also
+   skipped for candidates with huge tile counts (they are far from
+   optimal anyway). *)
+let search_traffic spec ~m b =
+  let tr =
+    if 4 * total_footprint spec b <= 3 * m then
+      analytic_traffic_retained_capped ~max_tiles:100_000 spec b
+    else analytic_traffic spec b
+  in
+  tr.reads +. tr.writes
+
+(* Local search minimizing the analytic traffic of the tiled schedule
+   under a *total* footprint budget. The LP optimum is typically a face,
+   and different vertices round to integer tiles with very different
+   constant factors; a few greedy moves recover most of the gap. *)
+let refine_shared spec ~m b =
+  let d = Spec.num_loops spec in
+  let traffic_of = search_traffic spec ~m in
+  (* Largest value of dimension i keeping the total footprint <= m. *)
+  let shared_cap t i =
+    let fixed = ref 0 and per_unit = ref 0 in
+    Array.iter
+      (fun (a : Spec.array_ref) ->
+        let fp =
+          Array.fold_left (fun acc k -> acc * (if k = i then 1 else t.(k))) 1 a.Spec.support
+        in
+        if Array.exists (fun k -> k = i) a.Spec.support then per_unit := !per_unit + fp
+        else fixed := !fixed + fp)
+      spec.Spec.arrays;
+    if !per_unit = 0 then spec.Spec.bounds.(i)
+    else Stdlib.min spec.Spec.bounds.(i) ((m - !fixed) / !per_unit)
+  in
+  let best = Array.copy b in
+  let best_traffic = ref (traffic_of best) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 64 do
+    improved := false;
+    incr rounds;
+    for i = 0 to d - 1 do
+      let cap = shared_cap best i in
+      let candidates =
+        [ 1; 2; best.(i) / 2; best.(i) * 2; cap; cap / 2; spec.Spec.bounds.(i) ]
+      in
+      List.iter
+        (fun v ->
+          let v = Stdlib.max 1 (Stdlib.min v cap) in
+          if v <> best.(i) then begin
+            let old = best.(i) in
+            best.(i) <- v;
+            if total_footprint spec best <= m then begin
+              let tr = traffic_of best in
+              if tr < !best_traffic -. 0.5 then begin
+                best_traffic := tr;
+                improved := true
+              end
+              else best.(i) <- old
+            end
+            else best.(i) <- old
+          end)
+        candidates
+    done
+  done;
+  best
+
+(* Branch-and-bound sweep over log-spaced tile dimensions (powers of two
+   plus the loop bound itself), minimizing analytic traffic under the
+   shared budget. Greedy single-dimension moves can get trapped (raising
+   one dimension may require first lowering another); this global sweep
+   cannot. Partial assignments are pruned by the footprint they already
+   imply with all remaining dimensions at 1. *)
+let grid_search_shared spec ~m =
+  let objective = search_traffic spec ~m in
+  let d = Spec.num_loops spec in
+  let values =
+    Array.init d (fun i ->
+      let l = spec.Spec.bounds.(i) in
+      let rec pows acc v = if v >= l then List.rev (l :: acc) else pows (v :: acc) (v * 2) in
+      Array.of_list (pows [] 1))
+  in
+  let b = Array.make d 1 in
+  let best = Array.make d 1 in
+  let best_traffic = ref infinity in
+  let rec go i =
+    if i = d then begin
+      if total_footprint spec b <= m then begin
+        let t = objective b in
+        if t < !best_traffic then begin
+          best_traffic := t;
+          Array.blit b 0 best 0 d
+        end
+      end
+    end
+    else
+      Array.iter
+        (fun v ->
+          b.(i) <- v;
+          (* prune: remaining dims at 1 already give a footprint floor *)
+          let floor_fp =
+            let saved = Array.sub b (i + 1) (d - i - 1) in
+            Array.fill b (i + 1) (d - i - 1) 1;
+            let fp = total_footprint spec b in
+            Array.blit saved 0 b (i + 1) (d - i - 1);
+            fp
+          in
+          if floor_fp <= m then go (i + 1))
+        values.(i)
+  in
+  go 0;
+  Array.iteri (fun i v -> b.(i) <- v) best;
+  best
+
+let optimal_shared spec ~m =
+  if m < Spec.num_arrays spec then
+    invalid_arg "Tiling.optimal_shared: cache smaller than one word per array";
+  (* Shrink the per-array budget until the grown tile's total footprint
+     fits in the shared cache. Each failed round multiplies the budget by
+     at most m/total < 1, so this terminates; budget = 1 always fits. *)
+  let rec search budget rounds =
+    let tile = optimal spec ~m:budget in
+    let total = total_footprint spec tile in
+    if total <= m || budget <= 1 || rounds = 0 then tile
+    else begin
+      let scaled = budget * m / total in
+      let next = if scaled < budget then scaled else budget - 1 in
+      search (Stdlib.max 1 next) (rounds - 1)
+    end
+  in
+  let lp_seed = search m 32 in
+  let grid_seed = grid_search_shared spec ~m in
+  let seed =
+    if search_traffic spec ~m grid_seed < search_traffic spec ~m lp_seed then grid_seed
+    else lp_seed
+  in
+  refine_shared spec ~m seed
+
+let nested spec ~ms =
+  let n = Array.length ms in
+  if n = 0 then invalid_arg "Tiling.nested: need at least one level";
+  for k = 1 to n - 1 do
+    if ms.(k) <= ms.(k - 1) then
+      invalid_arg "Tiling.nested: capacities must be strictly increasing"
+  done;
+  (* Levels must compose: blocky (per-array-model) tiles nest cleanly,
+     whereas the retention-exploiting thin tiles optimal_shared may pick
+     for a single level interact badly when run inside outer blocks. So
+     each level uses the LP tile for a scaled per-array budget (with the
+     usual 3/4 headroom), forced elementwise monotone and shrunk back if
+     the merge overflows the level's budget. *)
+  let arrays = Spec.num_arrays spec in
+  let level m =
+    let budget = Stdlib.max 1 (3 * m / (4 * arrays)) in
+    optimal spec ~m:budget
+  in
+  let tiles = Array.map level ms in
+  for k = 1 to n - 1 do
+    let merged = Array.map2 max tiles.(k) tiles.(k - 1) in
+    (* Shrink (never below the inner tile) until the total footprint fits
+       the level: halve the largest dimension with slack. *)
+    let b = Array.copy merged in
+    let budget = Stdlib.max (total_footprint spec tiles.(k - 1)) (3 * ms.(k) / 4) in
+    let safety = ref 64 in
+    while total_footprint spec b > budget && !safety > 0 do
+      decr safety;
+      let pick = ref (-1) in
+      Array.iteri
+        (fun i v -> if v > tiles.(k - 1).(i) && (!pick < 0 || v > b.(!pick)) then pick := i)
+        b;
+      if !pick < 0 then safety := 0
+      else b.(!pick) <- Stdlib.max tiles.(k - 1).(!pick) ((b.(!pick) + 1) / 2)
+    done;
+    tiles.(k) <- b
+  done;
+  Array.to_list tiles
+
+let pp spec fmt b =
+  Format.fprintf fmt "@[<h>";
+  Array.iteri
+    (fun i bi ->
+      if i > 0 then Format.fprintf fmt " x ";
+      Format.fprintf fmt "%d(%s)" bi spec.Spec.loops.(i))
+    b;
+  Format.fprintf fmt "@]"

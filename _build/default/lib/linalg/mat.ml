@@ -1,0 +1,176 @@
+type t = { m : int; n : int; a : Rat.t array array }
+
+let make m n v = { m; n; a = Array.init m (fun _ -> Array.make n v) }
+let zeros m n = make m n Rat.zero
+
+let identity n =
+  let t = zeros n n in
+  for i = 0 to n - 1 do
+    t.a.(i).(i) <- Rat.one
+  done;
+  t
+
+let of_rows rows =
+  let m = Array.length rows in
+  if m = 0 then { m = 0; n = 0; a = [||] }
+  else begin
+    let n = Array.length rows.(0) in
+    if not (Array.for_all (fun r -> Array.length r = n) rows) then
+      invalid_arg "Mat.of_rows: ragged rows";
+    { m; n; a = Array.map Array.copy rows }
+  end
+
+let of_int_rows rows =
+  of_rows (Array.of_list (List.map (fun r -> Array.of_list (List.map Rat.of_int r)) rows))
+
+let init m n f = { m; n; a = Array.init m (fun i -> Array.init n (fun j -> f i j)) }
+
+let rows t = t.m
+let cols t = t.n
+let get t i j = t.a.(i).(j)
+let set t i j v = t.a.(i).(j) <- v
+let row t i = Array.copy t.a.(i)
+let col t j = Array.init t.m (fun i -> t.a.(i).(j))
+let copy t = { t with a = Array.map Array.copy t.a }
+
+let equal a b =
+  a.m = b.m && a.n = b.n && Array.for_all2 (fun r s -> Array.for_all2 Rat.equal r s) a.a b.a
+
+let transpose t = init t.n t.m (fun i j -> t.a.(j).(i))
+
+let lift2 name f a b =
+  if a.m <> b.m || a.n <> b.n then invalid_arg ("Mat." ^ name ^ ": dimension mismatch");
+  init a.m a.n (fun i j -> f a.a.(i).(j) b.a.(i).(j))
+
+let add a b = lift2 "add" Rat.add a b
+let sub a b = lift2 "sub" Rat.sub a b
+let scale k t = init t.m t.n (fun i j -> Rat.mul k t.a.(i).(j))
+
+let mul a b =
+  if a.n <> b.m then invalid_arg "Mat.mul: dimension mismatch";
+  init a.m b.n (fun i j ->
+    let acc = ref Rat.zero in
+    for k = 0 to a.n - 1 do
+      if not (Rat.is_zero a.a.(i).(k)) then acc := Rat.add !acc (Rat.mul a.a.(i).(k) b.a.(k).(j))
+    done;
+    !acc)
+
+let mul_vec t v =
+  if t.n <> Vec.dim v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init t.m (fun i -> Vec.dot t.a.(i) v)
+
+(* In-place fraction-free-ish Gaussian elimination to row echelon form.
+   Returns the list of (pivot_row, pivot_col) in order. *)
+let echelonize (t : t) : (int * int) list =
+  let pivots = ref [] in
+  let r = ref 0 in
+  let c = ref 0 in
+  while !r < t.m && !c < t.n do
+    (* Find a pivot in column !c at or below row !r. *)
+    let piv = ref (-1) in
+    (try
+       for i = !r to t.m - 1 do
+         if not (Rat.is_zero t.a.(i).(!c)) then begin
+           piv := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !piv < 0 then incr c
+    else begin
+      if !piv <> !r then begin
+        let tmp = t.a.(!piv) in
+        t.a.(!piv) <- t.a.(!r);
+        t.a.(!r) <- tmp
+      end;
+      let inv_p = Rat.inv t.a.(!r).(!c) in
+      for j = !c to t.n - 1 do
+        t.a.(!r).(j) <- Rat.mul inv_p t.a.(!r).(j)
+      done;
+      for i = 0 to t.m - 1 do
+        if i <> !r && not (Rat.is_zero t.a.(i).(!c)) then begin
+          let f = t.a.(i).(!c) in
+          for j = !c to t.n - 1 do
+            t.a.(i).(j) <- Rat.sub t.a.(i).(j) (Rat.mul f t.a.(!r).(j))
+          done
+        end
+      done;
+      pivots := (!r, !c) :: !pivots;
+      incr r;
+      incr c
+    end
+  done;
+  List.rev !pivots
+
+let rank t = List.length (echelonize (copy t))
+
+let det t =
+  if t.m <> t.n then invalid_arg "Mat.det: not square";
+  if t.m = 0 then Rat.one
+  else begin
+    (* Plain elimination tracking the product of pivots and row swaps. *)
+    let a = (copy t).a in
+    let n = t.n in
+    let d = ref Rat.one in
+    (try
+       for c = 0 to n - 1 do
+         let piv = ref (-1) in
+         (try
+            for i = c to n - 1 do
+              if not (Rat.is_zero a.(i).(c)) then begin
+                piv := i;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         if !piv < 0 then begin
+           d := Rat.zero;
+           raise Exit
+         end;
+         if !piv <> c then begin
+           let tmp = a.(!piv) in
+           a.(!piv) <- a.(c);
+           a.(c) <- tmp;
+           d := Rat.neg !d
+         end;
+         d := Rat.mul !d a.(c).(c);
+         let inv_p = Rat.inv a.(c).(c) in
+         for i = c + 1 to n - 1 do
+           if not (Rat.is_zero a.(i).(c)) then begin
+             let f = Rat.mul inv_p a.(i).(c) in
+             for j = c to n - 1 do
+               a.(i).(j) <- Rat.sub a.(i).(j) (Rat.mul f a.(c).(j))
+             done
+           end
+         done
+       done
+     with Exit -> ());
+    !d
+  end
+
+let inverse t =
+  if t.m <> t.n then invalid_arg "Mat.inverse: not square";
+  let n = t.n in
+  (* Eliminate [t | I]; if t reduces to I the right half is the inverse. *)
+  let aug = init n (2 * n) (fun i j -> if j < n then t.a.(i).(j) else if j - n = i then Rat.one else Rat.zero) in
+  let pivots = echelonize aug in
+  if List.length pivots < n || List.exists (fun (_, c) -> c >= n) pivots then None
+  else Some (init n n (fun i j -> aug.a.(i).(j + n)))
+
+let solve t b =
+  if t.m <> Vec.dim b then invalid_arg "Mat.solve: dimension mismatch";
+  let aug = init t.m (t.n + 1) (fun i j -> if j < t.n then t.a.(i).(j) else b.(i)) in
+  let pivots = echelonize aug in
+  if List.exists (fun (_, c) -> c = t.n) pivots then None (* row [0 .. 0 | nonzero] *)
+  else begin
+    let x = Vec.zeros t.n in
+    List.iter (fun (r, c) -> x.(c) <- aug.a.(r).(t.n)) pivots;
+    Some x
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.m - 1 do
+    Format.fprintf fmt "%a@," Vec.pp t.a.(i)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,48 @@
+(** Dense matrices of exact rationals with Gaussian elimination.
+
+    Matrices are mutable 2-D arrays; the elimination-based operations
+    ([rank], [det], [inverse], [solve]) work on internal copies and leave
+    their argument untouched. *)
+
+type t
+
+val make : int -> int -> Rat.t -> t
+val zeros : int -> int -> t
+val identity : int -> t
+val of_rows : Rat.t array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val of_int_rows : int list list -> t
+val init : int -> int -> (int -> int -> Rat.t) -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Rat.t
+val set : t -> int -> int -> Rat.t -> unit
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+val copy : t -> t
+val equal : t -> t -> bool
+val transpose : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Rat.t -> t -> t
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val rank : t -> int
+val det : t -> Rat.t
+(** @raise Invalid_argument if not square. *)
+
+val inverse : t -> t option
+(** [None] if singular. @raise Invalid_argument if not square. *)
+
+val solve : t -> Vec.t -> Vec.t option
+(** [solve a b] is some [x] with [a x = b], or [None] if the system is
+    inconsistent. Works for any shape; when underdetermined an arbitrary
+    solution (free variables set to zero) is returned. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type t = Rat.t array
+
+let make n v = Array.make n v
+let zeros n = make n Rat.zero
+
+let basis n i =
+  let v = zeros n in
+  v.(i) <- Rat.one;
+  v
+
+let dim = Array.length
+let of_list = Array.of_list
+let of_ints l = Array.of_list (List.map Rat.of_int l)
+let copy = Array.copy
+let equal a b = dim a = dim b && Array.for_all2 Rat.equal a b
+
+let check_dims a b = if dim a <> dim b then invalid_arg "Vec: dimension mismatch"
+
+let map2 f a b =
+  check_dims a b;
+  Array.map2 f a b
+
+let add a b = map2 Rat.add a b
+let sub a b = map2 Rat.sub a b
+let neg a = Array.map Rat.neg a
+let scale k a = Array.map (Rat.mul k) a
+
+let dot a b =
+  check_dims a b;
+  let acc = ref Rat.zero in
+  for i = 0 to dim a - 1 do
+    if not (Rat.is_zero a.(i) || Rat.is_zero b.(i)) then
+      acc := Rat.add !acc (Rat.mul a.(i) b.(i))
+  done;
+  !acc
+
+let sum a = Array.fold_left Rat.add Rat.zero a
+let is_zero a = Array.for_all Rat.is_zero a
+let is_nonneg a = Array.for_all (fun x -> Rat.sign x >= 0) a
+
+let pp fmt v =
+  Format.fprintf fmt "[@[%a@]]"
+    (Format.pp_print_array ~pp_sep:(fun f () -> Format.fprintf f ";@ ") Rat.pp)
+    v

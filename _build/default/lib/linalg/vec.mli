@@ -1,0 +1,27 @@
+(** Dense vectors of exact rationals. *)
+
+type t = Rat.t array
+
+val make : int -> Rat.t -> t
+val zeros : int -> t
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of length [n]. *)
+
+val dim : t -> int
+val of_list : Rat.t list -> t
+val of_ints : int list -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val dot : t -> t -> Rat.t
+val sum : t -> Rat.t
+val map2 : (Rat.t -> Rat.t -> Rat.t) -> t -> t -> t
+
+val is_zero : t -> bool
+val is_nonneg : t -> bool
+
+val pp : Format.formatter -> t -> unit

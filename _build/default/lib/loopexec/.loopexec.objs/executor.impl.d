@@ -1,0 +1,1 @@
+lib/loopexec/executor.ml: Array Cache Hierarchy Layout Policy Printf Schedules Spec Trace

@@ -1,0 +1,1 @@
+lib/loopexec/executor.mli: Cache Policy Schedules Spec Trace

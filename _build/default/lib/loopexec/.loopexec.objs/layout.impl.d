@@ -1,0 +1,1 @@
+lib/loopexec/layout.ml: Array Spec

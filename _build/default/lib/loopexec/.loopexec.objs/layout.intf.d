@@ -1,0 +1,1 @@
+lib/loopexec/layout.mli: Spec

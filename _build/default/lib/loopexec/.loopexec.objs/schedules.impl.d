@@ -1,0 +1,1 @@
+lib/loopexec/schedules.ml: Array Float List Printf Spec String

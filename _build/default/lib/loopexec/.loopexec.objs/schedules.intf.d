@@ -1,0 +1,1 @@
+lib/loopexec/schedules.mli: Spec

@@ -1,0 +1,86 @@
+type result = {
+  schedule : Schedules.t;
+  policy : Policy.t;
+  capacity : int;
+  stats : Cache.stats;
+  words_moved : int;
+}
+
+let accesses_per_point spec =
+  Array.fold_left
+    (fun acc (a : Spec.array_ref) ->
+      acc + (match a.Spec.mode with Spec.Read | Spec.Write -> 1 | Spec.Update -> 2))
+    0 spec.Spec.arrays
+
+let trace_length spec = Spec.iteration_count spec * accesses_per_point spec
+
+(* Touch every array of the spec at iteration [point]; [emit] receives
+   (address, is_write) in program order: reads before the write for an
+   Update. *)
+let touch layout spec point emit =
+  Array.iteri
+    (fun j (a : Spec.array_ref) ->
+      let addr = Layout.address layout j point in
+      match a.Spec.mode with
+      | Spec.Read -> emit addr false
+      | Spec.Write -> emit addr true
+      | Spec.Update ->
+        emit addr false;
+        emit addr true)
+    spec.Spec.arrays
+
+let trace_of spec ~schedule =
+  let layout = Layout.make spec in
+  let buf = Array.make (trace_length spec) { Trace.addr = 0; write = false } in
+  let pos = ref 0 in
+  Schedules.iterate spec schedule (fun point ->
+    touch layout spec point (fun addr write ->
+      buf.(!pos) <- { Trace.addr; write };
+      incr pos));
+  assert (!pos = Array.length buf);
+  buf
+
+type hierarchy_result = {
+  hschedule : Schedules.t;
+  capacities : int array;
+  hstats : Cache.stats array;
+  boundary_words : int array;
+}
+
+let run_hierarchy ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacities =
+  let h = Hierarchy.create ~line_words ~policy ~capacities () in
+  let layout = Layout.make spec in
+  Schedules.iterate spec schedule (fun point ->
+    touch layout spec point (fun addr write -> Hierarchy.access h ~write addr));
+  Hierarchy.flush h;
+  {
+    hschedule = schedule;
+    capacities = Array.copy capacities;
+    hstats = Hierarchy.stats h;
+    boundary_words = Hierarchy.traffic h;
+  }
+
+let run ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacity =
+  let stats =
+    match policy with
+    | Policy.Opt ->
+      let len = trace_length spec in
+      if len > 100_000_000 then
+        invalid_arg
+          (Printf.sprintf "Executor.run: OPT trace of %d accesses is too large" len);
+      Trace.simulate ~line_words ~policy ~capacity (trace_of spec ~schedule)
+    | Policy.Lru | Policy.Fifo ->
+      let layout = Layout.make spec in
+      let cache = Cache.create ~line_words ~policy ~capacity () in
+      Schedules.iterate spec schedule (fun point ->
+        touch layout spec point (fun addr write -> Cache.access cache ~write addr));
+      Cache.flush cache;
+      Cache.stats cache
+  in
+  {
+    schedule;
+    policy;
+    capacity;
+    stats;
+    words_moved = Cache.words_moved ~line_words stats;
+  }

@@ -1,0 +1,1 @@
+lib/loopnest/kernels.ml: Array List Printf Spec

@@ -1,0 +1,1 @@
+lib/loopnest/kernels.mli: Spec

@@ -1,0 +1,1 @@
+lib/loopnest/parser.ml: Array List Printf Result Spec String

@@ -1,0 +1,1 @@
+lib/loopnest/parser.mli: Spec

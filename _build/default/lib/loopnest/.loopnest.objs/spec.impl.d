@@ -1,0 +1,1 @@
+lib/loopnest/spec.ml: Array Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/loopnest/spec.mli: Format

@@ -1,0 +1,295 @@
+type position = { line : int; col : int }
+type parse_error = { pos : position; message : string }
+
+let string_of_error e = Printf.sprintf "line %d, col %d: %s" e.pos.line e.pos.col e.message
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Colon
+  | Equals
+  | Plus_equals
+  | Star
+  | Plus
+  | Eof
+
+let string_of_token = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Comma -> "','"
+  | Colon -> "':'"
+  | Equals -> "'='"
+  | Plus_equals -> "'+='"
+  | Star -> "'*'"
+  | Plus -> "'+'"
+  | Eof -> "end of input"
+
+exception Error of parse_error
+
+let fail pos fmt = Printf.ksprintf (fun message -> raise (Error { pos; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type lexer = { src : string; mutable off : int; mutable line : int; mutable col : int }
+
+let lexer_pos lx = { line = lx.line; col = lx.col }
+
+let advance lx =
+  (if lx.off < String.length lx.src then
+     match lx.src.[lx.off] with
+     | '\n' ->
+       lx.line <- lx.line + 1;
+       lx.col <- 1
+     | _ -> lx.col <- lx.col + 1);
+  lx.off <- lx.off + 1
+
+let peek_char lx = if lx.off < String.length lx.src then Some lx.src.[lx.off] else None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_blanks lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance lx;
+    skip_blanks lx
+  | Some '#' ->
+    let rec to_eol () =
+      match peek_char lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blanks lx
+  | _ -> ()
+
+let next_token lx : position * token =
+  skip_blanks lx;
+  let pos = lexer_pos lx in
+  match peek_char lx with
+  | None -> (pos, Eof)
+  | Some c ->
+    if is_ident_start c then begin
+      let start = lx.off in
+      while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+        advance lx
+      done;
+      (pos, Ident (String.sub lx.src start (lx.off - start)))
+    end
+    else if is_digit c then begin
+      let start = lx.off in
+      while (match peek_char lx with Some c -> is_digit c || c = '_' | None -> false) do
+        advance lx
+      done;
+      let text = String.sub lx.src start (lx.off - start) in
+      match int_of_string_opt text with
+      | Some n -> (pos, Int n)
+      | None -> fail pos "malformed integer %S" text
+    end
+    else begin
+      advance lx;
+      match c with
+      | '[' -> (pos, Lbracket)
+      | ']' -> (pos, Rbracket)
+      | ',' -> (pos, Comma)
+      | ':' -> (pos, Colon)
+      | '=' -> (pos, Equals)
+      | '*' -> (pos, Star)
+      | '+' -> (
+        match peek_char lx with
+        | Some '=' ->
+          advance lx;
+          (pos, Plus_equals)
+        | _ -> (pos, Plus))
+      | c -> fail pos "unexpected character %C" c
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { lx : lexer; mutable tok : token; mutable tpos : position }
+
+let bump ps =
+  let pos, tok = next_token ps.lx in
+  ps.tok <- tok;
+  ps.tpos <- pos
+
+let expect ps want =
+  if ps.tok = want then bump ps
+  else fail ps.tpos "expected %s but found %s" (string_of_token want) (string_of_token ps.tok)
+
+let expect_ident ps what =
+  match ps.tok with
+  | Ident s ->
+    bump ps;
+    s
+  | t -> fail ps.tpos "expected %s but found %s" what (string_of_token t)
+
+(* loops := IDENT '=' INT (',' IDENT '=' INT)* *)
+let parse_loops ps =
+  let rec more acc =
+    let name = expect_ident ps "a loop name" in
+    expect ps Equals;
+    let bound =
+      match ps.tok with
+      | Int n ->
+        bump ps;
+        n
+      | t -> fail ps.tpos "expected a loop bound but found %s" (string_of_token t)
+    in
+    let acc = (name, bound) :: acc in
+    match ps.tok with
+    | Comma ->
+      bump ps;
+      more acc
+    | _ -> List.rev acc
+  in
+  more []
+
+(* ref := IDENT ('[' IDENT (',' IDENT)* ']')?   — bare idents are scalars *)
+type rhs_item = Array_ref of string * string list * position | Scalar of string
+
+let parse_ref ps =
+  let pos = ps.tpos in
+  let name = expect_ident ps "an array name" in
+  match ps.tok with
+  | Lbracket ->
+    bump ps;
+    let rec indices acc =
+      let i = expect_ident ps "a loop index" in
+      match ps.tok with
+      | Comma ->
+        bump ps;
+        indices (i :: acc)
+      | _ ->
+        expect ps Rbracket;
+        List.rev (i :: acc)
+    in
+    Array_ref (name, indices [], pos)
+  | _ -> Scalar name
+
+let parse ?name src =
+  try
+    let lx = { src; off = 0; line = 1; col = 1 } in
+    let ps = { lx; tok = Eof; tpos = { line = 1; col = 1 } } in
+    bump ps;
+    let loops = parse_loops ps in
+    expect ps Colon;
+    (* statement := ref ('='|'+=') ref (('*'|'+') ref)* *)
+    let target_pos = ps.tpos in
+    let target = parse_ref ps in
+    let mode =
+      match ps.tok with
+      | Plus_equals ->
+        bump ps;
+        Spec.Update
+      | Equals ->
+        bump ps;
+        Spec.Write
+      | t -> fail ps.tpos "expected '=' or '+=' but found %s" (string_of_token t)
+    in
+    let rec rhs acc =
+      let r = parse_ref ps in
+      match ps.tok with
+      | Star | Plus ->
+        bump ps;
+        rhs (r :: acc)
+      | _ -> List.rev (r :: acc)
+    in
+    let rhs_items = rhs [] in
+    expect ps Eof;
+    (* Elaborate to a Spec. *)
+    let loop_names = Array.of_list (List.map fst loops) in
+    let bounds = Array.of_list (List.map snd loops) in
+    let index_of pos i =
+      let found = ref (-1) in
+      Array.iteri (fun k l -> if l = i && !found < 0 then found := k) loop_names;
+      if !found < 0 then fail pos "index %s is not a declared loop" i else !found
+    in
+    let target_name, target_support =
+      match target with
+      | Array_ref (n, idxs, pos) -> (n, List.map (index_of pos) idxs)
+      | Scalar n -> fail target_pos "the assignment target %s must be an array reference" n
+    in
+    let reads =
+      List.filter_map
+        (function
+          | Array_ref (n, idxs, pos) -> Some (Spec.array_ref n (List.map (index_of pos) idxs))
+          | Scalar _ -> None)
+        rhs_items
+    in
+    (* Merge duplicate reads of the same array (same name must have the
+       same support to stay projective-well-formed). *)
+    let dedup =
+      List.fold_left
+        (fun acc (r : Spec.array_ref) ->
+          match List.find_opt (fun (s : Spec.array_ref) -> s.Spec.aname = r.Spec.aname) acc with
+          | Some s ->
+            if s.Spec.support <> r.Spec.support then
+              fail target_pos "array %s is referenced with two different index sets" r.Spec.aname
+            else acc
+          | None -> r :: acc)
+        [] reads
+    in
+    let target_ref = Spec.array_ref ~mode target_name target_support in
+    (* A self-read like [A[i] += A[i] * ...] is already covered by Update
+       mode; a self-reference with a different support is not projective-
+       well-formed. *)
+    let dedup =
+      List.filter
+        (fun (r : Spec.array_ref) ->
+          if r.Spec.aname <> target_name then true
+          else if r.Spec.support = target_ref.Spec.support then false
+          else fail target_pos "array %s is referenced with two different index sets" target_name)
+        dedup
+    in
+    let arrays = Array.of_list (target_ref :: List.rev dedup) in
+    let kernel_name = match name with Some n -> n | None -> target_name ^ "-kernel" in
+    (match Spec.create ~name:kernel_name ~loops:loop_names ~bounds ~arrays with
+    | Ok spec -> Ok spec
+    | Error e -> fail target_pos "%s" (Spec.string_of_error e))
+  with Error e -> Result.Error e
+
+let parse_exn ?name src =
+  match parse ?name src with
+  | Ok spec -> spec
+  | Result.Error e -> invalid_arg ("Parser.parse_exn: " ^ string_of_error e)
+
+let to_dsl (spec : Spec.t) =
+  let target = spec.Spec.arrays.(0) in
+  let representable =
+    (match target.Spec.mode with Spec.Update | Spec.Write -> true | Spec.Read -> false)
+    && Array.for_all (fun (a : Spec.array_ref) -> a.Spec.mode = Spec.Read)
+         (Array.sub spec.Spec.arrays 1 (Spec.num_arrays spec - 1))
+  in
+  if not representable then None
+  else begin
+    let loops =
+      String.concat ", "
+        (Array.to_list
+           (Array.mapi (fun i l -> Printf.sprintf "%s = %d" l spec.Spec.bounds.(i)) spec.Spec.loops))
+    in
+    let render (a : Spec.array_ref) =
+      Printf.sprintf "%s[%s]" a.Spec.aname
+        (String.concat ","
+           (List.map (fun i -> spec.Spec.loops.(i)) (Array.to_list a.Spec.support)))
+    in
+    let op = match target.Spec.mode with Spec.Update -> "+=" | _ -> "=" in
+    let rhs =
+      match Array.to_list (Array.sub spec.Spec.arrays 1 (Spec.num_arrays spec - 1)) with
+      | [] -> render target (* degenerate self-assignment *)
+      | reads -> String.concat " * " (List.map render reads)
+    in
+    Some (Printf.sprintf "%s : %s %s %s" loops (render target) op rhs)
+  end

@@ -1,0 +1,35 @@
+(** A tiny textual DSL for projective loop nests.
+
+    Concrete syntax (whitespace-insensitive; [#] starts a line comment):
+
+    {v
+      i = 64, j = 64, k = 8 : C[i,k] += A[i,j] * B[j,k]
+    v}
+
+    The part before [":"] declares the loops (outermost first) and their
+    bounds; the statement after it is one assignment whose left-hand side
+    is the output array ([+=] makes it an {!Spec.Update}, [=] a
+    {!Spec.Write}) and whose right-hand side is any [*]/[+] combination of
+    array references. Bare identifiers on the right (e.g. [alpha]) denote
+    scalars and are ignored. Every array index must be a declared loop
+    name; repeated indices such as [A[i,i]] collapse to a single support
+    entry. *)
+
+type position = { line : int; col : int }
+
+type parse_error = { pos : position; message : string }
+
+val string_of_error : parse_error -> string
+
+val parse : ?name:string -> string -> (Spec.t, parse_error) result
+(** Parse a full kernel description (loop declarations + statement). *)
+
+val parse_exn : ?name:string -> string -> Spec.t
+(** @raise Invalid_argument with a rendered error. *)
+
+val to_dsl : Spec.t -> string option
+(** Render a spec back into parseable DSL text. [None] if the spec is not
+    representable as one assignment: the first array must be the only
+    [Write]/[Update] and all others [Read]. Round-trip property:
+    [parse (to_dsl s)] reconstructs the same loops, bounds, supports and
+    modes. *)

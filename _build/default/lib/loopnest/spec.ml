@@ -1,0 +1,182 @@
+type access_mode = Read | Write | Update
+
+type array_ref = { aname : string; support : int array; mode : access_mode }
+
+type t = {
+  name : string;
+  loops : string array;
+  bounds : int array;
+  arrays : array_ref array;
+}
+
+type error =
+  | Empty_loops
+  | Bad_bound of { loop : string; bound : int }
+  | Duplicate_loop of string
+  | Empty_arrays
+  | Duplicate_array of string
+  | Bad_support of { array_name : string; index : int }
+  | Unsorted_support of string
+  | Unused_loop of string
+
+let string_of_error = function
+  | Empty_loops -> "a loop nest needs at least one loop"
+  | Bad_bound { loop; bound } -> Printf.sprintf "loop %s has non-positive bound %d" loop bound
+  | Duplicate_loop l -> Printf.sprintf "duplicate loop name %s" l
+  | Empty_arrays -> "a loop nest needs at least one array access"
+  | Duplicate_array a -> Printf.sprintf "duplicate array name %s" a
+  | Bad_support { array_name; index } ->
+    Printf.sprintf "array %s references loop index %d, out of range" array_name index
+  | Unsorted_support a ->
+    Printf.sprintf "array %s has an unsorted or duplicated support" a
+  | Unused_loop l ->
+    Printf.sprintf
+      "loop %s is not used by any array (remove it; see the WLOG assumption in Section 2 of the paper)"
+      l
+
+let has_duplicate (names : string array) =
+  let seen = Hashtbl.create 8 in
+  Array.fold_left
+    (fun acc n ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if Hashtbl.mem seen n then Some n
+        else begin
+          Hashtbl.add seen n ();
+          None
+        end)
+    None names
+
+let create ~name ~loops ~bounds ~arrays =
+  let d = Array.length loops in
+  let check () =
+    if d = 0 then Error Empty_loops
+    else if Array.length bounds <> d then
+      Error (Bad_bound { loop = "<arity>"; bound = Array.length bounds })
+    else begin
+      let bad_bound = ref None in
+      Array.iteri
+        (fun i b -> if b < 1 && !bad_bound = None then bad_bound := Some (loops.(i), b))
+        bounds;
+      match !bad_bound with
+      | Some (loop, bound) -> Error (Bad_bound { loop; bound })
+      | None -> (
+        match has_duplicate loops with
+        | Some l -> Error (Duplicate_loop l)
+        | None ->
+          if Array.length arrays = 0 then Error Empty_arrays
+          else begin
+            match has_duplicate (Array.map (fun a -> a.aname) arrays) with
+            | Some a -> Error (Duplicate_array a)
+            | None ->
+              let err = ref None in
+              Array.iter
+                (fun a ->
+                  if !err = None then begin
+                    Array.iter
+                      (fun i ->
+                        if (i < 0 || i >= d) && !err = None then
+                          err := Some (Bad_support { array_name = a.aname; index = i }))
+                      a.support;
+                    if !err = None then begin
+                      let sorted = ref true in
+                      for k = 1 to Array.length a.support - 1 do
+                        if a.support.(k) <= a.support.(k - 1) then sorted := false
+                      done;
+                      if not !sorted then err := Some (Unsorted_support a.aname)
+                    end
+                  end)
+                arrays;
+              (match !err with
+              | Some e -> Error e
+              | None ->
+                let used = Array.make d false in
+                Array.iter (fun a -> Array.iter (fun i -> used.(i) <- true) a.support) arrays;
+                let unused = ref None in
+                Array.iteri (fun i u -> if (not u) && !unused = None then unused := Some i) used;
+                (match !unused with
+                | Some i -> Error (Unused_loop loops.(i))
+                | None -> Ok { name; loops; bounds; arrays }))
+          end)
+    end
+  in
+  check ()
+
+let create_exn ~name ~loops ~bounds ~arrays =
+  match create ~name ~loops ~bounds ~arrays with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Spec.create_exn: " ^ string_of_error e)
+
+let array_ref ?(mode = Read) aname support =
+  let support = List.sort_uniq Stdlib.compare support in
+  { aname; support = Array.of_list support; mode }
+
+let with_bounds t bounds =
+  if Array.length bounds <> Array.length t.bounds then
+    invalid_arg "Spec.with_bounds: arity mismatch";
+  Array.iter (fun b -> if b < 1 then invalid_arg "Spec.with_bounds: non-positive bound") bounds;
+  { t with bounds = Array.copy bounds }
+
+let num_loops t = Array.length t.loops
+let num_arrays t = Array.length t.arrays
+
+let support_matrix t =
+  let d = num_loops t in
+  Array.map
+    (fun a ->
+      let row = Array.make d 0 in
+      Array.iter (fun i -> row.(i) <- 1) a.support;
+      row)
+    t.arrays
+
+let touching_arrays t i =
+  let acc = ref [] in
+  Array.iteri (fun j a -> if Array.exists (fun k -> k = i) a.support then acc := j :: !acc) t.arrays;
+  List.rev !acc
+
+let iteration_count t = Array.fold_left ( * ) 1 t.bounds
+
+let array_dims t j = Array.map (fun i -> t.bounds.(i)) t.arrays.(j).support
+
+let array_words t j = Array.fold_left ( * ) 1 (array_dims t j)
+
+let total_array_words t =
+  let acc = ref 0 in
+  for j = 0 to num_arrays t - 1 do
+    acc := !acc + array_words t j
+  done;
+  !acc
+
+let loop_index t name =
+  let found = ref None in
+  Array.iteri (fun i l -> if l = name && !found = None then found := Some i) t.loops;
+  !found
+
+let equal_shape a b =
+  num_loops a = num_loops b
+  && num_arrays a = num_arrays b
+  &&
+  let key t =
+    List.sort Stdlib.compare
+      (Array.to_list (Array.map (fun r -> (Array.to_list r.support, r.mode)) t.arrays))
+  in
+  key a = key b
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v># %s@," t.name;
+  Format.fprintf fmt "for ";
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s in [%d]" l t.bounds.(i))
+    t.loops;
+  Format.fprintf fmt ":@,  ";
+  Array.iteri
+    (fun j a ->
+      if j > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s%s[%s]" a.aname
+        (match a.mode with Read -> "" | Write -> "(w)" | Update -> "(+=)")
+        (String.concat "," (List.map (fun i -> t.loops.(i)) (Array.to_list a.support))))
+    t.arrays;
+  Format.fprintf fmt "@]"

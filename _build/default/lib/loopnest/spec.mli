@@ -1,0 +1,97 @@
+(** Projective nested-loop program descriptions.
+
+    A program is [d] nested loops [x_1 in [L_1], ..., x_d in [L_d]] whose
+    body touches [n] multidimensional arrays; array [j] is indexed by the
+    projection of the iteration vector onto the loop-index subset
+    [support j] (the "projective case" of the paper). This module is the
+    IR shared by the lower-bound/tiling machinery ({!module:Hbl_lp} etc.)
+    and the execution/simulation stack ({!module:Executor}). *)
+
+type access_mode =
+  | Read  (** array is an input: one read per touch *)
+  | Write  (** array is overwritten: one write per touch *)
+  | Update  (** read-modify-write accumulation, e.g. [C[i,k] += ...] *)
+
+type array_ref = {
+  aname : string;
+  support : int array;  (** strictly increasing 0-based loop indices *)
+  mode : access_mode;
+}
+
+type t = private {
+  name : string;
+  loops : string array;  (** loop-index names, outermost first *)
+  bounds : int array;  (** loop bounds [L_i >= 1] *)
+  arrays : array_ref array;
+}
+
+type error =
+  | Empty_loops
+  | Bad_bound of { loop : string; bound : int }
+  | Duplicate_loop of string
+  | Empty_arrays
+  | Duplicate_array of string
+  | Bad_support of { array_name : string; index : int }
+  | Unsorted_support of string
+  | Unused_loop of string
+      (** every loop must appear in some support (WLOG assumption of the
+          paper, following [CDK+13]) *)
+
+val string_of_error : error -> string
+
+val create :
+  name:string ->
+  loops:string array ->
+  bounds:int array ->
+  arrays:array_ref array ->
+  (t, error) result
+
+val create_exn :
+  name:string -> loops:string array -> bounds:int array -> arrays:array_ref array -> t
+(** @raise Invalid_argument with a rendered {!error} on invalid input. *)
+
+val array_ref : ?mode:access_mode -> string -> int list -> array_ref
+(** Convenience constructor; default mode is [Read]. Sorts and dedupes the
+    support. *)
+
+val with_bounds : t -> int array -> t
+(** Same program shape with different loop bounds.
+    @raise Invalid_argument on arity mismatch or non-positive bound. *)
+
+(** {1 Accessors and derived quantities} *)
+
+val num_loops : t -> int
+val num_arrays : t -> int
+
+val support_matrix : t -> int array array
+(** [n x d] 0/1 matrix; row [j] is the indicator vector of [support j] —
+    exactly the constraint matrix of the HBL LP (3.2). *)
+
+val touching_arrays : t -> int -> int list
+(** [touching_arrays t i] is the paper's [R_i]: indices of arrays whose
+    support contains loop [i]. *)
+
+val iteration_count : t -> int
+(** Total number of iterations [prod_i L_i]. *)
+
+val array_dims : t -> int -> int array
+(** Extents of array [j]: the loop bounds of its support, in support
+    order. *)
+
+val array_words : t -> int -> int
+(** Number of distinct elements of array [j] touched by the full
+    iteration space: [prod_{i in support j} L_i]. *)
+
+val total_array_words : t -> int
+(** Sum over all arrays — the trivial communication lower bound of
+    reading each input / writing each output once. *)
+
+val loop_index : t -> string -> int option
+(** Position of a loop name. *)
+
+val equal_shape : t -> t -> bool
+(** Equality of everything except array/loop names and bounds: same [d],
+    same multiset of (support, mode). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the program in the paper's pseudo-code style. *)

@@ -1,0 +1,110 @@
+(** Exact rational numbers over {!module:Bigint}.
+
+    Values are kept in canonical form: the denominator is strictly positive
+    and coprime with the numerator; zero is [0/1]. All operations are exact;
+    this is what makes the simplex pivoting in {!module:Simplex} free of the
+    tie-breaking errors a floating-point implementation would suffer (the
+    paper's case analysis hinges on exact comparisons such as
+    [sum s_i = 1]). *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+val half : t
+
+(** {1 Construction} *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints n d] is [n/d]. @raise Division_by_zero if [d = 0]. *)
+
+val of_float : float -> t
+(** Exact dyadic value of a finite float.
+    @raise Invalid_argument on NaN or infinities. *)
+
+val rationalize : ?max_den:int -> float -> t
+(** Best rational approximation with denominator at most [max_den]
+    (default [1_000_000]), via continued fractions. Used to feed float
+    [beta = log_M L] values into the exact LP solver. *)
+
+val of_string : string -> t
+(** Accepts ["p"], ["p/q"], and decimal literals like ["-3.25"].
+    @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+
+(** {1 Access} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val to_bigint_opt : t -> Bigint.t option
+val to_float : t -> float
+
+val to_int_exn : t -> int
+(** @raise Failure if not an integer fitting in [int]. *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val mul_int : t -> int -> t
+val pow : t -> int -> t
+(** Integer exponent; negative exponents invert.
+    @raise Division_by_zero on [pow zero n] with [n < 0]. *)
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+val round_nearest : t -> Bigint.t
+(** Half-away-from-zero rounding. *)
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simplex/lp.ml: Array Format List Printf Rat Vec

@@ -1,0 +1,1 @@
+lib/simplex/lp.mli: Format Rat

@@ -1,0 +1,1 @@
+lib/simplex/simplex.ml: Array Lp Rat Vec

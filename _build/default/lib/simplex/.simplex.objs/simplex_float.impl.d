@@ -1,0 +1,1 @@
+lib/simplex/simplex_float.ml: Array Float Lp Rat

@@ -1,0 +1,1 @@
+lib/simplex/simplex_float.mli: Lp

@@ -1,0 +1,92 @@
+
+type direction = Minimize | Maximize
+type relation = Le | Ge | Eq
+
+type constr = { cname : string; coeffs : Rat.t array; relation : relation; rhs : Rat.t }
+
+type t = {
+  dir : direction;
+  obj : Rat.t array;
+  constrs : constr array;
+  var_names : string array;
+}
+
+let constr ?(name = "") coeffs relation rhs = { cname = name; coeffs; relation; rhs }
+
+let make ?var_names dir obj constrs =
+  let n = Array.length obj in
+  let var_names =
+    match var_names with
+    | Some names ->
+      if Array.length names <> n then invalid_arg "Lp.make: var_names arity mismatch";
+      names
+    | None -> Array.init n (fun i -> Printf.sprintf "x%d" i)
+  in
+  List.iteri
+    (fun i c ->
+      if Array.length c.coeffs <> n then
+        invalid_arg (Printf.sprintf "Lp.make: constraint %d arity mismatch" i))
+    constrs;
+  { dir; obj; constrs = Array.of_list constrs; var_names }
+
+let num_vars t = Array.length t.obj
+let num_constraints t = Array.length t.constrs
+let direction t = t.dir
+let objective t = t.obj
+let constraints t = t.constrs
+let var_name t i = t.var_names.(i)
+
+let eval_objective t x = Vec.dot t.obj x
+
+let satisfies t x =
+  Array.length x = num_vars t
+  && Array.for_all (fun v -> Rat.sign v >= 0) x
+  && Array.for_all
+       (fun c ->
+         let lhs = Vec.dot c.coeffs x in
+         match c.relation with
+         | Le -> Rat.compare lhs c.rhs <= 0
+         | Ge -> Rat.compare lhs c.rhs >= 0
+         | Eq -> Rat.equal lhs c.rhs)
+       t.constrs
+
+let pp_relation fmt = function
+  | Le -> Format.pp_print_string fmt "<="
+  | Ge -> Format.pp_print_string fmt ">="
+  | Eq -> Format.pp_print_string fmt "="
+
+let pp_linear fmt (names, coeffs) =
+  let first = ref true in
+  Array.iteri
+    (fun i c ->
+      if not (Rat.is_zero c) then begin
+        if !first then begin
+          first := false;
+          if Rat.equal c Rat.minus_one then Format.fprintf fmt "-"
+          else if not (Rat.equal c Rat.one) then Format.fprintf fmt "%a*" Rat.pp c
+        end
+        else if Rat.sign c < 0 then begin
+          Format.fprintf fmt " - ";
+          let a = Rat.abs c in
+          if not (Rat.equal a Rat.one) then Format.fprintf fmt "%a*" Rat.pp a
+        end
+        else begin
+          Format.fprintf fmt " + ";
+          if not (Rat.equal c Rat.one) then Format.fprintf fmt "%a*" Rat.pp c
+        end;
+        Format.pp_print_string fmt names.(i)
+      end)
+    coeffs;
+  if !first then Format.pp_print_string fmt "0"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s %a@,subject to:@,"
+    (match t.dir with Minimize -> "minimize" | Maximize -> "maximize")
+    pp_linear (t.var_names, t.obj);
+  Array.iter
+    (fun c ->
+      Format.fprintf fmt "  %a %a %a%s@," pp_linear (t.var_names, c.coeffs) pp_relation
+        c.relation Rat.pp c.rhs
+        (if c.cname = "" then "" else "   (" ^ c.cname ^ ")"))
+    t.constrs;
+  Format.fprintf fmt "  (all variables >= 0)@]"

@@ -1,0 +1,41 @@
+(** Linear program descriptions.
+
+    A problem is [dir c^T x] subject to a list of linear constraints and
+    the implicit sign constraints [x >= 0]. (All LPs in this codebase —
+    the HBL LP (3.2), the bounded tiling LP (5.1) and its dual (5.5)/(5.6)
+    — have non-negative variables; free variables can be encoded with the
+    usual [x = x+ - x-] split.) *)
+
+type direction = Minimize | Maximize
+type relation = Le | Ge | Eq
+
+type constr = {
+  cname : string;  (** for diagnostics and pretty-printing *)
+  coeffs : Rat.t array;
+  relation : relation;
+  rhs : Rat.t;
+}
+
+type t
+
+val make : ?var_names:string array -> direction -> Rat.t array -> constr list -> t
+(** [make dir c constrs] builds a problem over [Array.length c] variables.
+    @raise Invalid_argument if any constraint has the wrong arity or a
+    variable name array of the wrong length is supplied. *)
+
+val constr : ?name:string -> Rat.t array -> relation -> Rat.t -> constr
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val direction : t -> direction
+val objective : t -> Rat.t array
+val constraints : t -> constr array
+val var_name : t -> int -> string
+
+val eval_objective : t -> Rat.t array -> Rat.t
+
+val satisfies : t -> Rat.t array -> bool
+(** Point feasibility: every constraint holds and the point is
+    componentwise non-negative. *)
+
+val pp : Format.formatter -> t -> unit

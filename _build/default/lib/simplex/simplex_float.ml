@@ -1,0 +1,215 @@
+(* Two-phase primal simplex over IEEE doubles. Structure mirrors
+   Simplex.ml; comparisons go through an epsilon tolerance, which is
+   precisely the weakness this module exists to exhibit. *)
+
+type solution = { objective : float; primal : float array }
+type result = Optimal of solution | Unbounded | Infeasible
+
+type col_kind = Structural of int | Slack | Artificial
+
+type state = {
+  m : int;
+  n : int;
+  ncols : int;
+  tab : float array array;
+  basis : int array;
+  kinds : col_kind array;
+  allowed : bool array;
+  red : float array;
+  eps : float;
+}
+
+let pivot st r c =
+  let last = st.ncols in
+  let p = st.tab.(r).(c) in
+  for j = 0 to last do
+    st.tab.(r).(j) <- st.tab.(r).(j) /. p
+  done;
+  for i = 0 to st.m - 1 do
+    if i <> r && Float.abs st.tab.(i).(c) > 0.0 then begin
+      let f = st.tab.(i).(c) in
+      for j = 0 to last do
+        st.tab.(i).(j) <- st.tab.(i).(j) -. (f *. st.tab.(r).(j))
+      done
+    end
+  done;
+  if Float.abs st.red.(c) > 0.0 then begin
+    let f = st.red.(c) in
+    for j = 0 to st.ncols - 1 do
+      st.red.(j) <- st.red.(j) -. (f *. st.tab.(r).(j))
+    done
+  end;
+  st.basis.(r) <- c
+
+let load_costs st costs =
+  Array.blit costs 0 st.red 0 st.ncols;
+  for r = 0 to st.m - 1 do
+    let cb = costs.(st.basis.(r)) in
+    if Float.abs cb > 0.0 then
+      for j = 0 to st.ncols - 1 do
+        st.red.(j) <- st.red.(j) -. (cb *. st.tab.(r).(j))
+      done
+  done
+
+type phase_outcome = Phase_optimal | Phase_unbounded
+
+let run_phase st =
+  let last = st.ncols in
+  (* Hard iteration cap: with float roundoff Bland's rule no longer
+     guarantees termination, another hazard of the inexact solver. *)
+  let fuel = ref (10_000 + (200 * (st.m + st.ncols))) in
+  let rec step () =
+    decr fuel;
+    if !fuel <= 0 then Phase_optimal
+    else begin
+      let entering = ref (-1) in
+      (try
+         for j = 0 to st.ncols - 1 do
+           if st.allowed.(j) && st.red.(j) < -.st.eps then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then Phase_optimal
+      else begin
+        let c = !entering in
+        let leave = ref (-1) in
+        let best = ref infinity in
+        for r = 0 to st.m - 1 do
+          if st.tab.(r).(c) > st.eps then begin
+            let ratio = st.tab.(r).(last) /. st.tab.(r).(c) in
+            if
+              !leave < 0 || ratio < !best -. st.eps
+              || (Float.abs (ratio -. !best) <= st.eps && st.basis.(r) < st.basis.(!leave))
+            then begin
+              leave := r;
+              best := ratio
+            end
+          end
+        done;
+        if !leave < 0 then Phase_unbounded
+        else begin
+          pivot st !leave c;
+          step ()
+        end
+      end
+    end
+  in
+  step ()
+
+let objective_value st costs =
+  let acc = ref 0.0 in
+  for r = 0 to st.m - 1 do
+    acc := !acc +. (costs.(st.basis.(r)) *. st.tab.(r).(st.ncols))
+  done;
+  !acc
+
+let solve ?(eps = 1e-9) (lp : Lp.t) : result =
+  let m = Lp.num_constraints lp in
+  let n = Lp.num_vars lp in
+  let constrs = Lp.constraints lp in
+  let rows =
+    Array.map
+      (fun (c : Lp.constr) ->
+        let coeffs = Array.map Rat.to_float c.Lp.coeffs in
+        let rhs = Rat.to_float c.Lp.rhs in
+        if rhs < 0.0 then
+          ( Array.map Float.neg coeffs,
+            (match c.Lp.relation with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq),
+            -.rhs )
+        else (coeffs, c.Lp.relation, rhs))
+      constrs
+  in
+  let n_slack = ref 0 and n_art = ref 0 in
+  Array.iter
+    (fun (_, rel, _) ->
+      match rel with
+      | Lp.Le -> incr n_slack
+      | Lp.Ge ->
+        incr n_slack;
+        incr n_art
+      | Lp.Eq -> incr n_art)
+    rows;
+  let ncols = n + !n_slack + !n_art in
+  let kinds = Array.make ncols Slack in
+  for j = 0 to n - 1 do
+    kinds.(j) <- Structural j
+  done;
+  let tab = Array.init m (fun _ -> Array.make (ncols + 1) 0.0) in
+  let basis = Array.make m (-1) in
+  let next_slack = ref n in
+  let next_art = ref (n + !n_slack) in
+  Array.iteri
+    (fun i (coeffs, rel, rhs) ->
+      Array.blit coeffs 0 tab.(i) 0 n;
+      tab.(i).(ncols) <- rhs;
+      match rel with
+      | Lp.Le ->
+        tab.(i).(!next_slack) <- 1.0;
+        basis.(i) <- !next_slack;
+        incr next_slack
+      | Lp.Ge ->
+        tab.(i).(!next_slack) <- -1.0;
+        incr next_slack;
+        kinds.(!next_art) <- Artificial;
+        tab.(i).(!next_art) <- 1.0;
+        basis.(i) <- !next_art;
+        incr next_art
+      | Lp.Eq ->
+        kinds.(!next_art) <- Artificial;
+        tab.(i).(!next_art) <- 1.0;
+        basis.(i) <- !next_art;
+        incr next_art)
+    rows;
+  let st =
+    { m; n; ncols; tab; basis; kinds; allowed = Array.make ncols true; red = Array.make ncols 0.0; eps }
+  in
+  let phase1 = Array.init ncols (fun j -> match st.kinds.(j) with Artificial -> 1.0 | _ -> 0.0) in
+  let infeasible =
+    if !n_art = 0 then false
+    else begin
+      load_costs st phase1;
+      match run_phase st with
+      | Phase_unbounded -> false
+      | Phase_optimal -> objective_value st phase1 > Float.sqrt eps
+    end
+  in
+  if infeasible then Infeasible
+  else begin
+    Array.iteri (fun j k -> if k = Artificial then st.allowed.(j) <- false) st.kinds;
+    for r = 0 to m - 1 do
+      if st.kinds.(st.basis.(r)) = Artificial then begin
+        let found = ref false in
+        let j = ref 0 in
+        while (not !found) && !j < ncols do
+          if st.allowed.(!j) && Float.abs st.tab.(r).(!j) > eps then begin
+            pivot st r !j;
+            found := true
+          end;
+          incr j
+        done
+      end
+    done;
+    let minimize = Lp.direction lp = Lp.Minimize in
+    let phase2 =
+      Array.init ncols (fun j ->
+        match st.kinds.(j) with
+        | Structural v ->
+          let c = Rat.to_float (Lp.objective lp).(v) in
+          if minimize then c else -.c
+        | _ -> 0.0)
+    in
+    load_costs st phase2;
+    match run_phase st with
+    | Phase_unbounded -> Unbounded
+    | Phase_optimal ->
+      let primal = Array.make n 0.0 in
+      for r = 0 to m - 1 do
+        match st.kinds.(st.basis.(r)) with
+        | Structural v -> primal.(v) <- st.tab.(r).(st.ncols)
+        | _ -> ()
+      done;
+      let obj = objective_value st phase2 in
+      Optimal { objective = (if minimize then obj else -.obj); primal }
+  end

@@ -1,0 +1,21 @@
+(** Floating-point simplex — the foil for the exact solver.
+
+    Same two-phase algorithm as {!module:Simplex} (Bland's rule, same
+    column layout), but over IEEE doubles with an epsilon tolerance
+    instead of exact rationals. It exists to make the design argument
+    measurable: the tiling theory turns on exact ties
+    ([sum_{i in R_j} s_i = 1], degenerate LP faces), and this solver's
+    answers drift or mis-classify near them, while {!Simplex} is exact.
+    Benchmarked against the exact solver in E16 and cross-checked in the
+    test suite on well-conditioned problems.
+
+    Do not use this for the paper's machinery; it is deliberately the
+    naive choice. *)
+
+type solution = { objective : float; primal : float array }
+
+type result = Optimal of solution | Unbounded | Infeasible
+
+val solve : ?eps:float -> Lp.t -> result
+(** [eps] (default [1e-9]) is the pivoting/optimality tolerance. Rational
+    problem data is converted with {!Rat.to_float}. *)

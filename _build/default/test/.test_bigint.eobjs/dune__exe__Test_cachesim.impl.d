@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Cache Hierarchy Int List Policy Printf QCheck QCheck_alcotest Set String Trace

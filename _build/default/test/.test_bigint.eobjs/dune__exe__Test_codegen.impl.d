@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Astring Buffer Codegen Filename Float Format Fun Kernels Layout List Printf QCheck QCheck_alcotest Schedules Spec String Sys Tiling Unix

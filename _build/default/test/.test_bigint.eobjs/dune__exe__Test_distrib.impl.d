@@ -1,0 +1,1 @@
+test/test_distrib.ml: Alcotest Array Comm_model Float Kernels List Partition Printf QCheck QCheck_alcotest Spec String

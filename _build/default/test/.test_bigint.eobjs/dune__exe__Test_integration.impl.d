@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Alpha_family Analyze Astring Closed_form Executor Format Kernels List Lower_bound Parser Printf Rat Schedules Spec Tiling

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Format List Mat QCheck QCheck_alcotest Rat Vec

@@ -1,0 +1,1 @@
+test/test_loopexec.ml: Alcotest Array Cache Executor Format Hashtbl Kernels Layout List Lower_bound Option Policy Printf QCheck QCheck_alcotest Schedules Spec Tiling Trace

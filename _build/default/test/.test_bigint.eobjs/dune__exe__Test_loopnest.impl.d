@@ -1,0 +1,1 @@
+test/test_loopnest.ml: Alcotest Array Astring Hbl_lp Kernels List Parser Printf QCheck QCheck_alcotest Rat Spec String

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint Float List QCheck QCheck_alcotest Rat

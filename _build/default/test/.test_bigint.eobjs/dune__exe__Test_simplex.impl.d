@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Float Format Hbl_lp Kernels List Lp QCheck QCheck_alcotest Random Rat Simplex Simplex_float Vec

@@ -1,0 +1,306 @@
+(* Unit and property tests for the arbitrary-precision integers. *)
+
+module B = Bigint
+
+let bi = Alcotest.testable B.pp B.equal
+
+let check_b = Alcotest.check bi
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written unit tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_constants () =
+  check_b "zero" (B.of_int 0) B.zero;
+  check_b "one" (B.of_int 1) B.one;
+  check_b "two" (B.of_int 2) B.two;
+  check_b "minus_one" (B.of_int (-1)) B.minus_one;
+  Alcotest.(check int) "sign zero" 0 (B.sign B.zero);
+  Alcotest.(check int) "sign one" 1 (B.sign B.one);
+  Alcotest.(check int) "sign minus" (-1) (B.sign B.minus_one)
+
+let test_of_to_int () =
+  List.iter
+    (fun i -> Alcotest.(check int) (string_of_int i) i (B.to_int (B.of_int i)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 40; -(1 lsl 40) ]
+
+let test_to_int_overflow () =
+  let big = B.pow (B.of_int 2) 100 in
+  Alcotest.(check (option int)) "overflow" None (B.to_int_opt big);
+  Alcotest.(check bool) "fits_int false" false (B.fits_int big);
+  Alcotest.check_raises "to_int raises" (Failure "Bigint.to_int: overflow") (fun () ->
+    ignore (B.to_int big))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [
+      "0";
+      "1";
+      "-1";
+      "123456789";
+      "-987654321";
+      "123456789012345678901234567890";
+      "-340282366920938463463374607431768211456";
+      "1000000000000000000000000000000000000000000001";
+    ]
+
+let test_of_string_malformed () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ s) true (B.of_string_opt s = None))
+    [ ""; "-"; "+"; "12a"; "a12"; "1.5"; "0x10"; " 12"; "12 "; "--3" ]
+
+let test_of_string_underscores () =
+  check_b "1_000_000" (B.of_int 1_000_000) (B.of_string "1_000_000")
+
+let test_add_sub () =
+  let a = B.of_string "99999999999999999999999999999999" in
+  check_b "a + 1" (B.of_string "100000000000000000000000000000000") (B.add a B.one);
+  check_b "a - a" B.zero (B.sub a a);
+  check_b "0 - a" (B.neg a) (B.sub B.zero a);
+  check_b "a + (-a)" B.zero (B.add a (B.neg a));
+  check_b "carry chain" (B.of_string "1073741824") (B.add (B.of_int 1073741823) B.one)
+
+let test_mul () =
+  check_b "sign" (B.of_int (-6)) (B.mul (B.of_int 2) (B.of_int (-3)));
+  check_b "zero" B.zero (B.mul B.zero (B.of_string "123456789123456789"));
+  check_b "2^30 * 2^30" (B.of_string "1152921504606846976")
+    (B.mul (B.of_int (1 lsl 30)) (B.of_int (1 lsl 30)));
+  (* known big product *)
+  check_b "big"
+    (B.of_string "121932631137021795226185032733622923332237463801111263526900")
+    (B.mul (B.of_string "123456789012345678901234567890") (B.of_string "987654321098765432109876543210"))
+
+let test_karatsuba_matches_schoolbook () =
+  (* Force operands across the Karatsuba threshold (32 digits = ~960 bits)
+     and validate against an independently computed square. *)
+  let x = B.pow (B.of_int 10) 120 in
+  let xp1 = B.add x B.one in
+  (* (10^120 + 1)^2 = 10^240 + 2*10^120 + 1 *)
+  let expect = B.add (B.add (B.pow (B.of_int 10) 240) (B.mul B.two x)) B.one in
+  check_b "karatsuba square" expect (B.mul xp1 xp1)
+
+let test_divmod () =
+  let q, r = B.divmod (B.of_int 17) (B.of_int 5) in
+  check_b "q" (B.of_int 3) q;
+  check_b "r" (B.of_int 2) r;
+  let q, r = B.divmod (B.of_int (-17)) (B.of_int 5) in
+  check_b "q neg" (B.of_int (-3)) q;
+  check_b "r neg (truncated)" (B.of_int (-2)) r;
+  let q, r = B.divmod (B.of_int 17) (B.of_int (-5)) in
+  check_b "q negdiv" (B.of_int (-3)) q;
+  check_b "r negdiv" (B.of_int 2) r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+    ignore (B.divmod B.one B.zero))
+
+let test_ediv_rem () =
+  let q, r = B.ediv_rem (B.of_int (-17)) (B.of_int 5) in
+  check_b "eq" (B.of_int (-4)) q;
+  check_b "er" (B.of_int 3) r;
+  let q, r = B.ediv_rem (B.of_int (-17)) (B.of_int (-5)) in
+  check_b "eq2" (B.of_int 4) q;
+  check_b "er2" (B.of_int 3) r
+
+let test_knuth_add_back_case () =
+  (* A divisor with a high top digit and near-boundary dividend exercises
+     the rare "add back" correction of Algorithm D. *)
+  let b30 = B.shift_left B.one 30 in
+  let v = B.add (B.shift_left b30 30) B.one in
+  (* v = 2^60 + 1 *)
+  let u = B.sub (B.shift_left B.one 120) B.one in
+  (* u = 2^120 - 1 *)
+  let q, r = B.divmod u v in
+  check_b "reconstruct" u (B.add (B.mul q v) r);
+  Alcotest.(check bool) "remainder range" true (B.compare (B.abs r) (B.abs v) < 0)
+
+let test_pow () =
+  check_b "2^0" B.one (B.pow B.two 0);
+  check_b "2^10" (B.of_int 1024) (B.pow B.two 10);
+  check_b "(-2)^3" (B.of_int (-8)) (B.pow (B.of_int (-2)) 3);
+  check_b "0^0" B.one (B.pow B.zero 0);
+  Alcotest.check_raises "neg exponent" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (B.pow B.two (-1)))
+
+let test_gcd_lcm () =
+  check_b "gcd" (B.of_int 6) (B.gcd (B.of_int 54) (B.of_int (-24)));
+  check_b "gcd 0 0" B.zero (B.gcd B.zero B.zero);
+  check_b "gcd 0 x" (B.of_int 7) (B.gcd B.zero (B.of_int (-7)));
+  check_b "lcm" (B.of_int 12) (B.lcm (B.of_int 4) (B.of_int 6));
+  check_b "lcm zero" B.zero (B.lcm B.zero (B.of_int 5))
+
+let test_shifts () =
+  check_b "shl" (B.of_int 40) (B.shift_left (B.of_int 5) 3);
+  check_b "shr" (B.of_int 5) (B.shift_right (B.of_int 40) 3);
+  check_b "shr trunc pos" (B.of_int 2) (B.shift_right (B.of_int 5) 1);
+  check_b "shr floor neg" (B.of_int (-3)) (B.shift_right (B.of_int (-5)) 1);
+  check_b "shr to -1" (B.of_int (-1)) (B.shift_right (B.of_int (-1)) 10);
+  check_b "big shl/shr roundtrip"
+    (B.of_string "12345678901234567890")
+    (B.shift_right (B.shift_left (B.of_string "12345678901234567890") 100) 100)
+
+let test_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "bits 1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "bits 255" 8 (B.num_bits (B.of_int 255));
+  Alcotest.(check int) "bits 256" 9 (B.num_bits (B.of_int 256));
+  Alcotest.(check int) "bits 2^100" 101 (B.num_bits (B.pow B.two 100))
+
+let test_compare_order () =
+  let xs =
+    List.map B.of_string
+      [ "-100000000000000000000"; "-3"; "0"; "1"; "2"; "99999999999999999999999" ]
+  in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          Alcotest.(check int)
+            (Printf.sprintf "cmp %d %d" i j)
+            (compare i j) (B.compare a b))
+        xs)
+    xs
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "to_float small" 42.0 (B.to_float (B.of_int 42));
+  Alcotest.(check (float 1e6)) "to_float 2^70" (Float.pow 2.0 70.0)
+    (B.to_float (B.pow B.two 70));
+  Alcotest.(check (float 1e-9)) "to_float neg" (-42.0) (B.to_float (B.of_int (-42)))
+
+
+(* Cross-checked against an independent bignum implementation (CPython):
+   (a, b, a*b, a/b truncated, a mod b, gcd). *)
+let test_python_cross_check () =
+  let vectors = [
+    ("7973774074630076026515790752299352562055", "3745960613953819179498088", "29869443628130325985890480806266232956647826346917126571773850840", "2128632651642817", "3150906178659920642128159", "1");
+    ("-2118486045429191794779416049095632042998", "8374210745835920968119381", "-17740648606536582970550189746301138542927471342821791430989144238", "-252977398076900", "-4366976151767896613644098", "3");
+    ("3330338348628822942675641359604901137244", "6864793232352928518366650", "22862084157112571596047273145442674512658601061011176526362512600", "485133089359974", "4913341222120052534670144", "2");
+    ("1260383880580476457790468328627474222458", "7971552656085044620174995", "10047216470928072797243732573508139868967806420424900927519037710", "158110212019783", "5736669809954357612296373", "1");
+    ("-5525917701126175343031337161428299285608", "3674574408670868610628366", "-20305395768979601425024784164585349925387817483241886673780356528", "-1503825228871867", "-1011730447235268129706286", "2");
+    ("-123807504489815866477062892749956956960", "66821771260134422054219", "-8273036745306541288330247770308442365515892665678393369414240", "-1852801896074234", "-52712416896063960063714", "1");
+    ("-6300869683611786692121720392525101574275", "3459918913079799702709824", "-21800498187179554453359211868214314676079580952125613565908177600", "-1821103280713348", "-2314966186059573734043523", "1");
+    ("-7817247707080413949189546042285803898289", "7253605398719531566816214", "-56703230171206369932781815454269374901157336195885054033612057846", "-1077705124193877", "-4486864417226625640776611", "1");
+    ("5515514230425214235396339117679941848694", "6381057585246140293654953", "35194813916587841364360719546351711756636411904992333780969681382", "864357382258674", "4895762072636945994536372", "1");
+    ("8756296786401344406201036887820800603816", "4985291354080463807453873", "43652690663009172020840257874863532376579060972620824319967779368", "1756426287750325", "4326386523804333422345091", "1");
+    ("-3478781663993134669537634471497017911009", "7466580814036221666468903", "-25974604428592141220439226504709049188761015700682951910519853127", "-465913615701241", "-3295356209472066352902386", "1");
+    ("5333426286810618691775936395265731328944", "7506940843511211801901509", "40037715628314976125781335855933904730803856689803199852768976496", "710466007124684", "771015344356452880580788", "1");
+  ] in
+  List.iter
+    (fun (a, b, prod, quot, rem, g) ->
+      let a = B.of_string a and b = B.of_string b in
+      check_b "product" (B.of_string prod) (B.mul a b);
+      let q, r = B.divmod a b in
+      check_b "quotient" (B.of_string quot) q;
+      check_b "remainder" (B.of_string rem) r;
+      check_b "gcd" (B.of_string g) (B.gcd a b))
+    vectors
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Values spanning one to ~four digit words, mixed signs. *)
+let gen_bigint =
+  QCheck.Gen.(
+    let small = map B.of_int (int_range (-1000) 1000) in
+    let medium = map B.of_int int in
+    let large =
+      map3
+        (fun a b c -> B.add (B.mul (B.of_int a) (B.of_int b)) (B.of_int c))
+        int int int
+    in
+    let huge =
+      map2 (fun x sh -> B.shift_left (B.of_int x) sh) int (int_range 0 200)
+    in
+    oneof [ small; medium; large; huge ])
+
+let arb_bigint = QCheck.make ~print:B.to_string gen_bigint
+
+let arb_nonzero =
+  QCheck.make ~print:B.to_string
+    (QCheck.Gen.map (fun b -> if B.is_zero b then B.one else b) gen_bigint)
+
+let prop name ?(count = 500) arb f = QCheck.Test.make ~name ~count arb f
+
+let props =
+  [
+    prop "add commutative" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.equal (B.add a b) (B.add b a));
+    prop "add associative" (QCheck.triple arb_bigint arb_bigint arb_bigint)
+      (fun (a, b, c) -> B.equal (B.add (B.add a b) c) (B.add a (B.add b c)));
+    prop "mul commutative" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.equal (B.mul a b) (B.mul b a));
+    prop "mul associative" (QCheck.triple arb_bigint arb_bigint arb_bigint)
+      (fun (a, b, c) -> B.equal (B.mul (B.mul a b) c) (B.mul a (B.mul b c)));
+    prop "distributive" (QCheck.triple arb_bigint arb_bigint arb_bigint) (fun (a, b, c) ->
+      B.equal (B.mul a (B.add b c)) (B.add (B.mul a b) (B.mul a c)));
+    prop "sub inverse" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.equal (B.add (B.sub a b) b) a);
+    prop "neg involutive" arb_bigint (fun a -> B.equal (B.neg (B.neg a)) a);
+    prop "string roundtrip" arb_bigint (fun a -> B.equal (B.of_string (B.to_string a)) a);
+    prop "divmod reconstruct" (QCheck.pair arb_bigint arb_nonzero) (fun (a, b) ->
+      let q, r = B.divmod a b in
+      B.equal (B.add (B.mul q b) r) a && B.compare (B.abs r) (B.abs b) < 0);
+    prop "rem sign follows dividend" (QCheck.pair arb_bigint arb_nonzero) (fun (a, b) ->
+      let r = B.rem a b in
+      B.is_zero r || B.sign r = B.sign a);
+    prop "ediv_rem euclidean" (QCheck.pair arb_bigint arb_nonzero) (fun (a, b) ->
+      let q, r = B.ediv_rem a b in
+      B.equal (B.add (B.mul q b) r) a && B.sign r >= 0 && B.compare r (B.abs b) < 0);
+    prop "gcd divides" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      let g = B.gcd a b in
+      if B.is_zero g then B.is_zero a && B.is_zero b
+      else B.is_zero (B.rem a g) && B.is_zero (B.rem b g));
+    prop "gcd linearity" (QCheck.pair arb_bigint arb_nonzero) (fun (a, b) ->
+      (* gcd(a + b, b) = gcd(a, b) *)
+      B.equal (B.gcd (B.add a b) b) (B.gcd a b));
+    prop "shift_left is *2^n" (QCheck.pair arb_bigint (QCheck.int_range 0 80))
+      (fun (a, n) -> B.equal (B.shift_left a n) (B.mul a (B.pow B.two n)));
+    prop "shift_right is floor div" (QCheck.pair arb_bigint (QCheck.int_range 0 80))
+      (fun (a, n) ->
+        let q, _ = B.ediv_rem a (B.pow B.two n) in
+        B.equal (B.shift_right a n) q);
+    prop "compare antisymmetric" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.compare a b = -B.compare b a);
+    prop "compare consistent with sub" (QCheck.pair arb_bigint arb_bigint) (fun (a, b) ->
+      B.compare a b = B.sign (B.sub a b));
+    prop "abs non-negative" arb_bigint (fun a -> B.sign (B.abs a) >= 0);
+    prop "succ/pred" arb_bigint (fun a -> B.equal (B.pred (B.succ a)) a);
+    prop "to_int roundtrip when fits" QCheck.int (fun i -> B.to_int (B.of_int i) = i);
+    prop "num_bits bounds value" arb_nonzero (fun a ->
+      let n = B.num_bits a in
+      B.compare (B.abs a) (B.pow B.two n) < 0 && B.compare (B.abs a) (B.pow B.two (n - 1)) >= 0);
+    prop "karatsuba vs squaring identity" (QCheck.pair arb_bigint arb_bigint)
+      (fun (a, b) ->
+        (* (a+b)^2 - (a-b)^2 = 4ab, exercising both mul paths *)
+        let lhs = B.sub (B.mul (B.add a b) (B.add a b)) (B.mul (B.sub a b) (B.sub a b)) in
+        B.equal lhs (B.mul (B.of_int 4) (B.mul a b)));
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "malformed strings" `Quick test_of_string_malformed;
+          Alcotest.test_case "underscores" `Quick test_of_string_underscores;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "karatsuba" `Quick test_karatsuba_matches_schoolbook;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "ediv_rem" `Quick test_ediv_rem;
+          Alcotest.test_case "knuth add-back" `Quick test_knuth_add_back_case;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "ordering" `Quick test_compare_order;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "python cross-check" `Quick test_python_cross_check;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

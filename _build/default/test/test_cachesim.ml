@@ -1,0 +1,348 @@
+(* Tests for the cache simulator: hand-traced LRU/FIFO behaviour, Belady
+   OPT correctness on small traces (vs brute force), and classical
+   replacement-theory properties. *)
+
+let reads addrs = Array.of_list (List.map Trace.read addrs)
+
+let stats_of ?(line_words = 1) policy capacity addrs =
+  Trace.simulate ~line_words ~policy ~capacity (reads addrs)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-traced behaviour                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cold_misses () =
+  let s = stats_of Policy.Lru 4 [ 0; 1; 2; 3 ] in
+  Alcotest.(check int) "misses" 4 s.Cache.misses;
+  Alcotest.(check int) "hits" 0 s.Cache.hits;
+  Alcotest.(check int) "no evictions" 0 s.Cache.evictions
+
+let test_hits_when_fits () =
+  let s = stats_of Policy.Lru 4 [ 0; 1; 2; 3; 0; 1; 2; 3; 3; 2 ] in
+  Alcotest.(check int) "misses" 4 s.Cache.misses;
+  Alcotest.(check int) "hits" 6 s.Cache.hits
+
+let test_lru_eviction_order () =
+  (* capacity 2: 0 1 2 -> evicts 0; touching 0 again misses, 2 hits *)
+  let s = stats_of Policy.Lru 2 [ 0; 1; 2; 2; 0 ] in
+  Alcotest.(check int) "misses" 4 s.Cache.misses;
+  Alcotest.(check int) "hits" 1 s.Cache.hits
+
+let test_lru_recency_update () =
+  (* capacity 2: 0 1 0 2 -> on 2, victim is 1 (0 was refreshed); then 0 hits *)
+  let s = stats_of Policy.Lru 2 [ 0; 1; 0; 2; 0 ] in
+  Alcotest.(check int) "misses" 3 s.Cache.misses;
+  Alcotest.(check int) "hits" 2 s.Cache.hits
+
+let test_fifo_ignores_recency () =
+  (* same trace under FIFO: victim on 2 is 0 (inserted first) -> final 0 misses *)
+  let s = stats_of Policy.Fifo 2 [ 0; 1; 0; 2; 0 ] in
+  Alcotest.(check int) "misses" 4 s.Cache.misses;
+  Alcotest.(check int) "hits" 1 s.Cache.hits
+
+let test_opt_keeps_nearest_use () =
+  (* capacity 2, trace 0 1 2 0: OPT evicts 1 (never reused), keeping 0. *)
+  let s = stats_of Policy.Opt 2 [ 0; 1; 2; 0 ] in
+  Alcotest.(check int) "misses" 3 s.Cache.misses;
+  Alcotest.(check int) "hits" 1 s.Cache.hits
+
+let test_writeback_accounting () =
+  let t = [| Trace.write 0; Trace.read 1; Trace.read 2 |] in
+  let s = Trace.simulate ~policy:Policy.Lru ~capacity:2 t in
+  (* 0 written (dirty), evicted by 2 -> 1 writeback during run; nothing
+     dirty at flush. *)
+  Alcotest.(check int) "writebacks" 1 s.Cache.writebacks;
+  Alcotest.(check int) "words moved" 4 (Cache.words_moved ~line_words:1 s)
+
+let test_flush_writes_dirty () =
+  let t = [| Trace.write 0; Trace.write 1 |] in
+  let s = Trace.simulate ~policy:Policy.Lru ~capacity:4 t in
+  Alcotest.(check int) "flush writebacks" 2 s.Cache.writebacks
+
+let test_clean_eviction_no_writeback () =
+  let s = stats_of Policy.Lru 1 [ 0; 1; 2 ] in
+  Alcotest.(check int) "no writebacks" 0 s.Cache.writebacks;
+  Alcotest.(check int) "evictions" 2 s.Cache.evictions
+
+let test_rewrite_dirty_once () =
+  (* Writing the same line twice then evicting = one writeback. *)
+  let t = [| Trace.write 5; Trace.write 5; Trace.read 6 |] in
+  let s = Trace.simulate ~policy:Policy.Lru ~capacity:1 t in
+  Alcotest.(check int) "one writeback" 1 s.Cache.writebacks
+
+let test_line_granularity () =
+  (* line_words = 4: addresses 0..7 are 2 lines. *)
+  let s = stats_of ~line_words:4 Policy.Lru 8 [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  Alcotest.(check int) "2 misses" 2 s.Cache.misses;
+  Alcotest.(check int) "6 hits" 6 s.Cache.hits;
+  Alcotest.(check int) "words moved" 8 (Cache.words_moved ~line_words:4 s)
+
+let test_online_cache_api () =
+  let c = Cache.create ~policy:Policy.Lru ~capacity:2 () in
+  Cache.access c ~write:false 10;
+  Cache.access c ~write:true 11;
+  Alcotest.(check bool) "resident" true (Cache.resident c 10);
+  Cache.access c ~write:false 12;
+  Alcotest.(check bool) "10 evicted" false (Cache.resident c 10);
+  Cache.flush c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "accesses" 3 s.Cache.accesses;
+  Alcotest.(check int) "dirty flush" 1 s.Cache.writebacks;
+  Alcotest.(check int) "capacity lines" 2 (Cache.capacity_lines c)
+
+let test_create_validation () =
+  Alcotest.check_raises "opt online"
+    (Invalid_argument "Cache.create: OPT needs the full trace; use Trace.simulate") (fun () ->
+    ignore (Cache.create ~policy:Policy.Opt ~capacity:4 ()));
+  Alcotest.check_raises "capacity" (Invalid_argument "Cache.create: capacity below one line")
+    (fun () -> ignore (Cache.create ~policy:Policy.Lru ~capacity:0 ()));
+  Alcotest.check_raises "line_words" (Invalid_argument "Cache.create: line_words must be positive")
+    (fun () -> ignore (Cache.create ~line_words:0 ~policy:Policy.Lru ~capacity:4 ()))
+
+let test_words_touched () =
+  Alcotest.(check int) "distinct" 3 (Trace.words_touched (reads [ 0; 1; 0; 2; 1 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force OPT verification                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimum achievable misses for a read-only trace by exhaustive search
+   over eviction choices. Exponential: keep traces tiny. *)
+let brute_force_min_misses capacity trace =
+  let n = Array.length trace in
+  let module SS = Set.Make (Int) in
+  let rec go i cached =
+    if i = n then 0
+    else begin
+      let a = trace.(i).Trace.addr in
+      if SS.mem a cached then go (i + 1) cached
+      else if SS.cardinal cached < capacity then 1 + go (i + 1) (SS.add a cached)
+      else begin
+        (* try every victim *)
+        SS.fold
+          (fun victim best ->
+            min best (1 + go (i + 1) (SS.add a (SS.remove victim cached))))
+          cached max_int
+      end
+    end
+  in
+  go 0 SS.empty
+
+let test_opt_matches_brute_force () =
+  let cases =
+    [
+      (2, [ 0; 1; 2; 0; 1; 2 ]);
+      (2, [ 0; 1; 2; 1; 0; 2; 0 ]);
+      (3, [ 0; 1; 2; 3; 0; 1; 2; 3 ]);
+      (2, [ 4; 4; 4; 4 ]);
+      (3, [ 0; 1; 2; 3; 2; 1; 0; 3; 1 ]);
+    ]
+  in
+  List.iter
+    (fun (cap, addrs) ->
+      let t = reads addrs in
+      let opt = (Trace.simulate ~policy:Policy.Opt ~capacity:cap t).Cache.misses in
+      let best = brute_force_min_misses cap t in
+      Alcotest.(check int)
+        (Printf.sprintf "cap=%d trace=%s" cap (String.concat "," (List.map string_of_int addrs)))
+        best opt)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_trace =
+  QCheck.Gen.(
+    list_size (int_range 1 200) (pair (int_range 0 20) bool) >>= fun l ->
+    return (Array.of_list (List.map (fun (a, w) -> { Trace.addr = a; write = w }) l)))
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun t ->
+      String.concat ","
+        (Array.to_list (Array.map (fun a -> Printf.sprintf "%s%d" (if a.Trace.write then "w" else "r") a.Trace.addr) t)))
+    gen_trace
+
+let arb_trace_cap = QCheck.pair arb_trace (QCheck.int_range 1 8)
+
+let props =
+  [
+    QCheck.Test.make ~name:"OPT <= LRU misses" ~count:300 arb_trace_cap (fun (t, cap) ->
+      (Trace.simulate ~policy:Policy.Opt ~capacity:cap t).Cache.misses
+      <= (Trace.simulate ~policy:Policy.Lru ~capacity:cap t).Cache.misses);
+    QCheck.Test.make ~name:"OPT <= FIFO misses" ~count:300 arb_trace_cap (fun (t, cap) ->
+      (Trace.simulate ~policy:Policy.Opt ~capacity:cap t).Cache.misses
+      <= (Trace.simulate ~policy:Policy.Fifo ~capacity:cap t).Cache.misses);
+    QCheck.Test.make ~name:"LRU inclusion: more capacity never hurts" ~count:200
+      arb_trace_cap (fun (t, cap) ->
+        (Trace.simulate ~policy:Policy.Lru ~capacity:(cap + 1) t).Cache.misses
+        <= (Trace.simulate ~policy:Policy.Lru ~capacity:cap t).Cache.misses);
+    QCheck.Test.make ~name:"misses >= distinct lines (cold)" ~count:200 arb_trace_cap
+      (fun (t, cap) ->
+        List.for_all
+          (fun p -> (Trace.simulate ~policy:p ~capacity:cap t).Cache.misses >= Trace.words_touched t)
+          [ Policy.Lru; Policy.Fifo; Policy.Opt ]);
+    QCheck.Test.make ~name:"hits + misses = accesses" ~count:200 arb_trace_cap
+      (fun (t, cap) ->
+        List.for_all
+          (fun p ->
+            let s = Trace.simulate ~policy:p ~capacity:cap t in
+            s.Cache.hits + s.Cache.misses = Array.length t && s.Cache.accesses = Array.length t)
+          [ Policy.Lru; Policy.Fifo; Policy.Opt ]);
+    QCheck.Test.make ~name:"writebacks bounded by distinct written lines * misses" ~count:200
+      arb_trace_cap (fun (t, cap) ->
+        List.for_all
+          (fun p ->
+            let s = Trace.simulate ~policy:p ~capacity:cap t in
+            s.Cache.writebacks <= s.Cache.misses (* each writeback needs a prior allocate *))
+          [ Policy.Lru; Policy.Fifo; Policy.Opt ]);
+    QCheck.Test.make ~name:"big cache: exactly one miss per distinct line" ~count:200 arb_trace
+      (fun t ->
+        let s = Trace.simulate ~policy:Policy.Lru ~capacity:1024 t in
+        s.Cache.misses = Trace.words_touched t && s.Cache.evictions = 0);
+    QCheck.Test.make ~name:"OPT matches brute force (tiny)" ~count:60
+      (QCheck.pair
+         (QCheck.make
+            ~print:(fun t -> String.concat "," (Array.to_list (Array.map (fun a -> string_of_int a.Trace.addr) t)))
+            QCheck.Gen.(
+              list_size (int_range 1 10) (int_range 0 5) >>= fun l ->
+              return (Array.of_list (List.map Trace.read l))))
+         (QCheck.int_range 1 3))
+      (fun (t, cap) ->
+        (Trace.simulate ~policy:Policy.Opt ~capacity:cap t).Cache.misses
+        = brute_force_min_misses cap t);
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hierarchy_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Hierarchy.create: need at least one level")
+    (fun () -> ignore (Hierarchy.create ~capacities:[||] ()));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Hierarchy.create: capacities must be strictly increasing") (fun () ->
+    ignore (Hierarchy.create ~capacities:[| 8; 8 |] ()));
+  Alcotest.check_raises "opt" (Invalid_argument "Hierarchy.create: OPT is offline-only")
+    (fun () -> ignore (Hierarchy.create ~policy:Policy.Opt ~capacities:[| 2; 4 |] ()))
+
+let test_hierarchy_filtering () =
+  (* L1 of 2 words, L2 of 4 words; stream 0 1 2 0 1 2:
+     L1 thrashes (all 6 miss); L2 holds all three lines (3 misses). *)
+  let h = Hierarchy.create ~capacities:[| 2; 4 |] () in
+  List.iter (fun a -> Hierarchy.access h ~write:false a) [ 0; 1; 2; 0; 1; 2 ];
+  let s = Hierarchy.stats h in
+  Alcotest.(check int) "L1 misses" 6 s.(0).Cache.misses;
+  Alcotest.(check int) "L2 accesses = L1 misses" 6 s.(1).Cache.accesses;
+  Alcotest.(check int) "L2 misses" 3 s.(1).Cache.misses;
+  Alcotest.(check int) "L2 hits" 3 s.(1).Cache.hits
+
+let test_hierarchy_hit_in_l1 () =
+  let h = Hierarchy.create ~capacities:[| 4; 16 |] () in
+  List.iter (fun a -> Hierarchy.access h ~write:false a) [ 7; 7; 7; 7 ];
+  let s = Hierarchy.stats h in
+  Alcotest.(check int) "one L1 miss" 1 s.(0).Cache.misses;
+  Alcotest.(check int) "L2 sees only the miss" 1 s.(1).Cache.accesses
+
+let test_hierarchy_writeback_cascade () =
+  (* Dirty line evicted from L1 must be written into L2. *)
+  let h = Hierarchy.create ~capacities:[| 1; 8 |] () in
+  Hierarchy.access h ~write:true 0;
+  Hierarchy.access h ~write:false 1;
+  (* evicts dirty 0 from L1 -> write access hits/installs in L2 *)
+  let s = Hierarchy.stats h in
+  Alcotest.(check int) "L1 writebacks" 1 s.(0).Cache.writebacks;
+  (* L2 saw: miss(0), miss(1), writeback-write(0) = 3 accesses *)
+  Alcotest.(check int) "L2 accesses" 3 s.(1).Cache.accesses;
+  Hierarchy.flush h;
+  let s = Hierarchy.stats h in
+  (* after flush, the dirty 0 line leaves L2 too *)
+  Alcotest.(check bool) "L2 flushed dirty" true (s.(1).Cache.writebacks >= 1)
+
+let test_hierarchy_traffic_vector () =
+  let h = Hierarchy.create ~capacities:[| 2; 8 |] () in
+  List.iter (fun a -> Hierarchy.access h ~write:false a) [ 0; 1; 2; 3; 0; 1; 2; 3 ];
+  Hierarchy.flush h;
+  let t = Hierarchy.traffic h in
+  Alcotest.(check int) "two boundaries" 2 (Array.length t);
+  Alcotest.(check int) "L1 boundary = 8 (thrash)" 8 t.(0);
+  Alcotest.(check int) "memory boundary = 4 (fits)" 4 t.(1);
+  Alcotest.(check int) "levels" 2 (Hierarchy.levels h)
+
+
+let test_hierarchy_fifo_and_lines () =
+  (* hierarchy honors both policy and line granularity *)
+  let h = Hierarchy.create ~line_words:2 ~policy:Policy.Fifo ~capacities:[| 4; 16 |] () in
+  List.iter (fun a -> Hierarchy.access h ~write:false a) [ 0; 1; 2; 3; 0; 1 ];
+  let s = Hierarchy.stats h in
+  (* lines {0,1} and {2,3}: both fit L1 (2 lines) -> 2 misses, 4 hits *)
+  Alcotest.(check int) "L1 misses" 2 s.(0).Cache.misses;
+  Alcotest.(check int) "L1 hits" 4 s.(0).Cache.hits;
+  Hierarchy.flush h;
+  Alcotest.(check int) "memory words" 4 (Hierarchy.traffic h).(1)
+
+let hierarchy_props =
+  [
+    QCheck.Test.make ~name:"level-k accesses = level-(k-1) misses + writebacks" ~count:150
+      (QCheck.pair arb_trace (QCheck.int_range 1 6))
+      (fun (t, cap) ->
+        let h = Hierarchy.create ~capacities:[| cap; 4 * cap |] () in
+        Array.iter (fun a -> Hierarchy.access h ~write:a.Trace.write a.Trace.addr) t;
+        let s = Hierarchy.stats h in
+        (* before flush: every L1 miss and every dirty L1 eviction reaches L2 *)
+        s.(1).Cache.accesses = s.(0).Cache.misses + s.(0).Cache.writebacks);
+    QCheck.Test.make ~name:"single-level hierarchy = plain cache" ~count:150
+      (QCheck.pair arb_trace (QCheck.int_range 1 8))
+      (fun (t, cap) ->
+        let h = Hierarchy.create ~capacities:[| cap |] () in
+        Array.iter (fun a -> Hierarchy.access h ~write:a.Trace.write a.Trace.addr) t;
+        Hierarchy.flush h;
+        let hs = (Hierarchy.stats h).(0) in
+        let cs = Trace.simulate ~policy:Policy.Lru ~capacity:cap t in
+        hs.Cache.misses = cs.Cache.misses && hs.Cache.writebacks = cs.Cache.writebacks);
+    QCheck.Test.make ~name:"memory traffic <= single-small-cache traffic" ~count:150
+      (QCheck.pair arb_trace (QCheck.int_range 1 6))
+      (fun (t, cap) ->
+        let h = Hierarchy.create ~capacities:[| cap; 8 * cap |] () in
+        Array.iter (fun a -> Hierarchy.access h ~write:a.Trace.write a.Trace.addr) t;
+        Hierarchy.flush h;
+        let mem = (Hierarchy.traffic h).(1) in
+        let single = Cache.words_moved ~line_words:1 (Trace.simulate ~policy:Policy.Lru ~capacity:cap t) in
+        mem <= single);
+  ]
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cold misses" `Quick test_cold_misses;
+          Alcotest.test_case "hits when fits" `Quick test_hits_when_fits;
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "LRU recency" `Quick test_lru_recency_update;
+          Alcotest.test_case "FIFO vs recency" `Quick test_fifo_ignores_recency;
+          Alcotest.test_case "OPT lookahead" `Quick test_opt_keeps_nearest_use;
+          Alcotest.test_case "writeback accounting" `Quick test_writeback_accounting;
+          Alcotest.test_case "flush dirty" `Quick test_flush_writes_dirty;
+          Alcotest.test_case "clean eviction" `Quick test_clean_eviction_no_writeback;
+          Alcotest.test_case "rewrite dirty once" `Quick test_rewrite_dirty_once;
+          Alcotest.test_case "line granularity" `Quick test_line_granularity;
+          Alcotest.test_case "online API" `Quick test_online_cache_api;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "words_touched" `Quick test_words_touched;
+          Alcotest.test_case "OPT = brute force" `Quick test_opt_matches_brute_force;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "validation" `Quick test_hierarchy_validation;
+          Alcotest.test_case "filtering" `Quick test_hierarchy_filtering;
+          Alcotest.test_case "hit in L1" `Quick test_hierarchy_hit_in_l1;
+          Alcotest.test_case "writeback cascade" `Quick test_hierarchy_writeback_cascade;
+          Alcotest.test_case "traffic vector" `Quick test_hierarchy_traffic_vector;
+          Alcotest.test_case "fifo + lines" `Quick test_hierarchy_fifo_and_lines;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+      ("hierarchy-properties", List.map QCheck_alcotest.to_alcotest hierarchy_props);
+    ]

@@ -1,0 +1,97 @@
+(* End-to-end smoke tests of the installed CLI binary: every subcommand
+   runs, exits 0 on valid input, exits nonzero with a diagnostic on
+   invalid input. *)
+
+let cli = "../bin/tilings.exe"
+
+let run args =
+  let cmd = Printf.sprintf "%s %s 2>&1" cli args in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 512 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let check_ok name args fragments =
+  let code, out = run args in
+  if code <> 0 then Alcotest.failf "%s: exit %d\n%s" name code out;
+  List.iter
+    (fun f ->
+      if not (Astring.String.is_infix ~affix:f out) then
+        Alcotest.failf "%s: output missing %S\n%s" name f out)
+    fragments
+
+let check_fails name args fragment =
+  let code, out = run args in
+  if code = 0 then Alcotest.failf "%s: expected failure, got success\n%s" name out;
+  if not (Astring.String.is_infix ~affix:fragment out) then
+    Alcotest.failf "%s: diagnostic missing %S\n%s" name fragment out
+
+let test_presets () = check_ok "presets" "presets" [ "matmul"; "nbody"; "mttkrp" ]
+
+let test_analyze () =
+  check_ok "analyze preset" "analyze -p matvec -m 1024" [ "lower bound"; "tile" ];
+  check_ok "analyze dsl"
+    "analyze -k 'i = 64, j = 64, k = 4 : C[i,k] += A[i,j] * B[j,k]' -m 512"
+    [ "lower bound"; "attainment" ]
+
+let test_lower_bound () =
+  check_ok "lower-bound" "lower-bound -p matmul -m 4096" [ "tile-size cap"; "witness" ]
+
+let test_tile () =
+  check_ok "tile" "tile -p matmul -m 4096" [ "LP (5.1)"; "lambda"; "shared cache" ]
+
+let test_closed_form () =
+  check_ok "closed-form" "closed-form -p nbody" [ "min("; "M^f" ]
+
+let test_regions () = check_ok "regions" "regions -p nbody" [ "is optimal where"; "witness" ]
+
+let test_simulate () =
+  check_ok "simulate" "simulate -p matvec -m 512 --schedule optimal --policy lru"
+    [ "words moved"; "ratio" ];
+  check_ok "simulate opt policy" "simulate -p outer_product -m 256 --policy opt"
+    [ "OPT"; "words moved" ]
+
+let test_hierarchy () =
+  check_ok "hierarchy" "hierarchy -p matvec --levels 128,1024"
+    [ "level 1"; "level 2"; "traffic L1"; "memory" ]
+
+let test_partition () =
+  check_ok "partition" "partition -p matmul --procs 8" [ "best rectangular grid"; "lower bound" ]
+
+let test_codegen () =
+  check_ok "codegen c" "codegen -p nbody -m 256 --lang c" [ "void nbody_tiled"; "for (int" ];
+  check_ok "codegen ocaml" "codegen -p nbody -m 256 --lang ocaml" [ "let nbody_tiled"; "done" ];
+  check_ok "codegen untiled" "codegen -p nbody --untiled" [ "void nbody(" ]
+
+let test_error_paths () =
+  check_fails "no kernel" "analyze" "kernel is required";
+  check_fails "both sources" "analyze -p matmul -k 'i = 2 : A[i] = B[i]'" "not both";
+  check_fails "unknown preset" "analyze -p nosuch" "unknown preset";
+  check_fails "bad dsl" "analyze -k 'garbage'" "cannot parse kernel";
+  check_fails "bad cache" "analyze -p matmul -m 1" "cache";
+  check_fails "bad levels" "hierarchy -p matmul --levels 512,256" "increasing"
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "presets" `Quick test_presets;
+          Alcotest.test_case "analyze" `Quick test_analyze;
+          Alcotest.test_case "lower-bound" `Quick test_lower_bound;
+          Alcotest.test_case "tile" `Quick test_tile;
+          Alcotest.test_case "closed-form" `Quick test_closed_form;
+          Alcotest.test_case "regions" `Quick test_regions;
+          Alcotest.test_case "simulate" `Quick test_simulate;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "codegen" `Quick test_codegen;
+          Alcotest.test_case "error paths" `Quick test_error_paths;
+        ] );
+    ]

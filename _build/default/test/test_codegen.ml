@@ -1,0 +1,318 @@
+(* Tests for the tiled-loop code generator, including full round trips:
+   the generated C (compiled with gcc) and generated OCaml (run under the
+   ocaml toplevel) must compute exactly what a reference interpretation of
+   the spec computes. *)
+
+let contains hay needle = Astring.String.is_infix ~affix:needle hay
+
+let mm_small = Kernels.matmul ~l1:6 ~l2:5 ~l3:4
+
+(* ------------------------------------------------------------------ *)
+(* Structure / template                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_default_body () =
+  Alcotest.(check string) "matmul" "$0 += $1 * $2" (Codegen.default_body mm_small);
+  Alcotest.(check string) "write mode" "$0 = $1 * $2"
+    (Codegen.default_body
+       (Spec.create_exn ~name:"w" ~loops:[| "i"; "j" |] ~bounds:[| 2; 2 |]
+          ~arrays:
+            [|
+              Spec.array_ref ~mode:Spec.Write "O" [ 0; 1 ];
+              Spec.array_ref "X" [ 0 ];
+              Spec.array_ref "Y" [ 1 ];
+            |]))
+
+let test_c_structure () =
+  let code = Codegen.emit ~lang:Codegen.C mm_small ~tile:[| 2; 2; 2 |] in
+  List.iter
+    (fun frag -> Alcotest.(check bool) (frag ^ " present") true (contains code frag))
+    [
+      "void matmul_tiled(double *C, double *A, double *B)";
+      "for (int x1_0 = 0; x1_0 < 6; x1_0 += 2)";
+      "for (int x3 = x3_0;";
+      "C[(x1) * 4 + x3] += A[(x1) * 5 + x2] * B[(x2) * 4 + x3];";
+    ]
+
+let test_ocaml_structure () =
+  let code = Codegen.emit ~lang:Codegen.OCaml mm_small ~tile:[| 2; 2; 2 |] in
+  List.iter
+    (fun frag -> Alcotest.(check bool) (frag ^ " present") true (contains code frag))
+    [
+      "let matmul_tiled c a b =";
+      "for x1_b = 0 to 2 do";
+      "c.((x1) * 4 + x3) <- c.((x1) * 4 + x3) +. a.((x1) * 5 + x2) *. b.((x2) * 4 + x3)";
+    ];
+  (* balanced dones: 6 loops -> 6 dones *)
+  let dones =
+    List.length (List.filter (fun l -> String.trim l = "done") (String.split_on_char '\n' code))
+  in
+  Alcotest.(check int) "done count" 6 dones
+
+let test_untiled_structure () =
+  let code = Codegen.emit_untiled ~lang:Codegen.C mm_small in
+  Alcotest.(check bool) "plain loop" true (contains code "for (int x1 = 0; x1 < 6; x1++)");
+  Alcotest.(check bool) "no tile loops" false (contains code "x1_0")
+
+let test_custom_body_and_name () =
+  let code =
+    Codegen.emit ~lang:Codegen.C ~body:"$0 = $1 + $2" ~function_name:"my kernel!" mm_small
+      ~tile:[| 1; 1; 1 |]
+  in
+  Alcotest.(check bool) "sanitized name" true (contains code "void my_kernel_(");
+  Alcotest.(check bool) "custom body" true (contains code "] = A[");
+  Alcotest.(check bool) "statement terminated" true (contains code ";")
+
+let test_validation () =
+  Alcotest.check_raises "bad tile arity"
+    (Invalid_argument "Codegen.emit: tile arity mismatch") (fun () ->
+    ignore (Codegen.emit mm_small ~tile:[| 2 |]));
+  (match Codegen.emit ~body:"$9 += $1" mm_small ~tile:[| 1; 1; 1 |] with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "mentions $9" true (contains msg "$9")
+  | _ -> Alcotest.fail "expected invalid body to raise");
+  match Codegen.emit ~body:"$ += $1" mm_small ~tile:[| 1; 1; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bare $ to raise"
+
+let test_name_collisions () =
+  (* Arrays "A" and "a" collide after lowercasing in OCaml mode. *)
+  let spec =
+    Spec.create_exn ~name:"clash" ~loops:[| "i"; "j" |] ~bounds:[| 2; 2 |]
+      ~arrays:
+        [|
+          Spec.array_ref ~mode:Spec.Update "A" [ 0; 1 ];
+          Spec.array_ref "a" [ 0 ];
+          Spec.array_ref "B" [ 1 ];
+        |]
+  in
+  let code = Codegen.emit ~lang:Codegen.OCaml spec ~tile:[| 1; 1 |] in
+  Alcotest.(check bool) "fresh name" true (contains code "a_1")
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter for round-trip checks                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpret the spec's multiply-accumulate semantics directly: array 0
+   accumulates the product of the other arrays, inputs filled with a
+   deterministic pattern. *)
+let reference spec =
+  let lay = Layout.make spec in
+  let mem = Array.make (Layout.total_words lay) 0.0 in
+  (* inputs: value = 1 + addr mod 7 *)
+  for j = 1 to Spec.num_arrays spec - 1 do
+    let base = Layout.base lay j in
+    let words = Spec.array_words spec j in
+    for k = 0 to words - 1 do
+      mem.(base + k) <- 1.0 +. float_of_int ((base + k) mod 7)
+    done
+  done;
+  Schedules.iterate spec Schedules.Untiled (fun point ->
+    let acc = ref 1.0 in
+    for j = 1 to Spec.num_arrays spec - 1 do
+      acc := !acc *. mem.(Layout.address lay j point)
+    done;
+    let out = Layout.address lay 0 point in
+    mem.(out) <- mem.(out) +. !acc);
+  let out_words = Spec.array_words spec 0 in
+  Array.sub mem (Layout.base lay 0) out_words
+
+let run_cmd cmd =
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "codegen" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let test_c_round_trip () =
+  let spec = mm_small in
+  let tile = [| 4; 2; 3 |] in
+  let expected = reference spec in
+  with_temp_dir (fun dir ->
+    let src = Filename.concat dir "kern.c" in
+    let exe = Filename.concat dir "kern" in
+    let oc = open_out src in
+    output_string oc "#include <stdio.h>\n";
+    output_string oc (Codegen.emit ~lang:Codegen.C ~function_name:"kern" spec ~tile);
+    (* driver mirrors the reference interpreter's input pattern *)
+    let lay = Layout.make spec in
+    Printf.fprintf oc "int main(void) {\n";
+    Array.iteri
+      (fun j (a : Spec.array_ref) ->
+        Printf.fprintf oc "  static double %s[%d];\n" a.Spec.aname (Spec.array_words spec j))
+      spec.Spec.arrays;
+    Array.iteri
+      (fun j (a : Spec.array_ref) ->
+        if j > 0 then
+          Printf.fprintf oc
+            "  for (int k = 0; k < %d; k++) %s[k] = 1.0 + (double)((%d + k) %% 7);\n"
+            (Spec.array_words spec j) a.Spec.aname (Layout.base lay j))
+      spec.Spec.arrays;
+    Printf.fprintf oc "  kern(%s);\n"
+      (String.concat ", "
+         (Array.to_list (Array.map (fun (a : Spec.array_ref) -> a.Spec.aname) spec.Spec.arrays)));
+    Printf.fprintf oc "  for (int k = 0; k < %d; k++) printf(\"%%.1f\\n\", %s[k]);\n"
+      (Spec.array_words spec 0) spec.Spec.arrays.(0).Spec.aname;
+    Printf.fprintf oc "  return 0;\n}\n";
+    close_out oc;
+    let status = Sys.command (Printf.sprintf "gcc -O1 -o %s %s 2>/dev/null" exe src) in
+    Alcotest.(check int) "gcc succeeds" 0 status;
+    let _, out = run_cmd exe in
+    let got = List.filter_map float_of_string_opt (String.split_on_char '\n' out) in
+    Alcotest.(check int) "output length" (Array.length expected) (List.length got);
+    List.iteri
+      (fun k v ->
+        if Float.abs (v -. expected.(k)) > 1e-9 then
+          Alcotest.failf "element %d: C gives %f, reference %f" k v expected.(k))
+      got)
+
+let test_ocaml_round_trip () =
+  let spec = Kernels.pointwise_conv ~b:2 ~c:3 ~k:2 ~w:3 ~h:2 in
+  let tile = [| 2; 2; 1; 3; 2 |] in
+  let expected = reference spec in
+  with_temp_dir (fun dir ->
+    let src = Filename.concat dir "kern.ml" in
+    let oc = open_out src in
+    output_string oc (Codegen.emit ~lang:Codegen.OCaml ~function_name:"kern" spec ~tile);
+    let lay = Layout.make spec in
+    let params = ref [] in
+    Array.iteri
+      (fun j (a : Spec.array_ref) ->
+        let name = String.lowercase_ascii a.Spec.aname in
+        params := name :: !params;
+        Printf.fprintf oc "let %s = Array.make %d 0.0\n" name (Spec.array_words spec j);
+        if j > 0 then
+          Printf.fprintf oc
+            "let () = Array.iteri (fun k _ -> %s.(k) <- 1.0 +. float_of_int ((%d + k) mod 7)) %s\n"
+            name (Layout.base lay j) name)
+      spec.Spec.arrays;
+    Printf.fprintf oc "let () = kern %s\n" (String.concat " " (List.rev !params));
+    Printf.fprintf oc "let () = Array.iter (fun v -> Printf.printf \"%%.1f\\n\" v) %s\n"
+      (String.lowercase_ascii spec.Spec.arrays.(0).Spec.aname);
+    close_out oc;
+    let _, out = run_cmd (Printf.sprintf "ocaml %s 2>/dev/null" (Filename.quote src)) in
+    let got = List.filter_map float_of_string_opt (String.split_on_char '\n' out) in
+    Alcotest.(check int) "output length" (Array.length expected) (List.length got);
+    List.iteri
+      (fun k v ->
+        if Float.abs (v -. expected.(k)) > 1e-9 then
+          Alcotest.failf "element %d: OCaml gives %f, reference %f" k v expected.(k))
+      got)
+
+let test_generated_c_compiles_for_stock_kernels () =
+  with_temp_dir (fun dir ->
+    List.iteri
+      (fun i (name, spec) ->
+        let tile = Tiling.optimal spec ~m:256 in
+        let src = Filename.concat dir (Printf.sprintf "k%d.c" i) in
+        let oc = open_out src in
+        output_string oc (Codegen.emit ~lang:Codegen.C ~function_name:("k" ^ string_of_int i) spec ~tile);
+        close_out oc;
+        let status = Sys.command (Printf.sprintf "gcc -fsyntax-only %s 2>/dev/null" src) in
+        Alcotest.(check int) (name ^ " compiles") 0 status)
+      (Kernels.all ()))
+
+
+(* ------------------------------------------------------------------ *)
+(* Structural properties on random specs                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_spec_tile =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun d ->
+    array_size (return d) (int_range 1 9) >>= fun bounds ->
+    int_range 2 3 >>= fun n ->
+    let arrays =
+      Array.init n (fun j ->
+        Spec.array_ref
+          ~mode:(if j = 0 then Spec.Update else Spec.Read)
+          (Printf.sprintf "A%d" j)
+          (List.filter (fun i -> i mod n = j || (i + j) mod 2 = 0) (List.init d (fun i -> i))))
+    in
+    let covered = Array.make d false in
+    Array.iter (fun (a : Spec.array_ref) -> Array.iter (fun i -> covered.(i) <- true) a.Spec.support) arrays;
+    let arrays =
+      Array.mapi
+        (fun j (a : Spec.array_ref) ->
+          if j = 0 then
+            Spec.array_ref ~mode:a.Spec.mode a.Spec.aname
+              (Array.to_list a.Spec.support
+              @ List.filteri (fun i _ -> not covered.(i)) (List.init d (fun i -> i)))
+          else a)
+        arrays
+    in
+    let loops = Array.init d (fun i -> Printf.sprintf "x%d" (i + 1)) in
+    match Spec.create ~name:"g" ~loops ~bounds ~arrays with
+    | Ok s ->
+      array_size (return d) (int_range 1 9) >>= fun raw ->
+      return (s, Array.mapi (fun i v -> 1 + (v mod s.Spec.bounds.(i))) raw)
+    | Error e -> failwith (Spec.string_of_error e))
+
+let arb_spec_tile =
+  QCheck.make
+    ~print:(fun (s, t) ->
+      Format.asprintf "%a tile=%s" Spec.pp s
+        (String.concat "x" (Array.to_list (Array.map string_of_int t))))
+    gen_spec_tile
+
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go from acc =
+    match Astring.String.find_sub ~start:from ~sub:needle hay with
+    | Some i -> go (i + n) (acc + 1)
+    | None -> acc
+  in
+  go 0 0
+
+let structure_props =
+  [
+    QCheck.Test.make ~name:"OCaml output balances for/done" ~count:150 arb_spec_tile
+      (fun (spec, tile) ->
+        let code = Codegen.emit ~lang:Codegen.OCaml spec ~tile in
+        count_substring code "for " = count_substring code "done");
+    QCheck.Test.make ~name:"C output balances braces and parens" ~count:150 arb_spec_tile
+      (fun (spec, tile) ->
+        let code = Codegen.emit ~lang:Codegen.C spec ~tile in
+        let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 code in
+        count '{' = count '}' && count '(' = count ')' && count '[' = count ']');
+    QCheck.Test.make ~name:"every array appears in the body" ~count:150 arb_spec_tile
+      (fun (spec, tile) ->
+        let code = Codegen.emit ~lang:Codegen.C spec ~tile in
+        Array.for_all
+          (fun (a : Spec.array_ref) -> Astring.String.is_infix ~affix:(a.Spec.aname ^ "[") code)
+          spec.Spec.arrays);
+  ]
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "default body" `Quick test_default_body;
+          Alcotest.test_case "C structure" `Quick test_c_structure;
+          Alcotest.test_case "OCaml structure" `Quick test_ocaml_structure;
+          Alcotest.test_case "untiled" `Quick test_untiled_structure;
+          Alcotest.test_case "custom body/name" `Quick test_custom_body_and_name;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "name collisions" `Quick test_name_collisions;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "C executes correctly" `Quick test_c_round_trip;
+          Alcotest.test_case "OCaml executes correctly" `Quick test_ocaml_round_trip;
+          Alcotest.test_case "stock kernels compile" `Quick test_generated_c_compiles_for_stock_kernels;
+        ] );
+      ("structure-properties", List.map QCheck_alcotest.to_alcotest structure_props);
+    ]

@@ -1,0 +1,173 @@
+(* Tests for the Section-7 distributed-memory extension. *)
+
+let test_grids_enumeration () =
+  let spec = Kernels.matmul ~l1:8 ~l2:8 ~l3:8 in
+  let gs = Partition.grids spec ~p:4 in
+  (* factorizations of 4 into 3 parts: (1,1,4),(1,2,2),(1,4,1),(2,1,2),
+     (2,2,1),(4,1,1) *)
+  Alcotest.(check int) "count" 6 (List.length gs);
+  List.iter
+    (fun g -> Alcotest.(check int) "product" 4 (Array.fold_left ( * ) 1 g))
+    gs
+
+let test_grids_respect_bounds () =
+  let spec = Kernels.matmul ~l1:2 ~l2:8 ~l3:8 in
+  let gs = Partition.grids spec ~p:4 in
+  List.iter
+    (fun g -> Alcotest.(check bool) "p1 <= L1" true (g.(0) <= 2))
+    gs;
+  (* p too large to factor within bounds *)
+  let tiny = Kernels.nbody ~l1:2 ~l2:2 in
+  Alcotest.(check (list (array int))) "no grid" [] (Partition.grids tiny ~p:8)
+
+let test_block_dims () =
+  let spec = Kernels.matmul ~l1:10 ~l2:8 ~l3:8 in
+  Alcotest.(check (array int)) "ceil division" [| 4; 4; 8 |]
+    (Partition.block_dims spec ~grid:[| 3; 2; 1 |]);
+  Alcotest.(check int) "block iterations" (4 * 4 * 8)
+    (Partition.block_iterations spec ~grid:[| 3; 2; 1 |])
+
+let test_cost_matmul () =
+  let spec = Kernels.matmul ~l1:8 ~l2:8 ~l3:8 in
+  let c = Comm_model.cost spec ~grid:[| 2; 2; 2 |] in
+  (* block 4x4x4; each array footprint 16 -> 48 words *)
+  Alcotest.(check int) "cost" 48 c.Comm_model.words;
+  let c2 = Comm_model.cost spec ~grid:[| 8; 1; 1 |] in
+  (* block 1x8x8: C 1*8=8, A 1*8=8, B 64 -> 80 *)
+  Alcotest.(check int) "1d cost" 80 c2.Comm_model.words
+
+let test_best_grid_is_balanced () =
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  match Comm_model.best_grid spec ~p:8 with
+  | None -> Alcotest.fail "factorable"
+  | Some g ->
+    Alcotest.(check (array int)) "cube grid" [| 2; 2; 2 |] g.Comm_model.grid
+
+let test_best_grid_adapts_to_small_bound () =
+  (* L3 tiny: splitting the x3 dimension is useless; the best grid should
+     put the processors on x1/x2. *)
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:2 in
+  match Comm_model.best_grid spec ~p:16 with
+  | None -> Alcotest.fail "factorable"
+  | Some g ->
+    Alcotest.(check int) "x3 not split" 1 g.Comm_model.grid.(2);
+    Alcotest.(check int) "4x4 on the big dims" 16 (g.Comm_model.grid.(0) * g.Comm_model.grid.(1))
+
+let test_lower_bound_sane () =
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  let lb = Comm_model.lower_bound spec ~p:8 in
+  (match Comm_model.best_grid spec ~p:8 with
+  | None -> Alcotest.fail "factorable"
+  | Some g ->
+    (* best-grid cost within a small constant (n = 3 arrays) of the bound *)
+    let ratio = float_of_int g.Comm_model.words /. lb in
+    if ratio < 1.0 || ratio > 4.0 then
+      Alcotest.failf "ratio %.2f outside [1, 4] (cost %d, lb %.1f)" ratio g.Comm_model.words lb);
+  (* single processor: needs at least enough footprint for everything *)
+  let lb1 = Comm_model.lower_bound spec ~p:1 in
+  Alcotest.(check bool) "P=1 >= P=8" true (lb1 >= lb)
+
+let test_min_footprint_monotone () =
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  let f1 = Comm_model.min_footprint spec ~iterations:1000.0 in
+  let f2 = Comm_model.min_footprint spec ~iterations:100000.0 in
+  Alcotest.(check bool) "monotone" true (f2 >= f1);
+  Alcotest.(check (float 0.01)) "trivial" 1.0 (Comm_model.min_footprint spec ~iterations:1.0)
+
+let test_min_footprint_matches_hk () =
+  (* Large-bounds matmul: V iterations need footprint ~ V^(2/3)
+     (Hong-Kung / Irony-Toledo-Tiskin shape). *)
+  let spec = Kernels.matmul ~l1:4096 ~l2:4096 ~l3:4096 in
+  let v = 1.0e6 in
+  let f = Comm_model.min_footprint spec ~iterations:v in
+  let expect = Float.pow v (2.0 /. 3.0) in
+  let ratio = f /. expect in
+  Alcotest.(check bool) "within 10%" true (ratio > 0.9 && ratio < 1.1)
+
+
+let test_simulated_cost_matches_analytic () =
+  List.iter
+    (fun (spec, p) ->
+      List.iter
+        (fun grid ->
+          Alcotest.(check int)
+            (Printf.sprintf "grid %s"
+               (String.concat "x" (Array.to_list (Array.map string_of_int grid))))
+            (Comm_model.cost spec ~grid).Comm_model.words
+            (Comm_model.simulated_cost spec ~grid))
+        (Partition.grids spec ~p))
+    [
+      (Kernels.matmul ~l1:12 ~l2:10 ~l3:8, 4);
+      (Kernels.nbody ~l1:16 ~l2:12, 6);
+      (Kernels.pointwise_conv ~b:4 ~c:4 ~k:4 ~w:4 ~h:4, 8);
+    ]
+
+
+let test_simulate_processor_regimes () =
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  let grid = [| 2; 2; 2 |] in
+  let gather = (Comm_model.cost spec ~grid).Comm_model.words in
+  let sim m = (Comm_model.simulate_processor spec ~grid ~m_local:m).Comm_model.words_per_proc in
+  (* tiny local memory: re-fetching dominates, cost above the gather volume *)
+  Alcotest.(check bool) "small M exceeds gather" true (sim 128 > gather);
+  (* big local memory: everything is fetched once (plus output writeback) *)
+  let big = sim 16384 in
+  Alcotest.(check bool) "big M near gather" true
+    (float_of_int big < 1.5 *. float_of_int gather);
+  (* monotone in local memory *)
+  Alcotest.(check bool) "monotone" true (sim 128 >= sim 512 && sim 512 >= sim 4096);
+  Alcotest.check_raises "oversized block"
+    (Invalid_argument "Comm_model.simulate_processor: block too large to simulate") (fun () ->
+    ignore
+      (Comm_model.simulate_processor
+         (Kernels.matmul ~l1:4096 ~l2:4096 ~l3:4096)
+         ~grid:[| 1; 1; 1 |] ~m_local:256))
+
+let props =
+  [
+    QCheck.Test.make ~name:"grid costs bounded below by the LB" ~count:50
+      (QCheck.make
+         ~print:(fun (l, p) -> Printf.sprintf "L=%d P=%d" l p)
+         QCheck.Gen.(pair (int_range 8 64) (oneofl [ 2; 4; 8; 16 ])))
+      (fun (l, p) ->
+        let spec = Kernels.matmul ~l1:l ~l2:l ~l3:l in
+        let lb = Comm_model.lower_bound spec ~p in
+        List.for_all
+          (fun grid ->
+            (* the per-array bound can't exceed the summed footprint *)
+            float_of_int (Comm_model.cost spec ~grid).Comm_model.words >= lb *. 0.999)
+          (Partition.grids spec ~p));
+    QCheck.Test.make ~name:"block covers iteration share" ~count:50
+      (QCheck.make
+         ~print:(fun (l, p) -> Printf.sprintf "L=%d P=%d" l p)
+         QCheck.Gen.(pair (int_range 4 32) (oneofl [ 2; 3; 4; 6; 8 ])))
+      (fun (l, p) ->
+        let spec = Kernels.matmul ~l1:l ~l2:l ~l3:l in
+        List.for_all
+          (fun grid ->
+            Partition.block_iterations spec ~grid * p >= Spec.iteration_count spec)
+          (Partition.grids spec ~p));
+  ]
+
+let () =
+  Alcotest.run "distrib"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "grids enumeration" `Quick test_grids_enumeration;
+          Alcotest.test_case "bounds respected" `Quick test_grids_respect_bounds;
+          Alcotest.test_case "block dims" `Quick test_block_dims;
+        ] );
+      ( "comm-model",
+        [
+          Alcotest.test_case "cost matmul" `Quick test_cost_matmul;
+          Alcotest.test_case "best grid balanced" `Quick test_best_grid_is_balanced;
+          Alcotest.test_case "best grid small bound" `Quick test_best_grid_adapts_to_small_bound;
+          Alcotest.test_case "lower bound sane" `Quick test_lower_bound_sane;
+          Alcotest.test_case "min footprint monotone" `Quick test_min_footprint_monotone;
+          Alcotest.test_case "Hong-Kung shape" `Quick test_min_footprint_matches_hk;
+          Alcotest.test_case "simulated = analytic cost" `Quick test_simulated_cost_matches_analytic;
+          Alcotest.test_case "processor simulation regimes" `Quick test_simulate_processor_regimes;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

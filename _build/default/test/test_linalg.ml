@@ -1,0 +1,170 @@
+(* Tests for rational vectors and matrices. *)
+
+let r = Rat.of_int
+let rr = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+let vec = Alcotest.testable Vec.pp Vec.equal
+let mat = Alcotest.testable Mat.pp Mat.equal
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basics () =
+  let v = Vec.of_ints [ 1; 2; 3 ] in
+  Alcotest.(check int) "dim" 3 (Vec.dim v);
+  Alcotest.check rat "dot" (r 14) (Vec.dot v v);
+  Alcotest.check rat "sum" (r 6) (Vec.sum v);
+  Alcotest.check vec "add" (Vec.of_ints [ 2; 4; 6 ]) (Vec.add v v);
+  Alcotest.check vec "sub to zero" (Vec.zeros 3) (Vec.sub v v);
+  Alcotest.check vec "scale" (Vec.of_ints [ 2; 4; 6 ]) (Vec.scale (r 2) v);
+  Alcotest.check vec "neg" (Vec.of_ints [ -1; -2; -3 ]) (Vec.neg v);
+  Alcotest.(check bool) "is_nonneg" true (Vec.is_nonneg v);
+  Alcotest.(check bool) "is_nonneg neg" false (Vec.is_nonneg (Vec.neg v));
+  Alcotest.(check bool) "is_zero" true (Vec.is_zero (Vec.zeros 4));
+  Alcotest.check vec "basis" (Vec.of_ints [ 0; 1; 0 ]) (Vec.basis 3 1)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec: dimension mismatch") (fun () ->
+    ignore (Vec.dot (Vec.zeros 2) (Vec.zeros 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_basics () =
+  let a = Mat.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check int) "rows" 2 (Mat.rows a);
+  Alcotest.(check int) "cols" 2 (Mat.cols a);
+  Alcotest.check rat "get" (r 3) (Mat.get a 1 0);
+  Alcotest.check mat "transpose" (Mat.of_int_rows [ [ 1; 3 ]; [ 2; 4 ] ]) (Mat.transpose a);
+  Alcotest.check mat "identity mul" a (Mat.mul a (Mat.identity 2));
+  Alcotest.check mat "mul"
+    (Mat.of_int_rows [ [ 7; 10 ]; [ 15; 22 ] ])
+    (Mat.mul a a);
+  Alcotest.check vec "mul_vec" (Vec.of_ints [ 5; 11 ]) (Mat.mul_vec a (Vec.of_ints [ 1; 2 ]));
+  Alcotest.check mat "add/sub" a (Mat.sub (Mat.add a a) a);
+  Alcotest.check mat "scale" (Mat.of_int_rows [ [ 2; 4 ]; [ 6; 8 ] ]) (Mat.scale (r 2) a)
+
+let test_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows") (fun () ->
+    ignore (Mat.of_rows [| [| r 1 |]; [| r 1; r 2 |] |]))
+
+let test_rank () =
+  Alcotest.(check int) "full rank" 2 (Mat.rank (Mat.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.(check int) "rank deficient" 1
+    (Mat.rank (Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.(check int) "zero matrix" 0 (Mat.rank (Mat.zeros 3 3));
+  Alcotest.(check int) "tall" 2 (Mat.rank (Mat.of_int_rows [ [ 1; 0 ]; [ 0; 1 ]; [ 1; 1 ] ]));
+  Alcotest.(check int) "wide" 2 (Mat.rank (Mat.of_int_rows [ [ 1; 0; 1 ]; [ 0; 1; 1 ] ]))
+
+let test_det () =
+  Alcotest.check rat "2x2" (r (-2)) (Mat.det (Mat.of_int_rows [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.check rat "singular" Rat.zero (Mat.det (Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.check rat "identity" Rat.one (Mat.det (Mat.identity 4));
+  Alcotest.check rat "3x3" (r 2)
+    (Mat.det (Mat.of_int_rows [ [ 2; 0; 1 ]; [ 1; 1; 0 ]; [ 3; 1; 2 ] ]));
+  (* swap two rows: determinant flips sign *)
+  Alcotest.check rat "row swap" (r (-2))
+    (Mat.det (Mat.of_int_rows [ [ 1; 1; 0 ]; [ 2; 0; 1 ]; [ 3; 1; 2 ] ]))
+
+let test_inverse () =
+  let a = Mat.of_int_rows [ [ 2; 1 ]; [ 1; 1 ] ] in
+  (match Mat.inverse a with
+  | None -> Alcotest.fail "should be invertible"
+  | Some inv ->
+    Alcotest.check mat "a * a^-1 = I" (Mat.identity 2) (Mat.mul a inv);
+    Alcotest.check mat "a^-1 * a = I" (Mat.identity 2) (Mat.mul inv a));
+  Alcotest.(check bool) "singular gives None" true
+    (Mat.inverse (Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ]) = None)
+
+let test_solve () =
+  let a = Mat.of_int_rows [ [ 2; 1 ]; [ 1; 3 ] ] in
+  let b = Vec.of_ints [ 5; 10 ] in
+  (match Mat.solve a b with
+  | None -> Alcotest.fail "solvable"
+  | Some x -> Alcotest.check vec "a x = b" b (Mat.mul_vec a x));
+  (* inconsistent *)
+  let a2 = Mat.of_int_rows [ [ 1; 1 ]; [ 1; 1 ] ] in
+  Alcotest.(check bool) "inconsistent" true (Mat.solve a2 (Vec.of_ints [ 1; 2 ]) = None);
+  (* underdetermined: returns some valid solution *)
+  let a3 = Mat.of_int_rows [ [ 1; 1 ] ] in
+  (match Mat.solve a3 (Vec.of_ints [ 3 ]) with
+  | None -> Alcotest.fail "underdetermined solvable"
+  | Some x -> Alcotest.check rat "sums to 3" (r 3) (Vec.sum x))
+
+let test_fractional_elimination () =
+  (* Hilbert-like matrix: exact rational elimination must not lose
+     precision. *)
+  let h = Mat.init 3 3 (fun i j -> rr 1 (i + j + 1)) in
+  Alcotest.check rat "hilbert det" (rr 1 2160) (Mat.det h);
+  match Mat.inverse h with
+  | None -> Alcotest.fail "hilbert invertible"
+  | Some inv -> Alcotest.check mat "roundtrip" (Mat.identity 3) (Mat.mul h inv)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_rat_small = QCheck.Gen.(map2 (fun n d -> Rat.of_ints n d) (int_range (-8) 8) (int_range 1 4))
+
+let gen_mat n =
+  QCheck.Gen.(
+    map
+      (fun cells -> Mat.init n n (fun i j -> cells.(i).(j)))
+      (array_size (return n) (array_size (return n) gen_rat_small)))
+
+let arb_mat n =
+  QCheck.make
+    ~print:(fun m -> Format.asprintf "%a" Mat.pp m)
+    (gen_mat n)
+
+let props =
+  [
+    QCheck.Test.make ~name:"det multiplicative" ~count:100
+      (QCheck.pair (arb_mat 3) (arb_mat 3))
+      (fun (a, b) -> Rat.equal (Mat.det (Mat.mul a b)) (Rat.mul (Mat.det a) (Mat.det b)));
+    QCheck.Test.make ~name:"inverse roundtrip" ~count:100 (arb_mat 3) (fun a ->
+      match Mat.inverse a with
+      | None -> Rat.is_zero (Mat.det a)
+      | Some inv -> Mat.equal (Mat.mul a inv) (Mat.identity 3) && not (Rat.is_zero (Mat.det a)));
+    QCheck.Test.make ~name:"rank of transpose" ~count:100 (arb_mat 4) (fun a ->
+      Mat.rank a = Mat.rank (Mat.transpose a));
+    QCheck.Test.make ~name:"solve consistency" ~count:100
+      (QCheck.pair (arb_mat 3)
+         (QCheck.make ~print:(Format.asprintf "%a" Vec.pp)
+            QCheck.Gen.(array_size (return 3) gen_rat_small)))
+      (fun (a, b) ->
+        match Mat.solve a b with
+        | Some x -> Vec.equal (Mat.mul_vec a x) b
+        | None -> Mat.rank a < 3 (* inconsistency requires rank deficiency *));
+    QCheck.Test.make ~name:"transpose involutive" ~count:100 (arb_mat 3) (fun a ->
+      Mat.equal (Mat.transpose (Mat.transpose a)) a);
+    QCheck.Test.make ~name:"mul_vec linear" ~count:100
+      (QCheck.pair (arb_mat 3)
+         (QCheck.make ~print:(Format.asprintf "%a" Vec.pp)
+            QCheck.Gen.(array_size (return 3) gen_rat_small)))
+      (fun (a, v) ->
+        Vec.equal (Mat.mul_vec a (Vec.scale (r 2) v)) (Vec.scale (r 2) (Mat.mul_vec a v)));
+  ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_dim_mismatch;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "basics" `Quick test_mat_basics;
+          Alcotest.test_case "ragged rejected" `Quick test_ragged_rejected;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "det" `Quick test_det;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "solve" `Quick test_solve;
+          Alcotest.test_case "fractional elimination" `Quick test_fractional_elimination;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

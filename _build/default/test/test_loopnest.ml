@@ -1,0 +1,332 @@
+(* Tests for the loop-nest IR: spec validation, stock kernels, and the
+   textual DSL parser. *)
+
+let spec_ok = function Ok s -> s | Error e -> Alcotest.failf "spec error: %s" (Spec.string_of_error e)
+
+let mk ?(name = "t") loops bounds arrays =
+  Spec.create ~name ~loops:(Array.of_list loops) ~bounds:(Array.of_list bounds)
+    ~arrays:(Array.of_list arrays)
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_valid () =
+  let s = spec_ok (mk [ "i"; "j" ] [ 4; 5 ] [ Spec.array_ref "A" [ 0 ]; Spec.array_ref "B" [ 1 ] ]) in
+  Alcotest.(check int) "loops" 2 (Spec.num_loops s);
+  Alcotest.(check int) "arrays" 2 (Spec.num_arrays s);
+  Alcotest.(check int) "iterations" 20 (Spec.iteration_count s)
+
+let expect_error expected result =
+  match result with
+  | Ok _ -> Alcotest.fail "expected validation error"
+  | Error e ->
+    if e <> expected then
+      Alcotest.failf "expected %s, got %s" (Spec.string_of_error expected)
+        (Spec.string_of_error e)
+
+let test_create_invalid () =
+  expect_error Spec.Empty_loops (mk [] [] [ Spec.array_ref "A" [] ]);
+  expect_error (Spec.Bad_bound { loop = "i"; bound = 0 })
+    (mk [ "i" ] [ 0 ] [ Spec.array_ref "A" [ 0 ] ]);
+  expect_error (Spec.Bad_bound { loop = "j"; bound = -2 })
+    (mk [ "i"; "j" ] [ 3; -2 ] [ Spec.array_ref "A" [ 0; 1 ] ]);
+  expect_error (Spec.Duplicate_loop "i")
+    (mk [ "i"; "i" ] [ 3; 3 ] [ Spec.array_ref "A" [ 0; 1 ] ]);
+  expect_error Spec.Empty_arrays (mk [ "i" ] [ 3 ] []);
+  expect_error (Spec.Duplicate_array "A")
+    (mk [ "i" ] [ 3 ] [ Spec.array_ref "A" [ 0 ]; Spec.array_ref "A" [ 0 ] ]);
+  expect_error (Spec.Bad_support { array_name = "A"; index = 5 })
+    (mk [ "i" ] [ 3 ] [ Spec.array_ref "A" [ 5 ] ]);
+  expect_error (Spec.Unused_loop "j")
+    (mk [ "i"; "j" ] [ 3; 3 ] [ Spec.array_ref "A" [ 0 ] ])
+
+let test_unsorted_support_rejected () =
+  (* Bypass array_ref's sort to hit the validator directly. *)
+  let bad = { Spec.aname = "A"; support = [| 1; 0 |]; mode = Spec.Read } in
+  expect_error (Spec.Unsorted_support "A")
+    (Spec.create ~name:"t" ~loops:[| "i"; "j" |] ~bounds:[| 2; 2 |] ~arrays:[| bad |])
+
+let test_array_ref_normalizes () =
+  let a = Spec.array_ref "A" [ 2; 0; 2; 1 ] in
+  Alcotest.(check (list int)) "sorted dedup" [ 0; 1; 2 ] (Array.to_list a.Spec.support)
+
+let test_derived_quantities () =
+  let s = Kernels.matmul ~l1:4 ~l2:5 ~l3:6 in
+  Alcotest.(check int) "iterations" 120 (Spec.iteration_count s);
+  Alcotest.(check int) "C words" 24 (Spec.array_words s 0);
+  Alcotest.(check int) "A words" 20 (Spec.array_words s 1);
+  Alcotest.(check int) "B words" 30 (Spec.array_words s 2);
+  Alcotest.(check int) "total" 74 (Spec.total_array_words s);
+  Alcotest.(check (list int)) "R_1 (x2)" [ 1; 2 ] (Spec.touching_arrays s 1);
+  Alcotest.(check (list int)) "R_0 (x1)" [ 0; 1 ] (Spec.touching_arrays s 0);
+  Alcotest.(check (list int)) "R_2 (x3)" [ 0; 2 ] (Spec.touching_arrays s 2);
+  let phi = Spec.support_matrix s in
+  Alcotest.(check (array (array int))) "support matrix"
+    [| [| 1; 0; 1 |]; [| 1; 1; 0 |]; [| 0; 1; 1 |] |]
+    phi;
+  Alcotest.(check (option int)) "loop_index" (Some 1) (Spec.loop_index s "x2");
+  Alcotest.(check (option int)) "loop_index missing" None (Spec.loop_index s "zz")
+
+let test_with_bounds () =
+  let s = Kernels.matmul ~l1:4 ~l2:5 ~l3:6 in
+  let s2 = Spec.with_bounds s [| 7; 8; 9 |] in
+  Alcotest.(check int) "new iterations" 504 (Spec.iteration_count s2);
+  Alcotest.check_raises "arity" (Invalid_argument "Spec.with_bounds: arity mismatch") (fun () ->
+    ignore (Spec.with_bounds s [| 1; 2 |]));
+  Alcotest.check_raises "positive" (Invalid_argument "Spec.with_bounds: non-positive bound")
+    (fun () -> ignore (Spec.with_bounds s [| 1; 2; 0 |]))
+
+let test_equal_shape () =
+  let a = Kernels.matmul ~l1:4 ~l2:5 ~l3:6 in
+  let b = Kernels.fully_connected ~batch:10 ~cin:20 ~cout:30 in
+  Alcotest.(check bool) "matmul ~ fully_connected" true (Spec.equal_shape a b);
+  Alcotest.(check bool) "matmul != nbody" false
+    (Spec.equal_shape a (Kernels.nbody ~l1:4 ~l2:4))
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernels_validate () =
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " nonempty") true (Spec.num_arrays s > 0))
+    (Kernels.all ())
+
+let test_tensor_contraction_shape () =
+  (* j=1, k=3, d=4: A1(x1, x3, x4), A2(x1, x2), A3(x2, x3, x4) *)
+  let s = Kernels.tensor_contraction ~j:1 ~k:3 ~d:4 ~bounds:[| 2; 3; 4; 5 |] in
+  let sup j = Array.to_list s.Spec.arrays.(j).Spec.support in
+  Alcotest.(check (list int)) "A1" [ 0; 2; 3 ] (sup 0);
+  Alcotest.(check (list int)) "A2" [ 0; 1 ] (sup 1);
+  Alcotest.(check (list int)) "A3" [ 1; 2; 3 ] (sup 2);
+  Alcotest.check_raises "bad pattern"
+    (Invalid_argument "Kernels.tensor_contraction: need 1 <= j < k-1 < d") (fun () ->
+    ignore (Kernels.tensor_contraction ~j:2 ~k:3 ~d:4 ~bounds:[| 2; 2; 2; 2 |]))
+
+let test_pointwise_conv_shape () =
+  let s = Kernels.pointwise_conv ~b:2 ~c:3 ~k:4 ~w:5 ~h:6 in
+  let sup j = Array.to_list s.Spec.arrays.(j).Spec.support in
+  Alcotest.(check (list int)) "Out over b,k,w,h" [ 0; 2; 3; 4 ] (sup 0);
+  Alcotest.(check (list int)) "Image over b,c,w,h" [ 0; 1; 3; 4 ] (sup 1);
+  Alcotest.(check (list int)) "Filter over c,k" [ 1; 2 ] (sup 2);
+  Alcotest.(check int) "Out words" (2 * 4 * 5 * 6) (Spec.array_words s 0)
+
+let test_matvec_is_matmul_l3_1 () =
+  let s = Kernels.matvec ~m:7 ~n:9 in
+  Alcotest.(check int) "L3 = 1" 1 s.Spec.bounds.(2);
+  Alcotest.(check bool) "shape" true (Spec.equal_shape s (Kernels.matmul ~l1:2 ~l2:2 ~l3:2))
+
+
+let test_new_kernels_shapes () =
+  let bm = Kernels.batched_matmul ~batch:4 ~l1:8 ~l2:8 ~l3:8 in
+  Alcotest.(check int) "batched loops" 4 (Spec.num_loops bm);
+  Alcotest.(check (list int)) "batch in C" [ 0; 1; 3 ]
+    (Array.to_list bm.Spec.arrays.(0).Spec.support);
+  let mt = Kernels.mttkrp ~i:4 ~j:4 ~k:4 ~r:4 in
+  Alcotest.(check int) "mttkrp arrays" 4 (Spec.num_arrays mt);
+  Alcotest.(check (list int)) "T support" [ 0; 1; 2 ]
+    (Array.to_list mt.Spec.arrays.(1).Spec.support);
+  let tb = Kernels.three_body ~l1:4 ~l2:4 ~l3:4 in
+  Alcotest.(check int) "three_body arrays" 4 (Spec.num_arrays tb);
+  Alcotest.(check (list int)) "R of x1" [ 0; 1 ] (Spec.touching_arrays tb 0)
+
+let test_new_kernels_hbl_values () =
+  (* batched matmul: constraints b: s_C+s_A+s_B >= 1, x1: C+A, x2: A+B,
+     x3: C+B; the matmul point (1/2,1/2,1/2) still works -> s_HBL = 3/2 *)
+  Alcotest.(check bool) "batched = 3/2" true
+    (Rat.equal
+       (Hbl_lp.s_hbl (Kernels.batched_matmul ~batch:4 ~l1:8 ~l2:8 ~l3:8))
+       (Rat.of_ints 3 2));
+  (* mttkrp rows: i: M+T >= 1, j: T+B >= 1, k: T+C >= 1, r: M+B+C >= 1.
+     Minimizing M+T+B+C = T + max(1, 3(1-T)) over T gives T = 2/3 with
+     M = B = C = 1/3: optimum 5/3. *)
+  Alcotest.(check bool) "mttkrp = 5/3" true
+    (Rat.equal (Hbl_lp.s_hbl (Kernels.mttkrp ~i:4 ~j:4 ~k:4 ~r:4)) (Rat.of_ints 5 3));
+  (* three_body: x2: s3 >= 1, x3: s4 >= 1, x1: s1+s2 >= 1 -> 3 *)
+  Alcotest.(check bool) "three_body = 3" true
+    (Rat.equal (Hbl_lp.s_hbl (Kernels.three_body ~l1:4 ~l2:4 ~l3:4)) (Rat.of_int 3))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse error: %s" (Parser.string_of_error e)
+
+let parse_err src =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected parse failure for %S" src
+  | Error e -> e
+
+let test_parse_matmul () =
+  let s = parse_ok "i = 64, j = 32, k = 16 : C[i,k] += A[i,j] * B[j,k]" in
+  Alcotest.(check (array string)) "loops" [| "i"; "j"; "k" |] s.Spec.loops;
+  Alcotest.(check (array int)) "bounds" [| 64; 32; 16 |] s.Spec.bounds;
+  Alcotest.(check int) "arrays" 3 (Spec.num_arrays s);
+  Alcotest.(check bool) "target update" true (s.Spec.arrays.(0).Spec.mode = Spec.Update);
+  Alcotest.(check string) "target name" "C" s.Spec.arrays.(0).Spec.aname;
+  Alcotest.(check bool) "matmul shaped" true
+    (Spec.equal_shape s (Kernels.matmul ~l1:2 ~l2:2 ~l3:2))
+
+let test_parse_write_mode () =
+  let s = parse_ok "i = 8, j = 8 : O[i] = X[i] * Y[j]" in
+  Alcotest.(check bool) "write" true (s.Spec.arrays.(0).Spec.mode = Spec.Write)
+
+let test_parse_scalars_ignored () =
+  let s = parse_ok "i = 8, j = 4 : O[i,j] = alpha * X[i] + Y[j]" in
+  Alcotest.(check int) "3 arrays (alpha dropped)" 3 (Spec.num_arrays s)
+
+let test_parse_self_update () =
+  let s = parse_ok "i = 8, j = 8 : A[i] += A[i] * B[j]" in
+  Alcotest.(check int) "self-read merged" 2 (Spec.num_arrays s);
+  Alcotest.(check bool) "update" true (s.Spec.arrays.(0).Spec.mode = Spec.Update)
+
+let test_parse_duplicate_reads_merged () =
+  let s = parse_ok "i = 8, j = 8 : O[i,j] = X[i] * X[i] + Y[j]" in
+  Alcotest.(check int) "X deduped" 3 (Spec.num_arrays s)
+
+let test_parse_repeated_index_collapses () =
+  let s = parse_ok "i = 8 : O[i] = X[i,i]" in
+  Alcotest.(check (list int)) "X support" [ 0 ]
+    (Array.to_list s.Spec.arrays.(1).Spec.support)
+
+let test_parse_comments_and_whitespace () =
+  let s = parse_ok "# a comment\n  i = 8, # inline\n  j = 4 :\n  O[i,j] = X[i] * Y[j]\n# end" in
+  Alcotest.(check (array int)) "bounds" [| 8; 4 |] s.Spec.bounds
+
+let test_parse_underscored_bounds () =
+  let s = parse_ok "i = 1_024 : O[i] = X[i]" in
+  Alcotest.(check int) "bound" 1024 s.Spec.bounds.(0)
+
+let test_parse_errors () =
+  let cases =
+    [
+      ("", "a loop name");
+      ("i = : O[i] = X[i]", "loop bound");
+      ("i = 8 O[i] = X[i]", "':'");
+      ("i = 8 : 5 = X[i]", "array name");
+      ("i = 8 : O[i] X[i]", "'='");
+      ("i = 8 : O[i] = X[q]", "not a declared loop");
+      ("i = 8 : alpha = X[i]", "must be an array");
+      ("i = 8, j = 4 : O[i] = X[i]", "loop j is not used");
+      ("i = 8 : O[i] = X[i] extra [", "end of input");
+      ("i = 8 : O[i] = X[i,j] * X[i]", "not a declared loop");
+      ("i = 8, i = 4 : O[i] = X[i]", "duplicate loop");
+      ("i = 8 : O[i] @ X[i]", "unexpected character");
+    ]
+  in
+  List.iter
+    (fun (src, fragment) ->
+      let e = parse_err src in
+      let msg = Parser.string_of_error e in
+      if
+        not
+          (Astring.String.is_infix ~affix:fragment msg
+           || (* fall back: plain substring search *) false)
+      then Alcotest.failf "error %S does not mention %S" msg fragment)
+    cases
+
+let test_parse_inconsistent_supports () =
+  let e = parse_err "i = 8, j = 8 : O[i] = X[i] * X[j]" in
+  Alcotest.(check bool) "mentions two index sets" true
+    (Astring.String.is_infix ~affix:"two different index sets" (Parser.string_of_error e))
+
+let test_parse_positions () =
+  let e = parse_err "i = 8 :\n  O[i] = X[zz]" in
+  Alcotest.(check int) "line 2" 2 e.Parser.pos.Parser.line
+
+let test_parse_roundtrip_with_analysis () =
+  (* End-to-end: parsed kernels feed the LP machinery. *)
+  let s = parse_ok "i = 64, j = 64, k = 64 : C[i,k] += A[i,j] * B[j,k]" in
+  Alcotest.(check bool) "s_hbl = 3/2" true (Rat.equal (Hbl_lp.s_hbl s) (Rat.of_ints 3 2))
+
+
+(* ------------------------------------------------------------------ *)
+(* Fuzzing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_props =
+  [
+    (* arbitrary strings never crash the parser: it returns Ok or Error *)
+    QCheck.Test.make ~name:"parser total on random strings" ~count:500
+      QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 80) QCheck.Gen.printable)
+      (fun s -> match Parser.parse s with Ok _ | Error _ -> true);
+    (* random token soup from the DSL alphabet never crashes either *)
+    QCheck.Test.make ~name:"parser total on token soup" ~count:500
+      (QCheck.make
+         ~print:(fun x -> x)
+         QCheck.Gen.(
+           let tok =
+             oneofl
+               [ "i"; "j"; "k"; "A"; "B"; "C"; "8"; "64"; "="; "+="; "*"; "+"; "[";
+                 "]"; ","; ":"; "#c\n"; " " ]
+           in
+           map (String.concat "") (list_size (int_range 0 40) tok)))
+      (fun s -> match Parser.parse s with Ok _ | Error _ -> true);
+    (* Spec -> DSL -> Spec round trip on the stock kernels and random shapes *)
+    QCheck.Test.make ~name:"to_dsl round trip (stock kernels)" ~count:1
+      QCheck.(always ())
+      (fun () ->
+        List.for_all
+          (fun (_, spec) ->
+            match Parser.to_dsl spec with
+            | None -> false
+            | Some dsl -> (
+              match Parser.parse dsl with
+              | Error _ -> false
+              | Ok spec2 ->
+                Spec.equal_shape spec spec2 && spec.Spec.bounds = spec2.Spec.bounds))
+          (Kernels.all ()));
+    (* valid programs round-trip: pretty-printed DSL-ish forms reparse *)
+    QCheck.Test.make ~name:"generated matmul-family reparses" ~count:200
+      QCheck.(triple (int_range 1 512) (int_range 1 512) (int_range 1 512))
+      (fun (a, b, c) ->
+        let src = Printf.sprintf "i = %d, j = %d, k = %d : C[i,k] += A[i,j] * B[j,k]" a b c in
+        match Parser.parse src with
+        | Ok spec -> spec.Spec.bounds = [| a; b; c |]
+        | Error _ -> false);
+  ]
+
+let () =
+  Alcotest.run "loopnest"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "create valid" `Quick test_create_valid;
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "unsorted support" `Quick test_unsorted_support_rejected;
+          Alcotest.test_case "array_ref normalizes" `Quick test_array_ref_normalizes;
+          Alcotest.test_case "derived quantities" `Quick test_derived_quantities;
+          Alcotest.test_case "with_bounds" `Quick test_with_bounds;
+          Alcotest.test_case "equal_shape" `Quick test_equal_shape;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "all validate" `Quick test_kernels_validate;
+          Alcotest.test_case "tensor contraction" `Quick test_tensor_contraction_shape;
+          Alcotest.test_case "pointwise conv" `Quick test_pointwise_conv_shape;
+          Alcotest.test_case "matvec" `Quick test_matvec_is_matmul_l3_1;
+          Alcotest.test_case "new kernels shapes" `Quick test_new_kernels_shapes;
+          Alcotest.test_case "new kernels s_hbl" `Quick test_new_kernels_hbl_values;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "matmul" `Quick test_parse_matmul;
+          Alcotest.test_case "write mode" `Quick test_parse_write_mode;
+          Alcotest.test_case "scalars ignored" `Quick test_parse_scalars_ignored;
+          Alcotest.test_case "self update" `Quick test_parse_self_update;
+          Alcotest.test_case "duplicate reads" `Quick test_parse_duplicate_reads_merged;
+          Alcotest.test_case "repeated index" `Quick test_parse_repeated_index_collapses;
+          Alcotest.test_case "comments/whitespace" `Quick test_parse_comments_and_whitespace;
+          Alcotest.test_case "underscored bounds" `Quick test_parse_underscored_bounds;
+          Alcotest.test_case "error messages" `Quick test_parse_errors;
+          Alcotest.test_case "inconsistent supports" `Quick test_parse_inconsistent_supports;
+          Alcotest.test_case "error positions" `Quick test_parse_positions;
+          Alcotest.test_case "roundtrip to analysis" `Quick test_parse_roundtrip_with_analysis;
+        ] );
+      ("fuzz", List.map QCheck_alcotest.to_alcotest fuzz_props);
+    ]

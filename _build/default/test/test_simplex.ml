@@ -1,0 +1,402 @@
+(* Tests for the exact two-phase simplex solver: hand-checked LPs,
+   degenerate and pathological cases, and duality properties on random
+   feasible/bounded programs. *)
+
+let r = Rat.of_int
+let rr = Rat.of_ints
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let solve_opt lp = match Simplex.solve lp with Simplex.Optimal s -> s | _ -> Alcotest.fail "expected Optimal"
+
+let check_strong_duality lp (s : Simplex.solution) =
+  Alcotest.check rat "strong duality" s.Simplex.objective (Simplex.dual_objective lp s.Simplex.dual);
+  Alcotest.(check bool) "primal feasible" true (Lp.satisfies lp s.Simplex.primal);
+  Alcotest.check rat "objective consistent" s.Simplex.objective
+    (Lp.eval_objective lp s.Simplex.primal)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-checked problems                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_textbook_max () =
+  let lp =
+    Lp.make Lp.Maximize [| r 3; r 5 |]
+      [
+        Lp.constr [| r 1; r 0 |] Lp.Le (r 4);
+        Lp.constr [| r 0; r 2 |] Lp.Le (r 12);
+        Lp.constr [| r 3; r 2 |] Lp.Le (r 18);
+      ]
+  in
+  let s = solve_opt lp in
+  Alcotest.check rat "objective" (r 36) s.Simplex.objective;
+  Alcotest.check rat "x1" (r 2) s.Simplex.primal.(0);
+  Alcotest.check rat "x2" (r 6) s.Simplex.primal.(1);
+  check_strong_duality lp s
+
+let test_fractional_optimum () =
+  let lp =
+    Lp.make Lp.Maximize [| r 1; r 1 |]
+      [
+        Lp.constr [| r 1; r 2 |] Lp.Le (r 4);
+        Lp.constr [| r 4; r 2 |] Lp.Le (r 12);
+      ]
+  in
+  let s = solve_opt lp in
+  Alcotest.check rat "objective 10/3" (rr 10 3) s.Simplex.objective;
+  check_strong_duality lp s
+
+let test_min_with_ge () =
+  (* min 2x + 3y s.t. x + y >= 4, x >= 1 -> x=4,y=0? cost 8; or x=1,y=3 cost 11.
+     Optimum x=4, y=0, objective 8. *)
+  let lp =
+    Lp.make Lp.Minimize [| r 2; r 3 |]
+      [ Lp.constr [| r 1; r 1 |] Lp.Ge (r 4); Lp.constr [| r 1; r 0 |] Lp.Ge (r 1) ]
+  in
+  let s = solve_opt lp in
+  Alcotest.check rat "objective" (r 8) s.Simplex.objective;
+  check_strong_duality lp s
+
+let test_equality_constraints () =
+  let lp =
+    Lp.make Lp.Minimize [| r 1; r 2; r 3 |]
+      [
+        Lp.constr [| r 1; r 1; r 1 |] Lp.Eq (r 10);
+        Lp.constr [| r 1; r (-1); r 0 |] Lp.Eq (r 2);
+      ]
+  in
+  let s = solve_opt lp in
+  (* Cheapest: put everything in x1/x2: x1 - x2 = 2, x1 + x2 = 10 -> (6,4,0), cost 14 *)
+  Alcotest.check rat "objective" (r 14) s.Simplex.objective;
+  check_strong_duality lp s
+
+let test_infeasible () =
+  let lp =
+    Lp.make Lp.Minimize [| r 1 |]
+      [ Lp.constr [| r 1 |] Lp.Le (r 1); Lp.constr [| r 1 |] Lp.Ge (r 2) ]
+  in
+  (match Simplex.solve lp with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible");
+  (* equality version *)
+  let lp2 =
+    Lp.make Lp.Maximize [| r 1; r 1 |]
+      [
+        Lp.constr [| r 1; r 1 |] Lp.Eq (r 1);
+        Lp.constr [| r 1; r 1 |] Lp.Eq (r 2);
+      ]
+  in
+  match Simplex.solve lp2 with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible (eq)"
+
+let test_unbounded () =
+  let lp = Lp.make Lp.Maximize [| r 1; r 1 |] [ Lp.constr [| r 1; r (-1) |] Lp.Le (r 1) ] in
+  match Simplex.solve lp with
+  | Simplex.Unbounded { direction } ->
+    (* The ray must not decrease the objective and must preserve
+       feasibility from any feasible point. *)
+    Alcotest.(check bool) "ray improves" true (Rat.sign (Vec.sum direction) > 0);
+    let x0 = [| Rat.zero; Rat.zero |] in
+    let step k = Array.mapi (fun i x -> Rat.add x (Rat.mul (r k) direction.(i))) x0 in
+    Alcotest.(check bool) "ray stays feasible" true
+      (Lp.satisfies lp (step 5) && Lp.satisfies lp (step 50))
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let test_degenerate_cycling () =
+  (* Beale's classic cycling example — Bland's rule must terminate. *)
+  let lp =
+    Lp.make Lp.Minimize
+      [| rr (-3) 4; r 150; rr (-1) 50; r 6 |]
+      [
+        Lp.constr [| rr 1 4; r (-60); rr (-1) 25; r 9 |] Lp.Le (r 0);
+        Lp.constr [| rr 1 2; r (-90); rr (-1) 50; r 3 |] Lp.Le (r 0);
+        Lp.constr [| r 0; r 0; r 1; r 0 |] Lp.Le (r 1);
+      ]
+  in
+  let s = solve_opt lp in
+  Alcotest.check rat "beale optimum" (rr (-1) 20) s.Simplex.objective;
+  check_strong_duality lp s
+
+let test_zero_rhs_degenerate () =
+  let lp =
+    Lp.make Lp.Maximize [| r 1; r 1 |]
+      [
+        Lp.constr [| r 1; r (-1) |] Lp.Le (r 0);
+        Lp.constr [| r (-1); r 1 |] Lp.Le (r 0);
+        Lp.constr [| r 1; r 1 |] Lp.Le (r 2);
+      ]
+  in
+  let s = solve_opt lp in
+  Alcotest.check rat "objective" (r 2) s.Simplex.objective;
+  Alcotest.check rat "x1 = x2" s.Simplex.primal.(0) s.Simplex.primal.(1)
+
+let test_no_constraints () =
+  let lp = Lp.make Lp.Minimize [| r 1; r 5 |] [] in
+  let s = solve_opt lp in
+  Alcotest.check rat "trivial optimum" Rat.zero s.Simplex.objective;
+  let lp2 = Lp.make Lp.Maximize [| r 1 |] [] in
+  match Simplex.solve lp2 with
+  | Simplex.Unbounded _ -> ()
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let test_redundant_equalities () =
+  (* Duplicated equality leaves an artificial basic at zero; the solver
+     must survive the redundant row. *)
+  let lp =
+    Lp.make Lp.Maximize [| r 1; r 1 |]
+      [
+        Lp.constr [| r 1; r 1 |] Lp.Eq (r 3);
+        Lp.constr [| r 2; r 2 |] Lp.Eq (r 6);
+      ]
+  in
+  let s = solve_opt lp in
+  Alcotest.check rat "objective" (r 3) s.Simplex.objective
+
+let test_negative_rhs_duals () =
+  (* min x1 s.t. -x1 <= -5 (i.e. x1 >= 5). Dual of the written row is -1. *)
+  let lp = Lp.make Lp.Minimize [| r 1 |] [ Lp.constr [| r (-1) |] Lp.Le (r (-5)) ] in
+  let s = solve_opt lp in
+  Alcotest.check rat "objective" (r 5) s.Simplex.objective;
+  Alcotest.check rat "dual" (r (-1)) s.Simplex.dual.(0);
+  check_strong_duality lp s
+
+let test_solve_exn () =
+  let lp = Lp.make Lp.Maximize [| r 1 |] [] in
+  Alcotest.check_raises "unbounded raises" (Failure "Simplex.solve_exn: unbounded") (fun () ->
+    ignore (Simplex.solve_exn lp))
+
+let test_lp_validation () =
+  Alcotest.check_raises "arity" (Invalid_argument "Lp.make: constraint 0 arity mismatch")
+    (fun () -> ignore (Lp.make Lp.Minimize [| r 1 |] [ Lp.constr [| r 1; r 2 |] Lp.Le (r 1) ]))
+
+
+(* ------------------------------------------------------------------ *)
+(* Float-simplex foil                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_float_agrees_on_textbook () =
+  let lp =
+    Lp.make Lp.Maximize [| r 3; r 5 |]
+      [
+        Lp.constr [| r 1; r 0 |] Lp.Le (r 4);
+        Lp.constr [| r 0; r 2 |] Lp.Le (r 12);
+        Lp.constr [| r 3; r 2 |] Lp.Le (r 18);
+      ]
+  in
+  match Simplex_float.solve lp with
+  | Simplex_float.Optimal s -> Alcotest.(check (float 1e-6)) "objective" 36.0 s.Simplex_float.objective
+  | _ -> Alcotest.fail "expected Optimal"
+
+let test_float_outcomes_match_exact () =
+  (* On integer-coefficient problems with moderate values, the float
+     solver should reach the exact optimum to ~1e-6. *)
+  let rng = Random.State.make [| 9 |] in
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int rng 4 in
+    let m = 1 + Random.State.int rng 4 in
+    let coeff () = r (Random.State.int rng 11 - 5) in
+    let constrs =
+      List.init m (fun _ ->
+        Lp.constr (Array.init n (fun _ -> coeff ())) Lp.Le (r (Random.State.int rng 20)))
+      @ List.init n (fun i ->
+          let c = Array.make n Rat.zero in
+          c.(i) <- Rat.one;
+          Lp.constr c Lp.Le (r 10))
+    in
+    let lp = Lp.make Lp.Maximize (Array.init n (fun _ -> coeff ())) constrs in
+    match (Simplex.solve lp, Simplex_float.solve lp) with
+    | Simplex.Optimal e, Simplex_float.Optimal f ->
+      let exact = Rat.to_float e.Simplex.objective in
+      if Float.abs (exact -. f.Simplex_float.objective) > 1e-6 *. (1.0 +. Float.abs exact) then
+        Alcotest.failf "float %.12f vs exact %.12f" f.Simplex_float.objective exact
+    | Simplex.Optimal _, _ -> Alcotest.fail "float solver missed a solvable problem"
+    | _ -> Alcotest.fail "base problems are feasible and bounded by construction"
+  done
+
+let test_float_cannot_certify_exact_ties () =
+  (* The design argument in one assertion: at beta3 = 1/2 the matmul
+     tiling LP has two optimal faces meeting exactly; the exact solver
+     returns 3/2 as a rational, the float solver only something within
+     epsilon — downstream exact comparisons (Theorem 2's case split)
+     are impossible with it. *)
+  let spec = Kernels.matmul ~l1:4 ~l2:4 ~l3:4 in
+  let beta = [| Rat.one; Rat.one; Rat.half |] in
+  let exact = (Simplex.solve_exn (Hbl_lp.tiling spec ~beta)).Simplex.objective in
+  Alcotest.(check bool) "exact is exactly 3/2" true (Rat.equal exact (rr 3 2));
+  match Simplex_float.solve (Hbl_lp.tiling spec ~beta) with
+  | Simplex_float.Optimal s ->
+    (* float is close, but == 1.5 cannot be relied on in general *)
+    Alcotest.(check (float 1e-9)) "float approximately" 1.5 s.Simplex_float.objective
+  | _ -> Alcotest.fail "expected Optimal"
+
+(* ------------------------------------------------------------------ *)
+(* Random-LP duality properties                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Random bounded-feasible problems: max c.x s.t. A x <= b with b >= 0
+   (origin feasible) plus a box x_i <= 10 guaranteeing boundedness. *)
+let gen_bounded_lp =
+  QCheck.Gen.(
+    let dim = int_range 1 5 in
+    let coeff = map Rat.of_int (int_range (-5) 5) in
+    dim >>= fun n ->
+    int_range 1 5 >>= fun m ->
+    list_size (return m)
+      (pair (array_size (return n) coeff) (map Rat.of_int (int_range 0 20)))
+    >>= fun rows ->
+    array_size (return n) coeff >>= fun obj ->
+    let constrs =
+      List.map (fun (coeffs, rhs) -> Lp.constr coeffs Lp.Le rhs) rows
+      @ List.init n (fun i ->
+          let c = Array.make n Rat.zero in
+          c.(i) <- Rat.one;
+          Lp.constr c Lp.Le (Rat.of_int 10))
+    in
+    return (Lp.make Lp.Maximize obj constrs))
+
+let arb_bounded_lp = QCheck.make ~print:(Format.asprintf "%a" Lp.pp) gen_bounded_lp
+
+let props =
+  [
+    QCheck.Test.make ~name:"optimal => feasible + duality" ~count:300 arb_bounded_lp
+      (fun lp ->
+        match Simplex.solve lp with
+        | Simplex.Optimal s ->
+          Lp.satisfies lp s.Simplex.primal
+          && Rat.equal s.Simplex.objective (Lp.eval_objective lp s.Simplex.primal)
+          && Rat.equal s.Simplex.objective (Simplex.dual_objective lp s.Simplex.dual)
+        | Simplex.Unbounded _ | Simplex.Infeasible -> false
+        (* origin feasible & box-bounded: must be Optimal *));
+    QCheck.Test.make ~name:"dual feasibility (max form)" ~count:300 arb_bounded_lp
+      (fun lp ->
+        match Simplex.solve lp with
+        | Simplex.Optimal s ->
+          (* For max c.x, A x <= b: duals y >= 0 and A^T y >= c. *)
+          let constrs = Lp.constraints lp in
+          let n = Lp.num_vars lp in
+          Array.for_all (fun y -> Rat.sign y >= 0) s.Simplex.dual
+          && List.for_all
+               (fun j ->
+                 let col =
+                   Array.to_list (Array.mapi (fun i (c : Lp.constr) -> Rat.mul s.Simplex.dual.(i) c.Lp.coeffs.(j)) constrs)
+                 in
+                 let aty = List.fold_left Rat.add Rat.zero col in
+                 Rat.compare aty (Lp.objective lp).(j) >= 0)
+               (List.init n (fun j -> j))
+        | _ -> false);
+    QCheck.Test.make ~name:"complementary slackness" ~count:300 arb_bounded_lp (fun lp ->
+      match Simplex.solve lp with
+      | Simplex.Optimal s ->
+        let constrs = Lp.constraints lp in
+        Array.for_all
+          (fun i ->
+            let c = constrs.(i) in
+            let slack = Rat.sub c.Lp.rhs (Vec.dot c.Lp.coeffs s.Simplex.primal) in
+            Rat.is_zero (Rat.mul slack s.Simplex.dual.(i)))
+          (Array.init (Array.length constrs) (fun i -> i))
+      | _ -> false);
+    QCheck.Test.make ~name:"primal optimality vs random feasible points" ~count:200
+      (QCheck.pair arb_bounded_lp (QCheck.array_of_size (QCheck.Gen.return 5) (QCheck.int_range 0 10)))
+      (fun (lp, raw) ->
+        match Simplex.solve lp with
+        | Simplex.Optimal s ->
+          let n = Lp.num_vars lp in
+          let x = Array.init n (fun i -> Rat.of_int raw.(i mod Array.length raw)) in
+          (not (Lp.satisfies lp x))
+          || Rat.compare (Lp.eval_objective lp x) s.Simplex.objective <= 0
+        | _ -> false);
+  ]
+
+
+(* A second random family in >= form: min c.x, A x >= b, with c >= 0 so
+   the problem is bounded below by 0 whenever feasible. *)
+let gen_ge_lp =
+  QCheck.Gen.(
+    let dim = int_range 1 4 in
+    dim >>= fun n ->
+    int_range 1 4 >>= fun m ->
+    list_size (return m)
+      (pair
+         (array_size (return n) (map Rat.of_int (int_range (-4) 6)))
+         (map Rat.of_int (int_range (-5) 10)))
+    >>= fun rows ->
+    array_size (return n) (map Rat.of_int (int_range 0 5)) >>= fun obj ->
+    let constrs = List.map (fun (coeffs, rhs) -> Lp.constr coeffs Lp.Ge rhs) rows in
+    return (Lp.make Lp.Minimize obj constrs))
+
+let arb_ge_lp = QCheck.make ~print:(Format.asprintf "%a" Lp.pp) gen_ge_lp
+
+let ge_props =
+  [
+    QCheck.Test.make ~name:"min/>= form: outcomes are self-consistent" ~count:300 arb_ge_lp
+      (fun lp ->
+        match Simplex.solve lp with
+        | Simplex.Optimal s ->
+          Lp.satisfies lp s.Simplex.primal
+          && Rat.equal s.Simplex.objective (Lp.eval_objective lp s.Simplex.primal)
+          && Rat.equal s.Simplex.objective (Simplex.dual_objective lp s.Simplex.dual)
+          && Rat.sign s.Simplex.objective >= 0
+          && s.Simplex.pivots >= 0
+        | Simplex.Unbounded _ -> false (* c >= 0, x >= 0: never unbounded below *)
+        | Simplex.Infeasible ->
+          (* the all-tens point must also violate some constraint, or the
+             instance is genuinely feasible and this is a bug; all-tens
+             satisfies any row whose positive coefficients outweigh rhs,
+             so only accept Infeasible when it fails too *)
+          not (Lp.satisfies lp (Array.make (Lp.num_vars lp) (Rat.of_int 10))));
+    QCheck.Test.make ~name:"duals of >= rows are nonnegative for min" ~count:300 arb_ge_lp
+      (fun lp ->
+        match Simplex.solve lp with
+        | Simplex.Optimal s ->
+          (* For min with >= rows, raising a rhs can only raise the
+             optimum: dual >= 0 in the standard convention where dual.(i)
+             is d(objective)/d(rhs_i). *)
+          Array.for_all (fun y -> Rat.sign y >= 0) s.Simplex.dual
+        | _ -> true);
+    QCheck.Test.make ~name:"scaling a constraint row leaves the optimum" ~count:200 arb_ge_lp
+      (fun lp ->
+        match Simplex.solve lp with
+        | Simplex.Optimal s ->
+          let constrs =
+            Array.to_list
+              (Array.map
+                 (fun (c : Lp.constr) ->
+                   Lp.constr (Array.map (Rat.mul Rat.two) c.Lp.coeffs) c.Lp.relation
+                     (Rat.mul Rat.two c.Lp.rhs))
+                 (Lp.constraints lp))
+          in
+          let lp2 = Lp.make Lp.Minimize (Lp.objective lp) constrs in
+          (match Simplex.solve lp2 with
+          | Simplex.Optimal s2 -> Rat.equal s.Simplex.objective s2.Simplex.objective
+          | _ -> false)
+        | _ -> true);
+  ]
+
+let () =
+  Alcotest.run "simplex"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "fractional optimum" `Quick test_fractional_optimum;
+          Alcotest.test_case "min with >=" `Quick test_min_with_ge;
+          Alcotest.test_case "equalities" `Quick test_equality_constraints;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "Beale cycling" `Quick test_degenerate_cycling;
+          Alcotest.test_case "degenerate zero rhs" `Quick test_zero_rhs_degenerate;
+          Alcotest.test_case "no constraints" `Quick test_no_constraints;
+          Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+          Alcotest.test_case "negative rhs duals" `Quick test_negative_rhs_duals;
+          Alcotest.test_case "solve_exn" `Quick test_solve_exn;
+          Alcotest.test_case "lp validation" `Quick test_lp_validation;
+        ] );
+      ( "float-foil",
+        [
+          Alcotest.test_case "textbook" `Quick test_float_agrees_on_textbook;
+          Alcotest.test_case "matches exact" `Quick test_float_outcomes_match_exact;
+          Alcotest.test_case "exact ties" `Quick test_float_cannot_certify_exact_ties;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+      ("ge-form properties", List.map QCheck_alcotest.to_alcotest ge_props);
+    ]
