@@ -1,20 +1,73 @@
 (* Reproduction harness: regenerates every quantitative claim of the
    paper's evaluation (Sections 3-7, worked examples in Section 6) as
-   experiment tables E1..E10 (see DESIGN.md for the per-experiment index
+   experiment tables E1..E17 (see DESIGN.md for the per-experiment index
    and EXPERIMENTS.md for recorded paper-vs-measured results), followed by
    Bechamel microbenchmarks of the solver components.
+
+   The tables are driven by the unified Engine pipeline (lib/engine):
+   repeated (spec, beta, M) analyses hit the memo cache, independent
+   sweep points run in parallel over domains (PROJTILE_JOBS overrides the
+   pool size), and each experiment's wall time plus its headline
+   words-moved numbers are also written to BENCH_engine.json.
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- tables  # experiment tables only
      dune exec bench/main.exe -- micro   # microbenchmarks only
 *)
 
-let header id title =
-  Printf.printf "\n==== %s: %s ====\n" id title
-
 let rowf fmt = Printf.printf fmt
 
 let fint = float_of_int
+
+(* ------------------------------------------------------------------ *)
+(* Experiment harness: timing + machine-readable results               *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = { id : string; title : string; seconds : float; words : (string * float) list }
+
+let outcomes : outcome list ref = ref []
+let current_words : (string * float) list ref = ref []
+
+(* Record a headline words-moved (or words-bound) number for the JSON. *)
+let note label words = current_words := (label, words) :: !current_words
+let note_int label words = note label (fint words)
+
+let experiment id title body =
+  Printf.printf "\n==== %s: %s ====\n" id title;
+  current_words := [];
+  let t0 = Unix.gettimeofday () in
+  body ();
+  let dt = Unix.gettimeofday () -. t0 in
+  outcomes := { id; title; seconds = dt; words = List.rev !current_words } :: !outcomes;
+  Printf.printf "[%s: %.3f s]\n" id dt
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_json path =
+  let oc = open_out path in
+  let hits, misses = Engine.cache_stats () in
+  output_string oc "{\"engine_cache\":{";
+  Printf.fprintf oc "\"hits\":%d,\"misses\":%d},\"experiments\":[" hits misses;
+  List.iteri
+    (fun i o ->
+      if i > 0 then output_char oc ',';
+      Printf.fprintf oc "{\"experiment\":\"%s\",\"title\":\"%s\",\"seconds\":%.6f,\"words_moved\":{"
+        (json_escape o.id) (json_escape o.title) o.seconds;
+      List.iteri
+        (fun j (label, w) ->
+          if j > 0 then output_char oc ',';
+          Printf.fprintf oc "\"%s\":%.17g" (json_escape label) w)
+        o.words;
+      output_string oc "}}")
+    (List.rev !outcomes);
+  output_string oc "]}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Section 6.1: matmul lower bound equals                         *)
@@ -22,7 +75,6 @@ let fint = float_of_int
 (* ------------------------------------------------------------------ *)
 
 let e1 () =
-  header "E1" "matmul bound = max(L1L2L3/sqrt(M), L1L2, L2L3, L1L3)  [Sec 6.1]";
   rowf "%8s %8s %8s %8s | %14s %14s %8s %14s\n" "L1" "L2" "L3" "M" "ours" "paper formula"
     "ratio" "classic-only";
   let cases =
@@ -42,7 +94,7 @@ let e1 () =
   List.iter
     (fun (l1, l2, l3, m) ->
       let spec = Kernels.matmul ~l1 ~l2 ~l3 in
-      let b = Lower_bound.communication spec ~m in
+      let b = Engine.lower_bound spec ~m in
       let formula =
         Float.max
           (fint l1 *. fint l2 *. fint l3 /. sqrt (fint m))
@@ -64,7 +116,6 @@ let e1 () =
 (* ------------------------------------------------------------------ *)
 
 let e2 () =
-  header "E2" "alpha-parameterized family of optimal matmul tiles  [Sec 6.1]";
   let m = 4096 and l3 = 8 in
   let spec = Kernels.matmul ~l1:1024 ~l2:1024 ~l3 in
   rowf "%8s | %24s %10s %10s | %12s\n" "alpha" "tile" "volume" "M*L3" "LRU words";
@@ -72,13 +123,11 @@ let e2 () =
   List.iter
     (fun (alpha, tile) ->
       let run_tile = Array.map2 min tile small.Spec.bounds in
-      let words =
-        (Executor.run small ~schedule:(Schedules.Tiled run_tile) ~capacity:(3 * m))
-          .Executor.words_moved
-      in
+      let words = Engine.words_moved small ~m:(3 * m) (Engine.Fixed run_tile) in
       rowf "%8s | %24s %10d %10d | %12d\n" (Rat.to_string alpha)
         (Format.asprintf "%a" (Tiling.pp spec) tile)
-        (Tiling.volume tile) (m * l3) words)
+        (Tiling.volume tile) (m * l3) words;
+      note_int ("alpha=" ^ Rat.to_string alpha) words)
     (Alpha_family.sample ~steps:4 spec ~m);
   print_endline
     "expected shape: every alpha gives cardinality ~ M*L3 = 32768 and near-identical traffic;";
@@ -90,7 +139,6 @@ let e2 () =
 (* ------------------------------------------------------------------ *)
 
 let e3 () =
-  header "E3" "tensor contraction LP = gamma-grouped matmul LP  [Sec 6.2]";
   rowf "%24s | %12s %12s %8s\n" "(j,k,d) betas" "contraction" "grouped-mm" "equal";
   let r = Rat.of_ints in
   let cases =
@@ -106,7 +154,7 @@ let e3 () =
     (fun (j, k, d, beta) ->
       let bounds = Array.make d 4 in
       let spec = Kernels.tensor_contraction ~j ~k ~d ~bounds in
-      let v = (Tiling.solve_lp spec ~beta).Tiling.value in
+      let v = (Engine.solve_lp spec ~beta).Tiling.value in
       (* gamma grouping: gamma1 = x1..xj, gamma2 = x_{j+1}..x_{k-1},
          gamma3 = x_k..x_d; the grouped problem is matmul with box
          constraints Gamma_i. *)
@@ -141,23 +189,16 @@ let e3 () =
 (* E4 — Section 6.2 / Section 1: pointwise-convolution layers          *)
 (* ------------------------------------------------------------------ *)
 
+let std_sims = Engine.[ Pipeline.sim Optimal; Pipeline.sim Classic; Pipeline.sim Untiled ]
+
+(* Words moved by the k-th simulation of a report (request order). *)
+let sim_words (r : Report.t) k = (List.nth r.Report.sims k).Report.words_moved
+
 let e4 () =
-  header "E4" "pointwise convolutions with small channel counts  [Sec 1, 6.2]";
   let m = 2048 in
   rowf "%-22s | %12s %12s %12s %12s %8s\n" "layer (b,c,k,w,h)" "lower bound" "ours(LRU)"
     "classic(LRU)" "untiled" "ours/LB";
-  List.iter
-    (fun (b, c, k, w, h) ->
-      let spec = Kernels.pointwise_conv ~b ~c ~k ~w ~h in
-      let bound = Lower_bound.communication spec ~m in
-      let run sched = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
-      let ours = run (Schedules.Tiled (Tiling.optimal_shared spec ~m)) in
-      let classic = run (Schedules.Tiled (Schedules.classic_tile spec ~m)) in
-      let naive = run Schedules.Untiled in
-      rowf "%-22s | %12.0f %12d %12d %12d %8.2f\n"
-        (Printf.sprintf "(%d,%d,%d,%d,%d)" b c k w h)
-        bound.Lower_bound.words ours classic naive
-        (fint ours /. bound.Lower_bound.words))
+  let layers =
     [
       (4, 8, 16, 28, 28);
       (4, 16, 32, 14, 14);
@@ -165,7 +206,22 @@ let e4 () =
       (4, 4, 128, 7, 7);
       (32, 64, 64, 1, 1);
       (8, 3, 32, 16, 16);
-    ];
+    ]
+  in
+  let specs =
+    List.map (fun (b, c, k, w, h) -> Kernels.pointwise_conv ~b ~c ~k ~w ~h) layers
+  in
+  let reports = Engine.sweep_grid ~sims:std_sims specs ~ms:[ m ] in
+  List.iter2
+    (fun (b, c, k, w, h) (r : Report.t) ->
+      let label = Printf.sprintf "(%d,%d,%d,%d,%d)" b c k w h in
+      let ours = sim_words r 0 and classic = sim_words r 1 and naive = sim_words r 2 in
+      rowf "%-22s | %12.0f %12d %12d %12d %8.2f\n" label r.Report.bound.Lower_bound.words
+        ours classic naive
+        (fint ours /. r.Report.bound.Lower_bound.words);
+      note_int ("conv" ^ label ^ " ours") ours;
+      note_int ("conv" ^ label ^ " classic") classic)
+    layers reports;
   print_endline
     "expected shape: ours stays within a small constant of the bound on every layer;";
   print_endline "classic degrades by up to an order of magnitude when c (or w,h) is small."
@@ -175,7 +231,6 @@ let e4 () =
 (* ------------------------------------------------------------------ *)
 
 let e5 () =
-  header "E5" "n-body: tile min(M^2, L1 M, L2 M, L1 L2), comm min(L1L2/M, L2, L1, M)  [Sec 6.3]";
   let m = 256 in
   rowf "%8s %8s | %12s %12s | %12s %12s %8s\n" "L1" "L2" "tile vol" "formula" "LB words"
     "formula" "ratio";
@@ -183,10 +238,10 @@ let e5 () =
     (fun (l1, l2) ->
       let spec = Kernels.nbody ~l1 ~l2 in
       let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
-      let sol = Tiling.solve_lp spec ~beta in
+      let sol = Engine.solve_lp spec ~beta in
       let cap = Float.exp (Rat.to_float sol.Tiling.value *. log (fint m)) in
       let tile_formula = min (fint m *. fint m) (min (fint l1 *. fint m) (min (fint l2 *. fint m) (fint l1 *. fint l2))) in
-      let b = Lower_bound.communication spec ~m in
+      let b = Engine.lower_bound spec ~m in
       (* Section 6.3's min(L1L2/M, L2, L1, M) terms correspond to the four
          candidate tile sizes; communication in words is
          L1 L2 M / (max feasible tile) with the max tile being the min of
@@ -205,32 +260,37 @@ let e5 () =
 (* ------------------------------------------------------------------ *)
 
 let e6 () =
-  header "E6" "tightness: constructed tiling vs lower bound  [Sec 4-5]";
   rowf "%-28s %6s | %12s %12s %12s %12s | %8s\n" "kernel" "M" "LB words" "analytic"
     "LRU" "OPT" "LRU/LB";
-  let run_case name spec m =
-    let bound = Lower_bound.communication spec ~m in
-    let tile = Tiling.optimal_shared spec ~m in
-    let analytic = Tiling.analytic_traffic spec tile in
-    let a_total = analytic.Tiling.reads +. analytic.Tiling.writes in
-    let lru = (Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m).Executor.words_moved in
-    let opt =
-      (Executor.run ~policy:Policy.Opt spec ~schedule:(Schedules.Tiled tile) ~capacity:m)
-        .Executor.words_moved
-    in
-    rowf "%-28s %6d | %12.0f %12.0f %12d %12d | %8.2f\n" name m bound.Lower_bound.words a_total
-      lru opt
-      (fint lru /. bound.Lower_bound.words)
+  let cases =
+    List.concat
+      [
+        List.map (fun m -> ("matmul 64^3", Kernels.matmul ~l1:64 ~l2:64 ~l3:64, m))
+          [ 256; 1024; 4096 ];
+        List.map (fun m -> ("matmul 128x128x8", Kernels.matmul ~l1:128 ~l2:128 ~l3:8, m))
+          [ 256; 1024; 4096 ];
+        List.map
+          (fun m ->
+            ("conv (4,8,16,14,14)", Kernels.pointwise_conv ~b:4 ~c:8 ~k:16 ~w:14 ~h:14, m))
+          [ 512; 2048 ];
+      ]
   in
-  List.iter
-    (fun m -> run_case "matmul 64^3" (Kernels.matmul ~l1:64 ~l2:64 ~l3:64) m)
-    [ 256; 1024; 4096 ];
-  List.iter
-    (fun m -> run_case "matmul 128x128x8" (Kernels.matmul ~l1:128 ~l2:128 ~l3:8) m)
-    [ 256; 1024; 4096 ];
-  List.iter
-    (fun m -> run_case "conv (4,8,16,14,14)" (Kernels.pointwise_conv ~b:4 ~c:8 ~k:16 ~w:14 ~h:14) m)
-    [ 512; 2048 ];
+  let sims = Engine.[ Pipeline.sim Optimal; Pipeline.sim ~policy:Policy.Opt Optimal ] in
+  let reports =
+    Engine.sweep
+      (List.map (fun (_, spec, m) -> Pipeline.request ~sims ~shared:true spec ~m) cases)
+  in
+  List.iter2
+    (fun (name, spec, m) (r : Report.t) ->
+      let shared = Option.get r.Report.tile_shared in
+      let analytic = Tiling.analytic_traffic spec shared in
+      let a_total = analytic.Tiling.reads +. analytic.Tiling.writes in
+      let lru = sim_words r 0 and opt = sim_words r 1 in
+      rowf "%-28s %6d | %12.0f %12.0f %12d %12d | %8.2f\n" name m
+        r.Report.bound.Lower_bound.words a_total lru opt
+        (fint lru /. r.Report.bound.Lower_bound.words);
+      note_int (Printf.sprintf "%s M=%d LRU" name m) lru)
+    cases reports;
   print_endline
     "expected shape: LRU/LB stays a small constant (< ~5) across kernels and cache sizes:";
   print_endline
@@ -246,24 +306,10 @@ let e6 () =
 (* ------------------------------------------------------------------ *)
 
 let e7 () =
-  header "E7" "who wins: untiled vs classic vs arbitrary-bounds tiling  [Sec 1]";
   let m = 1024 in
   rowf "%-24s | %12s %12s %12s %12s | %18s\n" "kernel" "LB" "untiled" "classic" "ours"
     "winner";
-  List.iter
-    (fun (name, spec) ->
-      let bound = Lower_bound.communication spec ~m in
-      let run sched = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
-      let naive = run Schedules.Untiled in
-      let classic = run (Schedules.Tiled (Schedules.classic_tile spec ~m)) in
-      let ours = run (Schedules.Tiled (Tiling.optimal_shared spec ~m)) in
-      let winner =
-        if ours <= classic && ours <= naive then "ours"
-        else if classic <= naive then "classic"
-        else "untiled"
-      in
-      rowf "%-24s | %12.0f %12d %12d %12d | %18s\n" name bound.Lower_bound.words naive classic
-        ours winner)
+  let cases =
     [
       ("matmul 128^3", Kernels.matmul ~l1:128 ~l2:128 ~l3:128);
       ("matmul 256x256x4", Kernels.matmul ~l1:256 ~l2:256 ~l3:4);
@@ -271,7 +317,21 @@ let e7 () =
       ("outer 512x512", Kernels.outer_product ~m:512 ~n:512);
       ("nbody 1024x64", Kernels.nbody ~l1:1024 ~l2:64);
       ("conv (4,4,64,14,14)", Kernels.pointwise_conv ~b:4 ~c:4 ~k:64 ~w:14 ~h:14);
-    ];
+    ]
+  in
+  let reports = Engine.sweep_grid ~sims:std_sims (List.map snd cases) ~ms:[ m ] in
+  List.iter2
+    (fun (name, _) (r : Report.t) ->
+      let ours = sim_words r 0 and classic = sim_words r 1 and naive = sim_words r 2 in
+      let winner =
+        if ours <= classic && ours <= naive then "ours"
+        else if classic <= naive then "classic"
+        else "untiled"
+      in
+      rowf "%-24s | %12.0f %12d %12d %12d | %18s\n" name r.Report.bound.Lower_bound.words
+        naive classic ours winner;
+      note_int (name ^ " ours") ours)
+    cases reports;
   print_endline
     "expected shape: ours wins on every row; the margin grows as loop bounds shrink";
   print_endline "below sqrt(M), where classic wastes its tile budget."
@@ -281,7 +341,6 @@ let e7 () =
 (* ------------------------------------------------------------------ *)
 
 let e8 () =
-  header "E8" "Theorem 3 on random projective programs  [Sec 4-5]";
   let rng = Random.State.make [| 0x5eed |] in
   let trials = 60 in
   let max_d = ref 0 in
@@ -307,7 +366,7 @@ let e8 () =
       let beta =
         Array.init d (fun _ -> Rat.of_ints (Random.State.int rng 17) 8)
       in
-      let v1 = (Tiling.solve_lp spec ~beta).Tiling.value in
+      let v1 = (Engine.solve_lp spec ~beta).Tiling.value in
       let v2 = (Simplex.solve_exn (Hbl_lp.dual_tiling spec ~beta)).Simplex.objective in
       let v3 = (Lower_bound.exponent_by_enumeration spec ~beta).Lower_bound.k_hat in
       if Rat.equal v1 v2 && Rat.equal v1 v3 then incr agreements
@@ -325,7 +384,6 @@ let e8 () =
 (* ------------------------------------------------------------------ *)
 
 let e9 () =
-  header "E9" "piecewise-linear closed form of the tile exponent  [Sec 7]";
   List.iter
     (fun (name, spec) ->
       let cf = Closed_form.compute spec in
@@ -349,7 +407,7 @@ let e9 () =
           Array.init (Spec.num_loops spec) (fun _ -> Rat.of_ints (Random.State.int rng 33) 8)
         in
         incr checks;
-        if Rat.equal (Closed_form.eval cf beta) (Tiling.solve_lp spec ~beta).Tiling.value then
+        if Rat.equal (Closed_form.eval cf beta) (Engine.solve_lp spec ~beta).Tiling.value then
           incr ok
       done)
     [ Kernels.matmul ~l1:4 ~l2:4 ~l3:4; Kernels.nbody ~l1:4 ~l2:4;
@@ -364,7 +422,6 @@ let e9 () =
 (* ------------------------------------------------------------------ *)
 
 let e10 () =
-  header "E10" "rectangular partitions over P processors  [Sec 7]";
   rowf "%-20s %4s | %14s %14s %14s %8s\n" "kernel" "P" "best grid" "per-proc words"
     "lower bound" "ratio";
   List.iter
@@ -395,7 +452,6 @@ let e10 () =
 (* ------------------------------------------------------------------ *)
 
 let e11 () =
-  header "E11" "nested tilings on a two-level hierarchy  [Sec 1/7 extension]";
   rowf "%-22s %-28s | %12s %12s\n" "kernel" "schedule" "L1<->L2" "L2<->mem";
   let run_case name spec caps =
     let show label sched =
@@ -406,14 +462,18 @@ let e11 () =
     show "untiled" Schedules.Untiled;
     show
       (Printf.sprintf "tile for L1 (%d)" caps.(0))
-      (Schedules.Tiled (Tiling.optimal_shared spec ~m:caps.(0)));
+      (Schedules.Tiled (Engine.tile_shared spec ~m:caps.(0)));
     show
       (Printf.sprintf "tile for L2 (%d)" caps.(1))
-      (Schedules.Tiled (Tiling.optimal_shared spec ~m:caps.(1)));
-    show "nested (both)" (Schedules.Nested (Tiling.nested spec ~ms:caps));
+      (Schedules.Tiled (Engine.tile_shared spec ~m:caps.(1)));
+    let h = Engine.hierarchy spec ~capacities:caps in
+    rowf "%-22s %-28s | %12d %12d\n" name "nested (both)"
+      h.Pipeline.hresult.Executor.boundary_words.(0)
+      h.Pipeline.hresult.Executor.boundary_words.(1);
+    note_int (name ^ " nested L1<->L2") h.Pipeline.hresult.Executor.boundary_words.(0);
     rowf "%-22s %-28s | %12.0f %12.0f\n" name "per-level lower bound"
-      (Lower_bound.communication spec ~m:caps.(0)).Lower_bound.words
-      (Lower_bound.communication spec ~m:caps.(1)).Lower_bound.words
+      (Engine.lower_bound spec ~m:caps.(0)).Lower_bound.words
+      (Engine.lower_bound spec ~m:caps.(1)).Lower_bound.words
   in
   run_case "matmul 64^3" (Kernels.matmul ~l1:64 ~l2:64 ~l3:64) [| 256; 4096 |];
   run_case "conv (4,8,16,14,14)" (Kernels.pointwise_conv ~b:4 ~c:8 ~k:16 ~w:14 ~h:14)
@@ -433,7 +493,6 @@ let e11 () =
 (* ------------------------------------------------------------------ *)
 
 let e12 () =
-  header "E12" "ablation: tile construction strategies (retention-model traffic)  [DESIGN.md]";
   let m = 2048 in
   rowf "%-24s | %14s %14s %14s %14s\n" "kernel" "classic" "per-array M/n" "per-array M"
     "shared search";
@@ -446,9 +505,9 @@ let e12 () =
       in
       rowf "%-24s | %14.4g %14.4g %14.4g %14.4g\n" name
         (traffic (Schedules.classic_tile spec ~m))
-        (traffic (Tiling.optimal spec ~m:(m / n)))
-        (traffic (Tiling.optimal spec ~m))
-        (traffic (Tiling.optimal_shared spec ~m)))
+        (traffic (Engine.tile spec ~m:(m / n)))
+        (traffic (Engine.tile spec ~m))
+        (traffic (Engine.tile_shared spec ~m)))
     [
       ("matmul 256^3", Kernels.matmul ~l1:256 ~l2:256 ~l3:256);
       ("matmul 512x512x8", Kernels.matmul ~l1:512 ~l2:512 ~l3:8);
@@ -471,14 +530,14 @@ let e12 () =
 (* ------------------------------------------------------------------ *)
 
 let e13 () =
-  header "E13" "loop interchange vs tiling  [Sec 1 motivation]";
   let m = 512 in
   let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
-  let bound = Lower_bound.communication spec ~m in
+  let bound = Engine.lower_bound spec ~m in
   rowf "%-26s | %12s %8s\n" "schedule" "LRU words" "x LB";
-  let show label sched =
-    let w = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
-    rowf "%-26s | %12d %8.2f\n" label w (fint w /. bound.Lower_bound.words)
+  let show label choice =
+    let w = Engine.words_moved spec ~m choice in
+    rowf "%-26s | %12d %8.2f\n" label w (fint w /. bound.Lower_bound.words);
+    note_int label w
   in
   let perms = [ [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |]; [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |] ] in
   List.iter
@@ -486,9 +545,9 @@ let e13 () =
       show
         (Printf.sprintf "order %s"
            (String.concat "," (Array.to_list (Array.map (fun i -> spec.Spec.loops.(i)) p))))
-        (Schedules.Permuted p))
+        (Engine.Permuted p))
     perms;
-  show "optimal tiling" (Schedules.Tiled (Tiling.optimal_shared spec ~m));
+  show "optimal tiling" Engine.Optimal;
   rowf "%-26s | %12.0f %8.2f\n" "lower bound" bound.Lower_bound.words 1.0;
   print_endline
     "expected shape: every loop order stays an order of magnitude above the bound (matmul";
@@ -500,20 +559,10 @@ let e13 () =
 (* ------------------------------------------------------------------ *)
 
 let e14 () =
-  header "E14" "generality: MTTKRP, batched matmul, 3-body (no hand analysis needed)";
   let m = 1024 in
   rowf "%-28s | %6s %14s %12s %12s %8s\n" "kernel" "s_HBL" "k_hat" "LB words" "ours(LRU)"
     "ours/LB";
-  List.iter
-    (fun (name, spec) ->
-      let bound = Lower_bound.communication spec ~m in
-      let tile = Tiling.optimal_shared spec ~m in
-      let w = (Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m).Executor.words_moved in
-      rowf "%-28s | %6s %14s %12.0f %12d %8.2f\n" name
-        (Rat.to_string (Hbl_lp.s_hbl spec))
-        (Rat.to_string bound.Lower_bound.exponent.Lower_bound.k_hat)
-        bound.Lower_bound.words w
-        (fint w /. bound.Lower_bound.words))
+  let cases =
     [
       ("mttkrp 64^3 x r=16", Kernels.mttkrp ~i:64 ~j:64 ~k:64 ~r:16);
       ("mttkrp 64^3 x r=2", Kernels.mttkrp ~i:64 ~j:64 ~k:64 ~r:2);
@@ -521,7 +570,21 @@ let e14 () =
       ("batched mm 128x(16^3)", Kernels.batched_matmul ~batch:128 ~l1:16 ~l2:16 ~l3:16);
       ("three_body 128^3", Kernels.three_body ~l1:128 ~l2:128 ~l3:128);
       ("three_body 4x128x128", Kernels.three_body ~l1:4 ~l2:128 ~l3:128);
-    ];
+    ]
+  in
+  let reports =
+    Engine.sweep_grid ~sims:[ Pipeline.sim Engine.Optimal ] (List.map snd cases) ~ms:[ m ]
+  in
+  List.iter2
+    (fun (name, spec) (r : Report.t) ->
+      let w = sim_words r 0 in
+      rowf "%-28s | %6s %14s %12.0f %12d %8.2f\n" name
+        (Rat.to_string (Hbl_lp.s_hbl spec))
+        (Rat.to_string r.Report.bound.Lower_bound.exponent.Lower_bound.k_hat)
+        r.Report.bound.Lower_bound.words w
+        (fint w /. r.Report.bound.Lower_bound.words);
+      note_int (name ^ " ours") w)
+    cases reports;
   print_endline
     "expected shape: the machinery handles every shape uniformly (the paper's point about";
   print_endline
@@ -533,19 +596,15 @@ let e14 () =
 (* ------------------------------------------------------------------ *)
 
 let e15 () =
-  header "E15" "cache lines: the word-granular model under 1/4/8-word lines";
   let m = 1024 in
   let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
-  let bound = Lower_bound.communication spec ~m in
+  let bound = Engine.lower_bound spec ~m in
   rowf "%-24s | %12s %12s %12s\n" "schedule" "line=1" "line=4" "line=8";
-  let tile = Tiling.optimal_shared spec ~m in
   List.iter
-    (fun (label, sched) ->
-      let words lw =
-        (Executor.run ~line_words:lw spec ~schedule:sched ~capacity:m).Executor.words_moved
-      in
+    (fun (label, choice) ->
+      let words lw = Engine.words_moved ~line_words:lw spec ~m choice in
       rowf "%-24s | %12d %12d %12d\n" label (words 1) (words 4) (words 8))
-    [ ("untiled", Schedules.Untiled); ("optimal tiling", Schedules.Tiled tile) ];
+    [ ("untiled", Engine.Untiled); ("optimal tiling", Engine.Optimal) ];
   rowf "%-24s | %12.0f (word-granular model)\n" "lower bound" bound.Lower_bound.words;
   print_endline
     "expected shape: matmul walks rows contiguously in either schedule, so traffic is";
@@ -560,7 +619,6 @@ let e15 () =
 (* ------------------------------------------------------------------ *)
 
 let e17 () =
-  header "E17" "distributed memory-dependent regime (Irony-Toledo-Tiskin shape)  [Sec 7]";
   let spec = Kernels.matmul ~l1:128 ~l2:128 ~l3:128 in
   rowf "%4s | %12s %16s | per-processor simulated words at M_local =\n" "P" "best grid"
     "gather volume";
@@ -591,7 +649,6 @@ let e17 () =
 (* ------------------------------------------------------------------ *)
 
 let e16 () =
-  header "E16" "ablation: exact vs float simplex on the tiling LPs  [DESIGN.md]";
   let rng = Random.State.make [| 0xacc |] in
   let trials = 200 in
   let max_dev = ref 0.0 in
@@ -653,7 +710,7 @@ let e16 () =
 let microbenches () =
   let open Bechamel in
   let open Toolkit in
-  header "MICRO" "solver microbenchmarks (Bechamel, monotonic clock)";
+  Printf.printf "\n==== MICRO: solver microbenchmarks (Bechamel, monotonic clock) ====\n";
   let mm = Kernels.matmul ~l1:1024 ~l2:1024 ~l3:8 in
   let conv = Kernels.pointwise_conv ~b:8 ~c:4 ~k:32 ~w:14 ~h:14 in
   let beta_mm = Lower_bound.beta_of_bounds ~m:4096 mm.Spec.bounds in
@@ -666,6 +723,8 @@ let microbenches () =
         Test.make ~name:"hbl-lp-matmul" (Staged.stage (fun () -> Hbl_lp.s_hbl mm));
         Test.make ~name:"tiling-lp-matmul"
           (Staged.stage (fun () -> Tiling.solve_lp mm ~beta:beta_mm));
+        Test.make ~name:"tiling-lp-matmul-memoized"
+          (Staged.stage (fun () -> Engine.solve_lp mm ~beta:beta_mm));
         Test.make ~name:"tiling-lp-matmul-float"
           (Staged.stage (fun () -> Simplex_float.solve (Hbl_lp.tiling mm ~beta:beta_mm)));
         Test.make ~name:"tiling-lp-conv"
@@ -707,25 +766,33 @@ let microbenches () =
       rowf "%-42s %16s\n" name pretty)
     (List.sort compare rows)
 
+let tables () =
+  List.iter
+    (fun (id, title, body) -> experiment id title body)
+    [
+      ("E1", "matmul bound = max(L1L2L3/sqrt(M), L1L2, L2L3, L1L3)  [Sec 6.1]", e1);
+      ("E2", "alpha-parameterized family of optimal matmul tiles  [Sec 6.1]", e2);
+      ("E3", "tensor contraction LP = gamma-grouped matmul LP  [Sec 6.2]", e3);
+      ("E4", "pointwise convolutions with small channel counts  [Sec 1, 6.2]", e4);
+      ( "E5",
+        "n-body: tile min(M^2, L1 M, L2 M, L1 L2), comm min(L1L2/M, L2, L1, M)  [Sec 6.3]",
+        e5 );
+      ("E6", "tightness: constructed tiling vs lower bound  [Sec 4-5]", e6);
+      ("E7", "who wins: untiled vs classic vs arbitrary-bounds tiling  [Sec 1]", e7);
+      ("E8", "Theorem 3 on random projective programs  [Sec 4-5]", e8);
+      ("E9", "piecewise-linear closed form of the tile exponent  [Sec 7]", e9);
+      ("E10", "rectangular partitions over P processors  [Sec 7]", e10);
+      ("E11", "nested tilings on a two-level hierarchy  [Sec 1/7 extension]", e11);
+      ("E12", "ablation: tile construction strategies (retention-model traffic)  [DESIGN.md]", e12);
+      ("E13", "loop interchange vs tiling  [Sec 1 motivation]", e13);
+      ("E14", "generality: MTTKRP, batched matmul, 3-body (no hand analysis needed)", e14);
+      ("E15", "cache lines: the word-granular model under 1/4/8-word lines", e15);
+      ("E16", "ablation: exact vs float simplex on the tiling LPs  [DESIGN.md]", e16);
+      ("E17", "distributed memory-dependent regime (Irony-Toledo-Tiskin shape)  [Sec 7]", e17);
+    ];
+  write_json "BENCH_engine.json"
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if what = "tables" || what = "all" then begin
-    e1 ();
-    e2 ();
-    e3 ();
-    e4 ();
-    e5 ();
-    e6 ();
-    e7 ();
-    e8 ();
-    e9 ();
-    e10 ();
-    e11 ();
-    e12 ();
-    e13 ();
-    e14 ();
-    e15 ();
-    e16 ();
-    e17 ()
-  end;
+  if what = "tables" || what = "all" then tables ();
   if what = "micro" || what = "all" then microbenches ()

@@ -1,4 +1,6 @@
-(* Command-line interface to the tiling library.
+(* Command-line interface to the tiling library, built on the unified
+   Engine pipeline (lib/engine): every subcommand is a thin veneer that
+   builds a Pipeline request and renders the Report.
 
    Examples:
 
@@ -7,6 +9,7 @@
      tilings tile -k "x=4096, y=4096 : A[x] += B[x] * C[y]" -m 256
      tilings closed-form --preset matmul
      tilings simulate --preset matmul -m 512 --schedule optimal --policy lru
+     tilings sweep --preset matmul -m 256,1024,4096 --schedules optimal,classic
      tilings partition --preset matmul -m 4096 --procs 8
      tilings presets
 *)
@@ -56,6 +59,11 @@ let with_spec kernel preset f =
   | Error msg -> fail "%s" msg
   | Ok spec -> f spec
 
+let simulable spec =
+  if Spec.iteration_count spec > 20_000_000 then
+    Error "kernel too large to simulate (> 2*10^7 iterations); shrink the bounds"
+  else Ok ()
+
 (* ------------------------------------------------------------------ *)
 (* Commands                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -65,7 +73,7 @@ let analyze_cmd =
     with_spec kernel preset (fun spec ->
       if m < 2 then fail "cache must be at least 2 words"
       else begin
-        Format.printf "%a@." Analyze.pp (Analyze.run spec ~m);
+        Format.printf "%a@." Report.pp (Engine.analyze spec ~m);
         `Ok ()
       end)
   in
@@ -78,8 +86,7 @@ let lower_bound_cmd =
     with_spec kernel preset (fun spec ->
       if m < 2 then fail "cache must be at least 2 words"
       else begin
-        Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound
-          (Lower_bound.communication spec ~m);
+        Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound (Engine.lower_bound spec ~m);
         `Ok ()
       end)
   in
@@ -92,19 +99,20 @@ let tile_cmd =
     with_spec kernel preset (fun spec ->
       if m < Spec.num_arrays spec then fail "cache too small for this kernel"
       else begin
-        let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
-        let sol = Tiling.solve_lp spec ~beta in
-        let per_array = Tiling.of_lambda spec ~m sol.Tiling.lambda in
-        let shared = Tiling.optimal_shared spec ~m in
+        let r = Engine.analyze ~shared:true spec ~m in
+        let sol = r.Report.lp in
         Format.printf "%a@." Spec.pp spec;
         Format.printf "LP (5.1) value: %a (tile cardinality M^%.4f)@." Rat.pp sol.Tiling.value
           (Rat.to_float sol.Tiling.value);
         Format.printf "lambda: [%s]@."
           (String.concat "; " (List.map Rat.to_string (Array.to_list sol.Tiling.lambda)));
         Format.printf "tile (paper model, M per array): %a  volume %d@." (Tiling.pp spec)
-          per_array (Tiling.volume per_array);
-        Format.printf "tile (shared cache of M words):  %a  volume %d@." (Tiling.pp spec)
-          shared (Tiling.volume shared);
+          r.Report.tile r.Report.tile_volume;
+        (match r.Report.tile_shared with
+        | Some shared ->
+          Format.printf "tile (shared cache of M words):  %a  volume %d@." (Tiling.pp spec)
+            shared (Tiling.volume shared)
+        | None -> ());
         `Ok ()
       end)
   in
@@ -130,7 +138,8 @@ let closed_form_cmd =
     Term.(ret (const run $ kernel_arg $ preset_arg))
 
 let schedule_conv =
-  Arg.enum [ ("optimal", `Optimal); ("classic", `Classic); ("untiled", `Untiled) ]
+  Arg.enum
+    [ ("optimal", Engine.Optimal); ("classic", Engine.Classic); ("untiled", Engine.Untiled) ]
 
 let policy_conv =
   Arg.enum [ ("lru", Policy.Lru); ("fifo", Policy.Fifo); ("opt", Policy.Opt) ]
@@ -139,33 +148,21 @@ let simulate_cmd =
   let run kernel preset m schedule policy =
     with_spec kernel preset (fun spec ->
       if m < Spec.num_arrays spec then fail "cache too small for this kernel"
-      else if Spec.iteration_count spec > 20_000_000 then
-        fail "kernel too large to simulate (> 2*10^7 iterations); shrink the bounds"
-      else begin
-        let sched =
-          match schedule with
-          | `Untiled -> Schedules.Untiled
-          | `Classic -> Schedules.Tiled (Schedules.classic_tile spec ~m)
-          | `Optimal -> Schedules.Tiled (Tiling.optimal_shared spec ~m)
-        in
-        let bound = Lower_bound.communication spec ~m in
-        let r = Executor.run ~policy spec ~schedule:sched ~capacity:m in
-        Format.printf "%a@." Spec.pp spec;
-        Format.printf "schedule: %s   policy: %s   cache: %d words@."
-          (Schedules.description spec sched)
-          (Policy.to_string policy) m;
-        Format.printf
-          "accesses %d   hits %d   misses %d   writebacks %d@."
-          r.Executor.stats.Cache.accesses r.Executor.stats.Cache.hits
-          r.Executor.stats.Cache.misses r.Executor.stats.Cache.writebacks;
-        Format.printf "words moved: %d   lower bound: %.0f   ratio: %.3f@."
-          r.Executor.words_moved bound.Lower_bound.words
-          (float_of_int r.Executor.words_moved /. bound.Lower_bound.words);
-        `Ok ()
-      end)
+      else
+        match simulable spec with
+        | Error msg -> fail "%s" msg
+        | Ok () ->
+          let r =
+            Engine.analyze ~sims:[ Pipeline.sim ~policy schedule ] spec ~m
+          in
+          Format.printf "%a@." Spec.pp spec;
+          List.iter
+            (fun s -> Format.printf "%a@." (Report.pp_sim ~bound:r.Report.bound ~m) s)
+            r.Report.sims;
+          `Ok ())
   in
   let schedule_arg =
-    Arg.(value & opt schedule_conv `Optimal & info [ "schedule" ] ~docv:"SCHED"
+    Arg.(value & opt schedule_conv Engine.Optimal & info [ "schedule" ] ~docv:"SCHED"
            ~doc:"One of $(b,optimal), $(b,classic), $(b,untiled).")
   in
   let policy_arg =
@@ -175,6 +172,61 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the kernel on the cache simulator and count traffic")
     Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ schedule_arg $ policy_arg))
+
+let sweep_cmd =
+  let run kernel preset ms schedules policies jobs timings =
+    with_spec kernel preset (fun spec ->
+      match List.find_opt (fun m -> m < max 2 (Spec.num_arrays spec)) ms with
+      | Some m -> fail "cache size %d too small for this kernel" m
+      | None ->
+        if ms = [] then fail "give at least one cache size with -m"
+        else begin
+          let sims =
+            List.concat_map
+              (fun sched -> List.map (fun policy -> Pipeline.sim ~policy sched) policies)
+              schedules
+          in
+          match (if sims = [] then Ok () else simulable spec) with
+          | Error msg -> fail "%s" msg
+          | Ok () ->
+            let reqs = List.map (fun m -> Pipeline.request ~sims ~shared:true spec ~m) ms in
+            let reports = Engine.sweep ?jobs reqs in
+            print_endline (Report.json_of_reports ~timings reports);
+            `Ok ()
+        end)
+  in
+  let ms_arg =
+    Arg.(value & opt (list int) [ 256; 1024; 4096 ]
+           & info [ "m"; "cache" ] ~docv:"M1,M2,.."
+               ~doc:"Cache sizes (words) to sweep over.")
+  in
+  let schedules_arg =
+    Arg.(value & opt (list schedule_conv) []
+           & info [ "schedules" ] ~docv:"S1,S2,.."
+               ~doc:"Schedules to simulate at each point ($(b,optimal), $(b,classic), \
+                     $(b,untiled)); empty for analysis only.")
+  in
+  let policies_arg =
+    Arg.(value & opt (list policy_conv) [ Policy.Lru ]
+           & info [ "policies" ] ~docv:"P1,P2,.."
+               ~doc:"Replacement policies to cross with the schedules.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+           & info [ "jobs" ] ~docv:"N"
+               ~doc:"Worker domains for the sweep (default: PROJTILE_JOBS or the \
+                     recommended domain count).")
+  in
+  let timings_arg =
+    Arg.(value & flag & info [ "timings" ] ~doc:"Include per-stage wall times in the JSON.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep cache sizes (and schedules/policies) in parallel; emit JSON reports")
+    Term.(
+      ret
+        (const run $ kernel_arg $ preset_arg $ ms_arg $ schedules_arg $ policies_arg
+       $ jobs_arg $ timings_arg))
 
 let partition_cmd =
   let run kernel preset procs =
@@ -213,7 +265,7 @@ let codegen_cmd =
       end
       else if m < Spec.num_arrays spec then fail "cache too small for this kernel"
       else begin
-        let tile = Tiling.optimal_shared spec ~m in
+        let tile = Engine.tile_shared spec ~m in
         print_string (Codegen.emit ~lang spec ~tile);
         `Ok ()
       end)
@@ -243,26 +295,26 @@ let hierarchy_cmd =
             if c < Spec.num_arrays spec || (k > 0 && c <= capacities.(k - 1)) then ok := false)
           capacities;
         if not !ok then fail "levels must be strictly increasing and large enough"
-        else if Spec.iteration_count spec > 20_000_000 then
-          fail "kernel too large to simulate; shrink the bounds"
-        else begin
-          let tiles = Tiling.nested spec ~ms:capacities in
-          Format.printf "%a@." Spec.pp spec;
-          List.iteri
-            (fun k t ->
-              Format.printf "level %d (M = %d words): tile %a@." (k + 1) capacities.(k)
-                (Tiling.pp spec) t)
-            tiles;
-          let r =
-            Executor.run_hierarchy spec ~schedule:(Schedules.Nested tiles) ~capacities
-          in
-          Array.iteri
-            (fun k w ->
-              let dest = if k = Array.length capacities - 1 then "memory" else Printf.sprintf "L%d" (k + 2) in
-              Format.printf "traffic L%d -> %s: %d words@." (k + 1) dest w)
-            r.Executor.boundary_words;
-          `Ok ()
-        end)
+        else
+          match simulable spec with
+          | Error msg -> fail "%s" msg
+          | Ok () ->
+            let h = Engine.hierarchy spec ~capacities in
+            Format.printf "%a@." Spec.pp spec;
+            List.iteri
+              (fun k t ->
+                Format.printf "level %d (M = %d words): tile %a@." (k + 1) capacities.(k)
+                  (Tiling.pp spec) t)
+              h.Pipeline.htiles;
+            Array.iteri
+              (fun k w ->
+                let dest =
+                  if k = Array.length capacities - 1 then "memory"
+                  else Printf.sprintf "L%d" (k + 2)
+                in
+                Format.printf "traffic L%d -> %s: %d words@." (k + 1) dest w)
+              h.Pipeline.hresult.Executor.boundary_words;
+            `Ok ())
   in
   let levels_arg =
     Arg.(value & opt (list int) [ 512; 16384 ]
@@ -300,7 +352,7 @@ let presets_cmd =
 
 let () =
   let doc = "communication-optimal tilings for projective nested loops (Dinh & Demmel, SPAA 2020)" in
-  let info = Cmd.info "tilings" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "tilings" ~version:"1.1.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -312,6 +364,7 @@ let () =
             closed_form_cmd;
             regions_cmd;
             simulate_cmd;
+            sweep_cmd;
             hierarchy_cmd;
             partition_cmd;
             codegen_cmd;

@@ -24,10 +24,16 @@ let () =
   in
   Format.printf "%a@.@." Spec.pp spec;
 
-  let report = Analyze.run spec ~m in
-  Format.printf "%a@.@." Analyze.pp report;
+  (* One engine request covers the analysis, the shared-cache tile, and
+     all three simulated schedules. *)
+  let report =
+    Engine.analyze
+      ~sims:Engine.[ Pipeline.sim Optimal; Pipeline.sim Classic; Pipeline.sim Untiled ]
+      ~shared:true spec ~m
+  in
+  Format.printf "%a@.@." Report.pp report;
 
-  let e = report.Analyze.bound.Lower_bound.exponent in
+  let e = report.Report.bound.Lower_bound.exponent in
   Format.printf "Theorem-2 witness Q (small loops) = {%s}@."
     (String.concat ", "
        (List.map (fun i -> spec.Spec.loops.(i)) e.Lower_bound.witness_q));
@@ -35,20 +41,14 @@ let () =
   let cf = Closed_form.compute spec in
   Format.printf "tile exponent closed form: %a@.@." Closed_form.pp cf;
 
-  (* Validate on the simulator. *)
-  let tile = Tiling.optimal_shared spec ~m in
-  let ours = Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m in
-  let classic =
-    Executor.run spec ~schedule:(Schedules.Tiled (Schedules.classic_tile spec ~m)) ~capacity:m
-  in
-  let naive = Executor.run spec ~schedule:Schedules.Untiled ~capacity:m in
+  let words k = (List.nth report.Report.sims k).Report.words_moved in
   Format.printf "simulated words moved (LRU, M = %d):@." m;
   Format.printf "  bound-aware tile %-18s: %8d@."
-    (Format.asprintf "%a" (Tiling.pp spec) tile)
-    ours.Executor.words_moved;
+    (Format.asprintf "%a" (Tiling.pp spec) (Option.get report.Report.tile_shared))
+    (words 0);
   Format.printf "  clamped classic  %-18s: %8d@."
     (Format.asprintf "%a" (Tiling.pp spec) (Schedules.classic_tile spec ~m))
-    classic.Executor.words_moved;
-  Format.printf "  untiled                            : %8d@." naive.Executor.words_moved;
+    (words 1);
+  Format.printf "  untiled                            : %8d@." (words 2);
   Format.printf "  lower bound                        : %8.0f@."
-    report.Analyze.bound.Lower_bound.words
+    report.Report.bound.Lower_bound.words

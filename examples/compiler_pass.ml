@@ -2,7 +2,8 @@
    take kernels as text, derive the communication-optimal tile for the
    target cache, and emit compilable blocked C — no hand analysis, no
    vendor library, works for arbitrary (including niche) projective
-   kernels.
+   kernels. The engine memoizes the per-kernel analysis, so recompiling a
+   translation unit full of repeated shapes re-solves nothing.
 
      dune exec examples/compiler_pass.exe            # print to stdout
      dune exec examples/compiler_pass.exe -- out_dir # also write .c files
@@ -27,8 +28,8 @@ let () =
   List.iter
     (fun (name, dsl) ->
       let spec = Parser.parse_exn ~name dsl in
-      let bound = Lower_bound.communication spec ~m in
-      let tile = Tiling.optimal_shared spec ~m in
+      let bound = Engine.lower_bound spec ~m in
+      let tile = Engine.tile_shared spec ~m in
       Format.printf "// ------------------------------------------------------------@.";
       Format.printf "// %s: lower bound %.3g words (classical formula says %.3g)@." name
         bound.Lower_bound.words bound.Lower_bound.words_classic;

@@ -5,9 +5,10 @@
    architectures (MobileNet-style). Their channel counts are often small,
    so the classical square tiling is infeasible and the classical lower
    bound is wrong; the arbitrary-bounds machinery handles every layer
-   uniformly. For each layer of a MobileNet-like stack we print the lower
-   bound, the optimal tile, and the simulated traffic of (a) our tiling
-   and (b) the clamped classical tiling.
+   uniformly. The whole stack goes through the engine as one sweep
+   (parallel across layers when domains are available); for each layer we
+   print the lower bound and the simulated traffic of (a) our tiling,
+   (b) the clamped classical tiling and (c) the untiled loops.
 
      dune exec examples/conv_layers.exe
 *)
@@ -30,20 +31,18 @@ let () =
   Format.printf "Pointwise convolution layers, cache M = %d words@." m;
   Format.printf "%-14s %12s %12s %12s %12s %8s@." "layer" "lower bound" "ours(LRU)"
     "classic(LRU)" "untiled" "ours/LB";
-  List.iter
-    (fun l ->
-      let spec = Kernels.pointwise_conv ~b:l.b ~c:l.c ~k:l.k ~w:l.w ~h:l.h in
-      let bound = Lower_bound.communication spec ~m in
-      let ours = Tiling.optimal_shared spec ~m in
-      let classic = Schedules.classic_tile spec ~m in
-      let run sched = (Executor.run spec ~schedule:sched ~capacity:m).Executor.words_moved in
-      let w_ours = run (Schedules.Tiled ours) in
-      let w_classic = run (Schedules.Tiled classic) in
-      let w_naive = run Schedules.Untiled in
-      Format.printf "%-14s %12.0f %12d %12d %12d %8.2f@." l.name bound.Lower_bound.words
-        w_ours w_classic w_naive
-        (float_of_int w_ours /. bound.Lower_bound.words))
-    layers;
+  let sims = Engine.[ Pipeline.sim Optimal; Pipeline.sim Classic; Pipeline.sim Untiled ] in
+  let specs =
+    List.map (fun l -> Kernels.pointwise_conv ~b:l.b ~c:l.c ~k:l.k ~w:l.w ~h:l.h) layers
+  in
+  let reports = Engine.sweep_grid ~sims specs ~ms:[ m ] in
+  List.iter2
+    (fun l (r : Report.t) ->
+      let words k = (List.nth r.Report.sims k).Report.words_moved in
+      Format.printf "%-14s %12.0f %12d %12d %12d %8.2f@." l.name
+        r.Report.bound.Lower_bound.words (words 0) (words 1) (words 2)
+        (float_of_int (words 0) /. r.Report.bound.Lower_bound.words))
+    layers reports;
   Format.printf
     "@.'classic' clamps the square %s-style tile to the loop bounds; with small channel@."
     "sqrt(M/3)";

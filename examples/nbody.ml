@@ -23,16 +23,22 @@ let () =
   in
   Format.printf "%-38s %12s %14s %12s %10s@." "case" "tile" "tile volume" "LB words"
     "LRU words";
-  List.iter
-    (fun (label, l1, l2) ->
-      let spec = Kernels.nbody ~l1 ~l2 in
-      let bound = Lower_bound.communication spec ~m in
-      let tile = Tiling.optimal_shared spec ~m in
-      let run = Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m in
+  let reports =
+    Engine.sweep_grid
+      ~sims:[ Pipeline.sim Engine.Optimal ]
+      ~shared:true
+      (List.map (fun (_, l1, l2) -> Kernels.nbody ~l1 ~l2) cases)
+      ~ms:[ m ]
+  in
+  List.iter2
+    (fun (label, _, _) (r : Report.t) ->
+      let spec = r.Report.spec in
+      let tile = Option.get r.Report.tile_shared in
       Format.printf "%-38s %12s %14d %12.0f %10d@." label
         (Format.asprintf "%a" (Tiling.pp spec) tile)
-        (Tiling.volume tile) bound.Lower_bound.words run.Executor.words_moved)
-    cases;
+        (Tiling.volume tile) r.Report.bound.Lower_bound.words
+        (List.hd r.Report.sims).Report.words_moved)
+    cases reports;
   Format.printf
     "@.Note (Section 6.3): in the last regime the whole problem fits in cache, and the@.";
   Format.printf

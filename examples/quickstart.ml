@@ -1,7 +1,7 @@
 (* Quickstart: analyze one kernel end to end.
 
    Describe a projective loop nest in the one-line DSL, then ask the
-   library for (1) the arbitrary-bounds communication lower bound, (2) an
+   engine for (1) the arbitrary-bounds communication lower bound, (2) an
    optimal rectangular tile, and (3) simulated traffic confirming the tile
    attains the bound. Run with:
 
@@ -18,13 +18,13 @@ let () =
   in
 
   (* One call gives the full analysis. *)
-  let report = Analyze.run spec ~m in
-  Format.printf "%a@.@." Analyze.pp report;
+  let report = Engine.analyze spec ~m in
+  Format.printf "%a@.@." Report.pp report;
 
   (* Piece together the story by hand as well. *)
-  let bound = report.Analyze.bound in
+  let bound = report.Report.bound in
   Format.printf "lower bound: any execution moves >= %.3g words@." bound.Lower_bound.words;
-  Format.printf "optimal tile: %a@." (Tiling.pp spec) report.Analyze.tile;
+  Format.printf "optimal tile: %a@." (Tiling.pp spec) report.Report.tile;
 
   (* The closed form of the tile-size exponent as a function of the
      log-bounds (Section 7 of the paper). *)
@@ -32,13 +32,12 @@ let () =
   Format.printf "tile exponent f(beta) = %a@." Closed_form.pp cf;
 
   (* Simulate on an LRU cache. The paper's model gives each array its own
-     budget of M words; a single shared cache therefore gets the tile
-     computed for M / #arrays. *)
-  let tile = Tiling.optimal_shared spec ~m in
-  let run = Executor.run spec ~schedule:(Schedules.Tiled tile) ~capacity:m in
-  let naive = Executor.run spec ~schedule:Schedules.Untiled ~capacity:m in
+     budget of M words; the engine's [Optimal] schedule uses the tile
+     re-optimized for a single shared cache of M words instead. *)
+  let ours = Engine.words_moved spec ~m Engine.Optimal in
+  let naive = Engine.words_moved spec ~m Engine.Untiled in
   Format.printf "@.simulated words moved (LRU, M = %d):@." m;
-  Format.printf "  optimal tiling : %d  (%.2fx the lower bound)@." run.Executor.words_moved
-    (float_of_int run.Executor.words_moved /. bound.Lower_bound.words);
-  Format.printf "  untiled loops  : %d  (%.2fx the lower bound)@." naive.Executor.words_moved
-    (float_of_int naive.Executor.words_moved /. bound.Lower_bound.words)
+  Format.printf "  optimal tiling : %d  (%.2fx the lower bound)@." ours
+    (float_of_int ours /. bound.Lower_bound.words);
+  Format.printf "  untiled loops  : %d  (%.2fx the lower bound)@." naive
+    (float_of_int naive /. bound.Lower_bound.words)

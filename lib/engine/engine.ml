@@ -1,0 +1,34 @@
+type report = Report.t
+type sim = Report.sim
+type schedule_choice = Pipeline.schedule_choice =
+  | Optimal
+  | Classic
+  | Untiled
+  | Permuted of int array
+  | Fixed of int array
+
+let analyze ?sims ?shared spec ~m = Pipeline.run (Pipeline.request ?sims ?shared spec ~m)
+
+let sweep = Pipeline.sweep
+
+let sweep_grid ?jobs ?sims ?shared specs ~ms =
+  let reqs =
+    List.concat_map
+      (fun spec -> List.map (fun m -> Pipeline.request ?sims ?shared spec ~m) ms)
+      specs
+  in
+  Pipeline.sweep ?jobs reqs
+
+let simulate ?policy ?line_words spec ~m choice =
+  Pipeline.simulate spec ~m (Pipeline.sim ?policy ?line_words choice)
+
+let words_moved ?policy ?line_words spec ~m choice =
+  (simulate ?policy ?line_words spec ~m choice).Report.words_moved
+
+let lower_bound = Pipeline.lower_bound
+let solve_lp = Pipeline.solve_lp
+let tile = Pipeline.tile
+let tile_shared = Pipeline.tile_shared
+let hierarchy = Pipeline.hierarchy
+let cache_stats = Pipeline.cache_stats
+let reset_caches = Pipeline.reset_caches

@@ -1,0 +1,52 @@
+(** Facade over the unified analysis pipeline.
+
+    [Engine] is what the CLI, the benchmark harness and the examples
+    compile against: one-call helpers wrapping {!Pipeline} (typed
+    requests, memoized LP/analysis stages, domain-parallel sweeps) and
+    {!Report} (text/JSON rendering). See those modules for the knobs. *)
+
+type report = Report.t
+type sim = Report.sim
+type schedule_choice = Pipeline.schedule_choice =
+  | Optimal
+  | Classic
+  | Untiled
+  | Permuted of int array
+  | Fixed of int array
+
+val analyze :
+  ?sims:Pipeline.sim_request list -> ?shared:bool -> Spec.t -> m:int -> report
+(** Full pipeline for one kernel at one cache size. *)
+
+val sweep : ?jobs:int -> Pipeline.request list -> report list
+(** Parallel sweep over independent requests; deterministic order. *)
+
+val sweep_grid :
+  ?jobs:int ->
+  ?sims:Pipeline.sim_request list ->
+  ?shared:bool ->
+  Spec.t list ->
+  ms:int list ->
+  report list
+(** Cartesian product of kernels and cache sizes, kernels outermost. *)
+
+val simulate :
+  ?policy:Policy.t -> ?line_words:int -> Spec.t -> m:int -> schedule_choice -> sim
+(** One simulation, with the schedule resolved by the engine (memoized
+    tiles). *)
+
+val words_moved :
+  ?policy:Policy.t -> ?line_words:int -> Spec.t -> m:int -> schedule_choice -> int
+(** [words_moved] of {!simulate} — the one-number version used all over
+    the benchmark tables. *)
+
+val lower_bound : Spec.t -> m:int -> Lower_bound.bound
+val solve_lp : Spec.t -> beta:Rat.t array -> Tiling.lp_solution
+val tile : Spec.t -> m:int -> int array
+val tile_shared : Spec.t -> m:int -> int array
+
+val hierarchy :
+  ?policy:Policy.t -> Spec.t -> capacities:int array -> Pipeline.hierarchy_report
+
+val cache_stats : unit -> int * int
+val reset_caches : unit -> unit

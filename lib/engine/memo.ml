@@ -1,0 +1,76 @@
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 64; lock = Mutex.create (); hits = 0; misses = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_opt t key =
+  with_lock t (fun () ->
+    match Hashtbl.find_opt t.table key with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      Some v
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
+
+let add t key v =
+  with_lock t (fun () -> if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v)
+
+let find_or_add t key compute =
+  match find_opt t key with
+  | Some v -> v
+  | None ->
+    (* Computed outside the lock: a concurrent miss on the same key just
+       recomputes the same deterministic value. *)
+    let v = compute () in
+    add t key v;
+    v
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+
+let clear t =
+  with_lock t (fun () ->
+    Hashtbl.reset t.table;
+    t.hits <- 0;
+    t.misses <- 0)
+
+let string_of_mode = function Spec.Read -> "r" | Spec.Write -> "w" | Spec.Update -> "u"
+
+let key_of_spec (spec : Spec.t) =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "L=";
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int l))
+    spec.Spec.bounds;
+  let rows =
+    Array.to_list spec.Spec.arrays
+    |> List.map (fun (a : Spec.array_ref) ->
+         Printf.sprintf "%s:%s" (string_of_mode a.Spec.mode)
+           (String.concat "," (List.map string_of_int (Array.to_list a.Spec.support))))
+    |> List.sort String.compare
+  in
+  Buffer.add_string buf ";A=";
+  Buffer.add_string buf (String.concat "|" rows);
+  Buffer.contents buf
+
+let key_of_spec_beta spec ~beta =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (key_of_spec spec);
+  Buffer.add_string buf ";b=";
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Rat.to_string r))
+    beta;
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Memo cache for LP/analysis results, keyed by canonicalized specs.
+
+    Solving the tiling LP and the dual lower-bound LP with exact rational
+    arithmetic dominates analysis cost; sweeps re-solve the same
+    [(spec, beta)] point once per schedule/policy combination and CLI
+    invocations re-solve it from scratch. Caching behind a canonical key
+    makes repeats free.
+
+    The canonical key of a spec ignores loop and array {e names} and the
+    order in which arrays are listed: two programs with the same loop
+    bounds and the same multiset of (support, mode) rows analyze
+    identically, so they share cache entries.
+
+    Tables are domain-safe: lookups and inserts are serialized by a
+    mutex, while computations run outside it (a racing duplicate compute
+    of the same deterministic value is harmless and cheaper than holding
+    the lock across an LP solve). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t key compute] returns the cached value for [key],
+    computing and caching it on first use. *)
+
+val find_opt : 'a t -> string -> 'a option
+(** Lookup only; counts a hit or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert if absent (first writer wins). *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val clear : 'a t -> unit
+(** Drop all entries and reset the hit/miss counters (for tests). *)
+
+val key_of_spec : Spec.t -> string
+(** Canonical rendering of bounds + sorted (support, mode) rows; loop and
+    array names do not appear. *)
+
+val key_of_spec_beta : Spec.t -> beta:Rat.t array -> string
+(** {!key_of_spec} extended with the exact rational [beta] vector. *)

@@ -1,0 +1,194 @@
+type schedule_choice =
+  | Optimal
+  | Classic
+  | Untiled
+  | Permuted of int array
+  | Fixed of int array
+
+type sim_request = { schedule : schedule_choice; policy : Policy.t; line_words : int }
+
+let sim ?(policy = Policy.Lru) ?(line_words = 1) schedule = { schedule; policy; line_words }
+
+type request = { rspec : Spec.t; rm : int; rsims : sim_request list; rshared : bool }
+
+let request ?(sims = []) ?(shared = false) spec ~m =
+  { rspec = spec; rm = m; rsims = sims; rshared = shared }
+
+(* ------------------------------------------------------------------ *)
+(* Memoized stages                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The analysis of a request depends only on the canonical (spec, beta)
+   pair plus the cache size m (beta alone does not pin down integer tile
+   rounding), so that is the cache key throughout. *)
+
+type analysis = {
+  a_beta : Rat.t array;
+  a_bound : Lower_bound.bound;
+  a_lp : Tiling.lp_solution;
+  a_tile : int array;
+  a_volume : int;
+  a_max_footprint : int;
+  a_tiles : int;
+  a_traffic : Tiling.traffic;
+  a_attainment : float;
+}
+
+let lp_cache : Tiling.lp_solution Memo.t = Memo.create ()
+let analysis_cache : analysis Memo.t = Memo.create ()
+let shared_cache : int array Memo.t = Memo.create ()
+
+let solve_lp spec ~beta =
+  Memo.find_or_add lp_cache (Memo.key_of_spec_beta spec ~beta) (fun () ->
+    Tiling.solve_lp spec ~beta)
+
+let key_of_request spec ~m =
+  let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
+  (beta, Memo.key_of_spec_beta spec ~beta ^ ";m=" ^ string_of_int m)
+
+let compute_analysis spec ~m ~beta =
+  let bound = Lower_bound.communication spec ~m in
+  let lp = solve_lp spec ~beta in
+  let tile = Tiling.of_lambda spec ~m lp.Tiling.lambda in
+  let traffic = Tiling.analytic_traffic spec tile in
+  let moved = traffic.Tiling.reads +. traffic.Tiling.writes in
+  {
+    a_beta = beta;
+    a_bound = bound;
+    a_lp = lp;
+    a_tile = tile;
+    a_volume = Tiling.volume tile;
+    a_max_footprint = Tiling.max_footprint spec tile;
+    a_tiles = Tiling.num_tiles spec tile;
+    a_traffic = traffic;
+    a_attainment =
+      (if bound.Lower_bound.words > 0.0 then moved /. bound.Lower_bound.words else nan);
+  }
+
+(* Returns the analysis plus whether it came out of the cache. *)
+let analysis spec ~m =
+  let beta, key = key_of_request spec ~m in
+  match Memo.find_opt analysis_cache key with
+  | Some a -> (a, true)
+  | None ->
+    let a = compute_analysis spec ~m ~beta in
+    Memo.add analysis_cache key a;
+    (a, false)
+
+let lower_bound spec ~m = (fst (analysis spec ~m)).a_bound
+let tile spec ~m = (fst (analysis spec ~m)).a_tile
+
+let tile_shared spec ~m =
+  let _, key = key_of_request spec ~m in
+  Memo.find_or_add shared_cache key (fun () -> Tiling.optimal_shared spec ~m)
+
+let schedule_of spec ~m = function
+  | Optimal -> Schedules.Tiled (tile_shared spec ~m)
+  | Classic -> Schedules.Tiled (Schedules.classic_tile spec ~m)
+  | Untiled -> Schedules.Untiled
+  | Permuted p -> Schedules.Permuted p
+  | Fixed b -> Schedules.Tiled b
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let simulate spec ~m (s : sim_request) : Report.sim =
+  let sched = schedule_of spec ~m s.schedule in
+  let r = Executor.run ~line_words:s.line_words ~policy:s.policy spec ~schedule:sched ~capacity:m in
+  let bound = lower_bound spec ~m in
+  {
+    Report.label = Schedules.description spec sched;
+    schedule = sched;
+    policy = s.policy;
+    line_words = s.line_words;
+    stats = r.Executor.stats;
+    words_moved = r.Executor.words_moved;
+    ratio =
+      (if bound.Lower_bound.words > 0.0 then
+         float_of_int r.Executor.words_moved /. bound.Lower_bound.words
+       else nan);
+  }
+
+let now = Unix.gettimeofday
+
+let run req =
+  let spec = req.rspec and m = req.rm in
+  let t0 = now () in
+  let a, from_cache = analysis spec ~m in
+  let t1 = now () in
+  let want_shared =
+    req.rshared || List.exists (fun s -> s.schedule = Optimal) req.rsims
+  in
+  let shared = if want_shared then Some (tile_shared spec ~m) else None in
+  let t2 = now () in
+  let sims = List.map (simulate spec ~m) req.rsims in
+  let t3 = now () in
+  {
+    Report.spec;
+    m;
+    beta = a.a_beta;
+    bound = a.a_bound;
+    lp = a.a_lp;
+    tile = a.a_tile;
+    tile_shared = shared;
+    tile_volume = a.a_volume;
+    tile_max_footprint = a.a_max_footprint;
+    tiles = a.a_tiles;
+    traffic = a.a_traffic;
+    attainment = a.a_attainment;
+    sims;
+    timings =
+      [ ("analysis", t1 -. t0); ("shared_tile", t2 -. t1); ("simulate", t3 -. t2) ];
+    from_cache;
+  }
+
+let sweep ?jobs reqs = Pool.map_list ?jobs run reqs
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchies                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type hierarchy_report = {
+  hspec : Spec.t;
+  hcapacities : int array;
+  htiles : int array list;
+  hresult : Executor.hierarchy_result;
+}
+
+let nested_cache : int array list Memo.t = Memo.create ()
+
+let nested_tiles spec ~capacities =
+  let key =
+    Memo.key_of_spec spec ^ ";ms="
+    ^ String.concat "," (List.map string_of_int (Array.to_list capacities))
+  in
+  Memo.find_or_add nested_cache key (fun () -> Tiling.nested spec ~ms:capacities)
+
+let hierarchy ?policy spec ~capacities =
+  let tiles = nested_tiles spec ~capacities in
+  let hresult =
+    Executor.run_hierarchy ?policy spec ~schedule:(Schedules.Nested tiles) ~capacities
+  in
+  { hspec = spec; hcapacities = capacities; htiles = tiles; hresult }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cache_stats () =
+  let tables_hits =
+    Memo.hits lp_cache + Memo.hits analysis_cache + Memo.hits shared_cache
+    + Memo.hits nested_cache
+  in
+  let tables_misses =
+    Memo.misses lp_cache + Memo.misses analysis_cache + Memo.misses shared_cache
+    + Memo.misses nested_cache
+  in
+  (tables_hits, tables_misses)
+
+let reset_caches () =
+  Memo.clear lp_cache;
+  Memo.clear analysis_cache;
+  Memo.clear shared_cache;
+  Memo.clear nested_cache

@@ -1,0 +1,82 @@
+(** The unified analysis pipeline.
+
+    Every consumer of this repository runs the same sequence: take a
+    projective loop nest, solve the bounded tiling LP (5.1), derive the
+    lower bound [M^k_hat] and the rectangular tile, then optionally
+    validate by cache simulation. This module is that sequence as one
+    typed function: a {!request} in, a {!Report.t} out, with the
+    expensive exact-LP stages memoized ({!Memo}) and independent sweep
+    points parallelized over domains ({!Pool}). *)
+
+type schedule_choice =
+  | Optimal  (** shared-cache communication-optimal tile, {!Tiling.optimal_shared} *)
+  | Classic  (** clamped large-bounds cube, {!Schedules.classic_tile} *)
+  | Untiled
+  | Permuted of int array
+  | Fixed of int array  (** a caller-supplied tile *)
+
+type sim_request = {
+  schedule : schedule_choice;
+  policy : Policy.t;
+  line_words : int;
+}
+
+val sim : ?policy:Policy.t -> ?line_words:int -> schedule_choice -> sim_request
+(** Defaults: [Lru], 1-word lines. *)
+
+type request = {
+  rspec : Spec.t;
+  rm : int;  (** fast-memory size in words *)
+  rsims : sim_request list;  (** simulations to run; may be empty *)
+  rshared : bool;  (** also compute the shared-cache tile *)
+}
+
+val request : ?sims:sim_request list -> ?shared:bool -> Spec.t -> m:int -> request
+(** Defaults: no simulations, [shared = false]. The shared tile is
+    computed anyway when some simulation asks for [Optimal]. *)
+
+val run : request -> Report.t
+(** Execute one request. Analysis (LP, bound, tile) is served from the
+    memo cache when an equivalent [(spec, beta, m)] has been analyzed
+    before; simulations always execute.
+    @raise Invalid_argument on [m < 2] (via {!Lower_bound.beta_of_bounds})
+    or a cache smaller than one word per array when a tile is needed. *)
+
+val sweep : ?jobs:int -> request list -> Report.t list
+(** Run independent requests in parallel with {!Pool.map_list}. Result
+    order matches input order and every report is byte-identical (under
+    {!Report.pp}) to what the sequential path produces. *)
+
+(** {1 Memoized stages, usable a la carte} *)
+
+val solve_lp : Spec.t -> beta:Rat.t array -> Tiling.lp_solution
+val lower_bound : Spec.t -> m:int -> Lower_bound.bound
+val tile : Spec.t -> m:int -> int array
+(** Integer tile under the paper's per-array-M model (memoized). *)
+
+val tile_shared : Spec.t -> m:int -> int array
+(** Shared-cache tile (memoized — the search is the most expensive
+    non-LP stage). *)
+
+val schedule_of : Spec.t -> m:int -> schedule_choice -> Schedules.t
+val simulate : Spec.t -> m:int -> sim_request -> Report.sim
+
+(** {1 Multi-level hierarchies} *)
+
+type hierarchy_report = {
+  hspec : Spec.t;
+  hcapacities : int array;
+  htiles : int array list;  (** innermost first, from {!Tiling.nested} *)
+  hresult : Executor.hierarchy_result;
+}
+
+val hierarchy : ?policy:Policy.t -> Spec.t -> capacities:int array -> hierarchy_report
+(** Nested tiling sized for each level, executed against the simulated
+    hierarchy. Capacities fastest-first, strictly increasing. *)
+
+(** {1 Cache introspection} *)
+
+val cache_stats : unit -> int * int
+(** Total (hits, misses) across the engine's memo tables. *)
+
+val reset_caches : unit -> unit

@@ -1,0 +1,26 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    Independent sweep points (per-(M, schedule, policy) simulations,
+    per-kernel LP solves) are embarrassingly parallel; this module fans
+    them out over a small pool of domains while keeping the result order
+    identical to the sequential path — element [i] of the result always
+    comes from element [i] of the input, so parallel and sequential runs
+    produce byte-identical reports.
+
+    The pool size defaults to {!Domain.recommended_domain_count} and can
+    be overridden with the [PROJTILE_JOBS] environment variable (or the
+    [?jobs] argument, which wins). [jobs <= 1] degrades to a plain
+    sequential map with no domains spawned. *)
+
+val default_jobs : unit -> int
+(** [PROJTILE_JOBS] if set to a positive integer, otherwise
+    {!Domain.recommended_domain_count}. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] applies [f] to every element, running up to [jobs]
+    applications concurrently. Results keep input order. If any
+    application raises, the first (lowest-index) exception is re-raised
+    after all domains have joined. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}. *)

@@ -1,0 +1,52 @@
+(** Analysis reports: the typed output of the engine pipeline.
+
+    A report bundles everything one analysis produces — the exact LP
+    solution, the arbitrary-bounds lower bound, the integer tiles, any
+    simulated executions, and the bound-attainment ratios — together with
+    per-stage wall-clock timings. Renderers: {!pp} for humans (stable
+    across cache hits and parallel execution, so sequential and parallel
+    sweeps can be compared byte-for-byte) and {!to_json} for machines. *)
+
+type sim = {
+  label : string;  (** schedule description, e.g. ["optimal"] or ["classic"] *)
+  schedule : Schedules.t;
+  policy : Policy.t;
+  line_words : int;
+  stats : Cache.stats;
+  words_moved : int;
+  ratio : float;  (** [words_moved / bound.words] *)
+}
+
+type t = {
+  spec : Spec.t;
+  m : int;
+  beta : Rat.t array;
+  bound : Lower_bound.bound;
+  lp : Tiling.lp_solution;
+  tile : int array;  (** integer tile under the paper's per-array-M model *)
+  tile_shared : int array option;
+      (** shared-cache tile; present when the request asked for it or a
+          simulation needed it *)
+  tile_volume : int;
+  tile_max_footprint : int;
+  tiles : int;  (** number of tiles covering the iteration space *)
+  traffic : Tiling.traffic;  (** analytic words moved by the tiled schedule *)
+  attainment : float;  (** analytic traffic / lower bound *)
+  sims : sim list;  (** in request order *)
+  timings : (string * float) list;  (** (stage, seconds), excluded from {!pp} *)
+  from_cache : bool;  (** analysis served from the memo cache *)
+}
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering. Deterministic: timings and cache provenance are not
+    printed. *)
+
+val pp_sim : bound:Lower_bound.bound -> m:int -> Format.formatter -> sim -> unit
+
+val to_json : ?timings:bool -> t -> string
+(** One JSON object. [timings] (default [true]) also emits the per-stage
+    wall times and cache provenance; pass [false] for output meant to be
+    compared across runs. *)
+
+val json_of_reports : ?timings:bool -> t list -> string
+(** JSON array of {!to_json} objects. *)

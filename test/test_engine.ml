@@ -1,0 +1,241 @@
+(* Tests for the unified engine pipeline (lib/engine): request/report
+   plumbing, the canonicalized memo cache, and the domain-parallel sweep
+   pool. The determinism tests force jobs > 1 explicitly — CI boxes may
+   report a single core, which would otherwise make the parallel path
+   degenerate to the sequential one. *)
+
+let report_text (r : Report.t) = Format.asprintf "%a" Report.pp r
+
+let mk_requests () =
+  let sims = Engine.[ Pipeline.sim Optimal; Pipeline.sim Classic; Pipeline.sim Untiled ] in
+  List.concat_map
+    (fun spec ->
+      List.map (fun m -> Pipeline.request ~sims ~shared:true spec ~m) [ 64; 256 ])
+    [
+      Kernels.matmul ~l1:24 ~l2:24 ~l3:24;
+      Kernels.matmul ~l1:64 ~l2:64 ~l3:4;
+      Kernels.nbody ~l1:96 ~l2:96;
+      Kernels.pointwise_conv ~b:2 ~c:4 ~k:8 ~w:7 ~h:7;
+      Kernels.outer_product ~m:48 ~n:48;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Memo cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_second_request_hits_cache () =
+  Engine.reset_caches ();
+  let spec = Kernels.matmul ~l1:32 ~l2:32 ~l3:32 in
+  let r1 = Engine.analyze spec ~m:256 in
+  Alcotest.(check bool) "first analysis is computed" false r1.Report.from_cache;
+  let hits_before, _ = Engine.cache_stats () in
+  let r2 = Engine.analyze spec ~m:256 in
+  Alcotest.(check bool) "second identical request served from cache" true
+    r2.Report.from_cache;
+  let hits_after, _ = Engine.cache_stats () in
+  Alcotest.(check bool) "cache hit counter advanced" true (hits_after > hits_before);
+  (* cached and fresh reports agree on everything the renderer shows *)
+  Alcotest.(check string) "identical rendering" (report_text r1) (report_text r2)
+
+let test_cache_ignores_names () =
+  (* The key canonicalizes away loop/array names: a renamed matmul with
+     the same bounds and supports must share the cache line. *)
+  Engine.reset_caches ();
+  let a = Parser.parse_exn "i = 16, j = 16, k = 16 : C[i,k] += A[i,j] * B[j,k]" in
+  let b = Parser.parse_exn "p = 16, q = 16, r = 16 : Z[p,r] += X[p,q] * Y[q,r]" in
+  ignore (Engine.analyze a ~m:64);
+  let hits_before, _ = Engine.cache_stats () in
+  let rb = Engine.analyze b ~m:64 in
+  Alcotest.(check bool) "renamed spec hits the same entry" true rb.Report.from_cache;
+  let hits_after, _ = Engine.cache_stats () in
+  Alcotest.(check bool) "hit counted" true (hits_after > hits_before)
+
+let test_cache_distinguishes_m () =
+  (* beta alone does not determine the integer tile: m is in the key. *)
+  Engine.reset_caches ();
+  let spec = Kernels.matmul ~l1:4 ~l2:4 ~l3:4 in
+  ignore (Engine.analyze spec ~m:16);
+  let r = Engine.analyze spec ~m:256 in
+  Alcotest.(check bool) "different m misses" false r.Report.from_cache
+
+let test_memoized_stages_agree () =
+  Engine.reset_caches ();
+  let spec = Kernels.pointwise_conv ~b:2 ~c:4 ~k:8 ~w:7 ~h:7 in
+  let m = 128 in
+  let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
+  Alcotest.(check bool) "solve_lp = Tiling.solve_lp" true
+    (Rat.equal (Engine.solve_lp spec ~beta).Tiling.value
+       (Tiling.solve_lp spec ~beta).Tiling.value);
+  Alcotest.(check (array int)) "tile_shared = Tiling.optimal_shared"
+    (Tiling.optimal_shared spec ~m) (Engine.tile_shared spec ~m);
+  Alcotest.(check (array int)) "tile = Tiling.of_lambda"
+    (Tiling.of_lambda spec ~m (Tiling.solve_lp spec ~beta).Tiling.lambda)
+    (Engine.tile spec ~m)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_sweep_matches_sequential () =
+  Engine.reset_caches ();
+  let sequential = Engine.sweep ~jobs:1 (mk_requests ()) in
+  Engine.reset_caches ();
+  let parallel = Engine.sweep ~jobs:4 (mk_requests ()) in
+  Alcotest.(check int) "same number of reports" (List.length sequential)
+    (List.length parallel);
+  List.iteri
+    (fun i (s, p) ->
+      Alcotest.(check string)
+        (Printf.sprintf "report %d byte-identical" i)
+        (report_text s) (report_text p))
+    (List.combine sequential parallel);
+  (* the JSON rendering (sans timings) must agree too *)
+  Alcotest.(check string) "identical JSON"
+    (Report.json_of_reports ~timings:false sequential)
+    (Report.json_of_reports ~timings:false parallel)
+
+let test_parallel_sweep_with_warm_cache () =
+  (* Concurrent workers racing on the same memo entries must still
+     produce the sequential answer. Duplicate kernels maximize races. *)
+  Engine.reset_caches ();
+  let reqs = mk_requests () @ mk_requests () in
+  let seq = List.map report_text (Engine.sweep ~jobs:1 reqs) in
+  Engine.reset_caches ();
+  let par = List.map report_text (Engine.sweep ~jobs:3 reqs) in
+  Alcotest.(check (list string)) "duplicated requests, warm cache" seq par
+
+let test_sweep_order_is_input_order () =
+  Engine.reset_caches ();
+  let specs =
+    [ Kernels.matmul ~l1:8 ~l2:8 ~l3:8; Kernels.nbody ~l1:16 ~l2:16;
+      Kernels.outer_product ~m:12 ~n:12 ]
+  in
+  let reports = Engine.sweep_grid ~jobs:4 specs ~ms:[ 16; 64 ] in
+  let got = List.map (fun (r : Report.t) -> (r.Report.spec.Spec.name, r.Report.m)) reports in
+  let expected =
+    List.concat_map (fun s -> [ (s.Spec.name, 16); (s.Spec.name, 64) ]) specs
+  in
+  Alcotest.(check (list (pair string int))) "kernels outermost, ms inner" expected got
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order_and_values () =
+  let xs = Array.init 100 (fun i -> i) in
+  let doubled = Pool.map ~jobs:4 (fun x -> 2 * x) xs in
+  Alcotest.(check (array int)) "order preserved" (Array.map (fun x -> 2 * x) xs) doubled;
+  Alcotest.(check (list int)) "map_list too" [ 2; 4; 6 ]
+    (Pool.map_list ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_propagates_exceptions () =
+  Alcotest.check_raises "worker exception resurfaces" (Failure "boom") (fun () ->
+    ignore (Pool.map ~jobs:3 (fun x -> if x = 17 then failwith "boom" else x)
+              (Array.init 64 (fun i -> i))))
+
+let test_pool_jobs_env_override () =
+  Unix.putenv "PROJTILE_JOBS" "7";
+  let n = Pool.default_jobs () in
+  Unix.putenv "PROJTILE_JOBS" "not-a-number";
+  let fallback = Pool.default_jobs () in
+  Unix.putenv "PROJTILE_JOBS" "";
+  Alcotest.(check int) "env override respected" 7 n;
+  Alcotest.(check bool) "garbage falls back to >= 1" true (fallback >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_fields_and_sims () =
+  Engine.reset_caches ();
+  let spec = Kernels.matmul ~l1:16 ~l2:16 ~l3:16 in
+  let r =
+    Engine.analyze ~shared:true
+      ~sims:Engine.[ Pipeline.sim Optimal; Pipeline.sim ~policy:Policy.Opt Untiled ]
+      spec ~m:64
+  in
+  Alcotest.(check int) "two simulations" 2 (List.length r.Report.sims);
+  Alcotest.(check bool) "shared tile present" true (r.Report.tile_shared <> None);
+  Alcotest.(check bool) "tile feasible (paper model)" true
+    (Tiling.is_feasible spec ~m:64 r.Report.tile);
+  let opt = List.nth r.Report.sims 1 in
+  Alcotest.(check bool) "OPT policy recorded" true (opt.Report.policy = Policy.Opt);
+  List.iter
+    (fun (s : Report.sim) ->
+      Alcotest.(check bool) "words vs bound ratio is finite" true
+        (Float.is_finite s.Report.ratio && s.Report.ratio > 0.0))
+    r.Report.sims;
+  Alcotest.(check bool) "timings recorded for all three stages" true
+    (List.map fst r.Report.timings = [ "analysis"; "shared_tile"; "simulate" ])
+
+let test_report_json_shape () =
+  Engine.reset_caches ();
+  let spec = Kernels.matvec ~m:32 ~n:32 in
+  let r = Engine.analyze ~sims:[ Pipeline.sim Engine.Untiled ] spec ~m:64 in
+  let j = Report.to_json r in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Printf.sprintf "json mentions %s" frag) true
+        (Astring.String.is_infix ~affix:frag j))
+    [ "\"kernel\""; "\"m\":64"; "\"lower_bound_words\""; "\"lambda\""; "\"tile\"";
+      "\"simulations\""; "\"words_moved\""; "\"policy\""; "\"k_hat\"" ];
+  Alcotest.(check bool) "timings by default" true
+    (Astring.String.is_infix ~affix:"timings" j);
+  Alcotest.(check bool) "timings excluded on demand" false
+    (Astring.String.is_infix ~affix:"timings" (Report.to_json ~timings:false r));
+  (* renderer never emits unescaped newlines inside strings: crude but
+     effective structural check — the JSON must balance braces/brackets *)
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      (match c with
+      | '{' | '[' -> incr depth
+      | '}' | ']' -> decr depth
+      | _ -> ());
+      if !depth < 0 then Alcotest.fail "unbalanced JSON")
+    j;
+  Alcotest.(check int) "balanced JSON" 0 !depth
+
+let test_hierarchy_report () =
+  Engine.reset_caches ();
+  let spec = Kernels.matmul ~l1:16 ~l2:16 ~l3:16 in
+  let h = Engine.hierarchy spec ~capacities:[| 32; 256 |] in
+  Alcotest.(check int) "two levels of tiles" 2 (List.length h.Pipeline.htiles);
+  Alcotest.(check int) "two boundary measurements" 2
+    (Array.length h.Pipeline.hresult.Executor.boundary_words);
+  (* second call is served by the nested-tile memo table *)
+  let hits_before, _ = Engine.cache_stats () in
+  ignore (Engine.hierarchy spec ~capacities:[| 32; 256 |]);
+  let hits_after, _ = Engine.cache_stats () in
+  Alcotest.(check bool) "nested tiles memoized" true (hits_after > hits_before)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "memo",
+        [
+          Alcotest.test_case "second request hits" `Quick test_second_request_hits_cache;
+          Alcotest.test_case "names canonicalized" `Quick test_cache_ignores_names;
+          Alcotest.test_case "m distinguishes" `Quick test_cache_distinguishes_m;
+          Alcotest.test_case "stages agree with lib" `Quick test_memoized_stages_agree;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_sweep_matches_sequential;
+          Alcotest.test_case "warm cache races" `Quick test_parallel_sweep_with_warm_cache;
+          Alcotest.test_case "deterministic order" `Quick test_sweep_order_is_input_order;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "order and values" `Quick test_pool_map_order_and_values;
+          Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exceptions;
+          Alcotest.test_case "PROJTILE_JOBS" `Quick test_pool_jobs_env_override;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "fields and sims" `Quick test_report_fields_and_sims;
+          Alcotest.test_case "json shape" `Quick test_report_json_shape;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy_report;
+        ] );
+    ]

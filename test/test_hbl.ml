@@ -579,6 +579,25 @@ let props =
     QCheck.Test.make ~name:"optimal integer tile always feasible" ~count:80
       (QCheck.pair arb_spec (QCheck.int_range 4 4096))
       (fun (spec, m) -> Tiling.is_feasible spec ~m (Tiling.optimal spec ~m));
+    (* The rounding repair inside of_lambda: after shrinking an
+       overflowing dimension, the tile must end up feasible but must not
+       collapse to the all-ones tile when the budget admits any larger
+       one (i.e. some single dimension could still be 2). *)
+    QCheck.Test.make ~name:"of_lambda repair: feasible, never needlessly all-ones"
+      ~count:150
+      (QCheck.pair arb_spec (QCheck.int_range 2 4096))
+      (fun (spec, m) ->
+        let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
+        let tile = Tiling.of_lambda spec ~m (Tiling.solve_lp spec ~beta).Tiling.lambda in
+        let d = Spec.num_loops spec in
+        let grown_feasible i =
+          spec.Spec.bounds.(i) >= 2
+          && Tiling.is_feasible spec ~m
+               (Array.init d (fun j -> if j = i then 2 else 1))
+        in
+        Tiling.is_feasible spec ~m tile
+        && (Tiling.volume tile > 1
+            || not (List.exists grown_feasible (List.init d (fun i -> i)))));
     QCheck.Test.make ~name:"lambda solution respects beta box" ~count:80 arb_spec_beta
       (fun (spec, beta) ->
         let sol = Tiling.solve_lp spec ~beta in

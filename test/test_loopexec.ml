@@ -248,6 +248,37 @@ let test_nested_validation () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "valid nested rejected: %s" e
 
+let test_nested_malformed () =
+  (* Malformed Nested stacks: every failure mode of validate, with the
+     message identifying the problem. *)
+  let spec = Kernels.matmul ~l1:8 ~l2:8 ~l3:8 in
+  let err sched =
+    match Schedules.validate spec sched with
+    | Error msg -> msg
+    | Ok () -> Alcotest.fail "malformed nested schedule accepted"
+  in
+  Alcotest.(check bool) "empty stack" true
+    (Astring.String.is_infix ~affix:"at least one level" (err (Schedules.Nested [])));
+  Alcotest.(check bool) "wrong arity level" true
+    (Astring.String.is_infix ~affix:"arity"
+       (err (Schedules.Nested [ [| 2; 2 |]; [| 4; 4; 4 |] ])));
+  Alcotest.(check bool) "zero tile dimension" true
+    (Astring.String.is_infix ~affix:"outside"
+       (err (Schedules.Nested [ [| 0; 2; 2 |]; [| 4; 4; 4 |] ])));
+  Alcotest.(check bool) "dimension above loop bound" true
+    (Astring.String.is_infix ~affix:"outside"
+       (err (Schedules.Nested [ [| 2; 2; 2 |]; [| 4; 9; 4 |] ])));
+  Alcotest.(check bool) "middle level shrinks" true
+    (Astring.String.is_infix ~affix:"grow"
+       (err (Schedules.Nested [ [| 2; 2; 2 |]; [| 4; 1; 4 |]; [| 8; 8; 8 |] ])));
+  Alcotest.(check bool) "outermost level shrinks" true
+    (Astring.String.is_infix ~affix:"grow"
+       (err (Schedules.Nested [ [| 2; 2; 2 |]; [| 4; 4; 4 |]; [| 4; 4; 2 |] ])));
+  (* equal adjacent levels are legal (a degenerate but valid nesting) *)
+  match Schedules.validate spec (Schedules.Nested [ [| 2; 2; 2 |]; [| 2; 2; 2 |] ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "equal levels rejected: %s" e
+
 let test_nested_visits_once () =
   let spec = Kernels.matmul ~l1:7 ~l2:5 ~l3:6 in
   let sched = Schedules.Nested [ [| 2; 2; 2 |]; [| 4; 4; 5 |] ] in
@@ -443,6 +474,7 @@ let () =
           Alcotest.test_case "permuted validation" `Quick test_permuted_validation;
           Alcotest.test_case "permuted traffic" `Quick test_permuted_changes_traffic;
           Alcotest.test_case "nested validation" `Quick test_nested_validation;
+          Alcotest.test_case "nested malformed stacks" `Quick test_nested_malformed;
           Alcotest.test_case "nested visits once" `Quick test_nested_visits_once;
           Alcotest.test_case "nested block order" `Quick test_nested_respects_outer_blocks;
           Alcotest.test_case "nested tiling construction" `Quick test_nested_tiling_construction;

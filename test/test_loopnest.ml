@@ -230,6 +230,28 @@ let test_parse_errors () =
       then Alcotest.failf "error %S does not mention %S" msg fragment)
     cases
 
+let test_parse_error_details () =
+  (* The three classic authoring mistakes must produce messages that name
+     the offending identifier, not just a generic failure. *)
+  let msg src = Parser.string_of_error (parse_err src) in
+  let contains affix s = Astring.String.is_infix ~affix s in
+  Alcotest.(check bool) "duplicate loop names i" true
+    (contains "duplicate loop name i" (msg "i = 2, i = 3 : O[i] = X[i]"));
+  Alcotest.(check bool) "duplicate among many loops" true
+    (contains "duplicate loop name j" (msg "i = 2, j = 3, j = 4 : O[i,j] = X[i] * Y[j]"));
+  Alcotest.(check bool) "unknown index named" true
+    (contains "index q is not a declared loop" (msg "i = 8 : O[i] = X[q]"));
+  Alcotest.(check bool) "unknown index in target" true
+    (contains "index k is not a declared loop" (msg "i = 8 : O[k] = X[i]"));
+  Alcotest.(check bool) "empty bound" true
+    (contains "loop bound" (msg "i = : O[i] = X[i]"));
+  Alcotest.(check bool) "missing bound at end of loop list" true
+    (contains "loop bound" (msg "i = 4, j = : O[i,j] = X[i] * Y[j]"));
+  Alcotest.(check bool) "zero bound rejected via Spec" true
+    (contains "non-positive bound" (msg "i = 0 : O[i] = X[i]"));
+  Alcotest.(check bool) "negative bound rejected at the lexer" true
+    (contains "unexpected character" (msg "i = -3 : O[i] = X[i]"))
+
 let test_parse_inconsistent_supports () =
   let e = parse_err "i = 8, j = 8 : O[i] = X[i] * X[j]" in
   Alcotest.(check bool) "mentions two index sets" true
@@ -324,6 +346,7 @@ let () =
           Alcotest.test_case "comments/whitespace" `Quick test_parse_comments_and_whitespace;
           Alcotest.test_case "underscored bounds" `Quick test_parse_underscored_bounds;
           Alcotest.test_case "error messages" `Quick test_parse_errors;
+          Alcotest.test_case "error details" `Quick test_parse_error_details;
           Alcotest.test_case "inconsistent supports" `Quick test_parse_inconsistent_supports;
           Alcotest.test_case "error positions" `Quick test_parse_positions;
           Alcotest.test_case "roundtrip to analysis" `Quick test_parse_roundtrip_with_analysis;
