@@ -52,7 +52,8 @@ let write_json path =
   let oc = open_out path in
   let hits, misses = Engine.cache_stats () in
   output_string oc "{\"engine_cache\":{";
-  Printf.fprintf oc "\"hits\":%d,\"misses\":%d},\"experiments\":[" hits misses;
+  Printf.fprintf oc "\"hits\":%d,\"misses\":%d}," hits misses;
+  Printf.fprintf oc "\"obs\":%s,\"experiments\":[" (Obs.to_json (Obs.snapshot ()));
   List.iteri
     (fun i o ->
       if i > 0 then output_char oc ',';
@@ -432,10 +433,11 @@ let e10 () =
           | None -> rowf "%-20s %4d | %14s\n" name p "(no grid)"
           | Some g ->
             let lb = Comm_model.lower_bound spec ~p in
-            rowf "%-20s %4d | %14s %14d %14.0f %8.2f\n" name p
+            rowf "%-20s %4d | %14s %14s %14.0f %8.2f\n" name p
               (String.concat "x" (Array.to_list (Array.map string_of_int g.Comm_model.grid)))
-              g.Comm_model.words lb
-              (fint g.Comm_model.words /. lb))
+              (Bigint.to_string g.Comm_model.words)
+              lb
+              (Bigint.to_float g.Comm_model.words /. lb))
         ps)
     [
       ("matmul 512^3", Kernels.matmul ~l1:512 ~l2:512 ~l3:512, [ 4; 8; 16; 64 ]);
@@ -632,9 +634,10 @@ let e17 () =
           (Comm_model.simulate_processor spec ~grid:g.Comm_model.grid ~m_local:m)
             .Comm_model.words_per_proc
         in
-        rowf "%4d | %12s %16d | %10d %10d %10d\n" p
+        rowf "%4d | %12s %16s | %10d %10d %10d\n" p
           (String.concat "x" (Array.to_list (Array.map string_of_int g.Comm_model.grid)))
-          g.Comm_model.words (sim 256) (sim 1024) (sim 8192))
+          (Bigint.to_string g.Comm_model.words)
+          (sim 256) (sim 1024) (sim 8192))
     [ 1; 8; 64 ];
   print_endline
     "expected shape: with small local memories the simulated per-processor traffic exceeds";
@@ -793,6 +796,11 @@ let tables () =
   write_json "BENCH_engine.json"
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let metrics = List.mem "--metrics" args in
+  let what =
+    match List.filter (fun a -> a <> "--metrics") args with w :: _ -> w | [] -> "all"
+  in
   if what = "tables" || what = "all" then tables ();
-  if what = "micro" || what = "all" then microbenches ()
+  if what = "micro" || what = "all" then microbenches ();
+  if metrics then Format.printf "@.%a@." Obs.pp (Obs.snapshot ())

@@ -54,49 +54,83 @@ let cache_arg =
 
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
+let pp_bounds spec =
+  String.concat " x " (List.map string_of_int (Array.to_list spec.Spec.bounds))
+
 let with_spec kernel preset f =
   match resolve_spec kernel preset with
   | Error msg -> fail "%s" msg
-  | Ok spec -> f spec
+  | Ok spec -> (
+    (* Library-level aborts (e.g. a bound whose exact footprint exceeds
+       native int range reaching Bigint.to_int) become a structured CLI
+       error naming the kernel and its bounds, not an uncaught exception. *)
+    try f spec
+    with Failure msg -> fail "kernel %s (bounds %s): %s" spec.Spec.name (pp_bounds spec) msg)
 
 let simulable spec =
-  if Spec.iteration_count spec > 20_000_000 then
-    Error "kernel too large to simulate (> 2*10^7 iterations); shrink the bounds"
+  (* Exact comparison: the native product wraps (to 0 for 2^21-cubed
+     bounds) and would sail straight past this guard. *)
+  let n = Spec.iteration_count_big spec in
+  if Bigint.compare n (Bigint.of_int 20_000_000) > 0 then
+    Error
+      (Printf.sprintf
+         "kernel too large to simulate (%s iterations > 2*10^7); shrink the bounds"
+         (Bigint.to_string n))
   else Ok ()
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the observability snapshot (solver counters, cache/memo \
+           hit rates, stage timers) after the command. The $(b,sweep) \
+           command instead wraps its JSON as {\"reports\": ..., \"obs\": ...}.")
+
+(* Runs after the command body so the snapshot covers all of its work. *)
+let with_metrics metrics result =
+  (match result with
+  | `Ok () when metrics -> Format.printf "%a@." Obs.pp (Obs.snapshot ())
+  | _ -> ());
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run kernel preset m =
-    with_spec kernel preset (fun spec ->
-      if m < 2 then fail "cache must be at least 2 words"
-      else begin
-        Format.printf "%a@." Report.pp (Engine.analyze spec ~m);
-        `Ok ()
-      end)
+  let run kernel preset m metrics =
+    with_metrics metrics
+      (with_spec kernel preset (fun spec ->
+         if m < 2 then fail "cache must be at least 2 words"
+         else begin
+           Format.printf "%a@." Report.pp (Engine.analyze spec ~m);
+           `Ok ()
+         end))
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Lower bound, optimal tile, and attainment for a kernel")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg))
 
 let lower_bound_cmd =
-  let run kernel preset m =
-    with_spec kernel preset (fun spec ->
-      if m < 2 then fail "cache must be at least 2 words"
-      else begin
-        Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound (Engine.lower_bound spec ~m);
-        `Ok ()
-      end)
+  let run kernel preset m metrics =
+    with_metrics metrics
+      (with_spec kernel preset (fun spec ->
+         if m < 2 then fail "cache must be at least 2 words"
+         else begin
+           Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound
+             (Engine.lower_bound spec ~m);
+           `Ok ()
+         end))
   in
   Cmd.v
     (Cmd.info "lower-bound" ~doc:"Arbitrary-bounds communication lower bound (Theorem 2)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg))
 
 let tile_cmd =
-  let run kernel preset m =
-    with_spec kernel preset (fun spec ->
+  let run kernel preset m metrics =
+    with_metrics metrics
+    @@ with_spec kernel preset (fun spec ->
       if m < Spec.num_arrays spec then fail "cache too small for this kernel"
       else begin
         let r = Engine.analyze ~shared:true spec ~m in
@@ -118,11 +152,12 @@ let tile_cmd =
   in
   Cmd.v
     (Cmd.info "tile" ~doc:"Communication-optimal rectangular tile (Section 5)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg))
 
 let closed_form_cmd =
-  let run kernel preset =
-    with_spec kernel preset (fun spec ->
+  let run kernel preset metrics =
+    with_metrics metrics
+    @@ with_spec kernel preset (fun spec ->
       match Closed_form.compute spec with
       | cf ->
         Format.printf "%a@." Spec.pp spec;
@@ -135,7 +170,7 @@ let closed_form_cmd =
   Cmd.v
     (Cmd.info "closed-form"
        ~doc:"Piecewise-linear closed form of the tile exponent (Section 7)")
-    Term.(ret (const run $ kernel_arg $ preset_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg))
 
 let schedule_conv =
   Arg.enum
@@ -145,8 +180,9 @@ let policy_conv =
   Arg.enum [ ("lru", Policy.Lru); ("fifo", Policy.Fifo); ("opt", Policy.Opt) ]
 
 let simulate_cmd =
-  let run kernel preset m schedule policy =
-    with_spec kernel preset (fun spec ->
+  let run kernel preset m schedule policy metrics =
+    with_metrics metrics
+    @@ with_spec kernel preset (fun spec ->
       if m < Spec.num_arrays spec then fail "cache too small for this kernel"
       else
         match simulable spec with
@@ -171,10 +207,13 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the kernel on the cache simulator and count traffic")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ schedule_arg $ policy_arg))
+    Term.(
+      ret
+        (const run $ kernel_arg $ preset_arg $ cache_arg $ schedule_arg $ policy_arg
+       $ metrics_arg))
 
 let sweep_cmd =
-  let run kernel preset ms schedules policies jobs timings =
+  let run kernel preset ms schedules policies jobs timings metrics =
     with_spec kernel preset (fun spec ->
       match List.find_opt (fun m -> m < max 2 (Spec.num_arrays spec)) ms with
       | Some m -> fail "cache size %d too small for this kernel" m
@@ -191,7 +230,10 @@ let sweep_cmd =
           | Ok () ->
             let reqs = List.map (fun m -> Pipeline.request ~sims ~shared:true spec ~m) ms in
             let reports = Engine.sweep ?jobs reqs in
-            print_endline (Report.json_of_reports ~timings reports);
+            let obs =
+              if metrics then Some (Obs.to_json (Obs.snapshot ())) else None
+            in
+            print_endline (Report.json_of_sweep ~timings ?obs reports);
             `Ok ()
         end)
   in
@@ -226,11 +268,12 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ preset_arg $ ms_arg $ schedules_arg $ policies_arg
-       $ jobs_arg $ timings_arg))
+       $ jobs_arg $ timings_arg $ metrics_arg))
 
 let partition_cmd =
-  let run kernel preset procs =
-    with_spec kernel preset (fun spec ->
+  let run kernel preset procs metrics =
+    with_metrics metrics
+    @@ with_spec kernel preset (fun spec ->
       if procs < 1 then fail "need at least one processor"
       else begin
         Format.printf "%a@." Spec.pp spec;
@@ -239,9 +282,9 @@ let partition_cmd =
         | Some g ->
           Format.printf "best rectangular grid for P = %d: %s@." procs
             (String.concat " x " (Array.to_list (Array.map string_of_int g.Comm_model.grid)));
-          Format.printf "per-processor block: %s   communication: %d words@."
+          Format.printf "per-processor block: %s   communication: %s words@."
             (String.concat " x " (Array.to_list (Array.map string_of_int g.Comm_model.block)))
-            g.Comm_model.words;
+            (Bigint.to_string g.Comm_model.words);
           Format.printf "per-processor lower bound: %.0f words@."
             (Comm_model.lower_bound spec ~p:procs));
         `Ok ()
@@ -253,11 +296,12 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Distributed-memory rectangular partition and its lower bound (Section 7)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ procs_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ procs_arg $ metrics_arg))
 
 let codegen_cmd =
-  let run kernel preset m lang untiled =
-    with_spec kernel preset (fun spec ->
+  let run kernel preset m lang untiled metrics =
+    with_metrics metrics
+    @@ with_spec kernel preset (fun spec ->
       let lang = match lang with `C -> Codegen.C | `OCaml -> Codegen.OCaml in
       if untiled then begin
         print_string (Codegen.emit_untiled ~lang spec);
@@ -280,11 +324,15 @@ let codegen_cmd =
   Cmd.v
     (Cmd.info "codegen"
        ~doc:"Emit compilable source for the communication-optimal tiled nest")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ lang_arg $ untiled_arg))
+    Term.(
+      ret
+        (const run $ kernel_arg $ preset_arg $ cache_arg $ lang_arg $ untiled_arg
+       $ metrics_arg))
 
 let hierarchy_cmd =
-  let run kernel preset caps =
-    with_spec kernel preset (fun spec ->
+  let run kernel preset caps metrics =
+    with_metrics metrics
+    @@ with_spec kernel preset (fun spec ->
       match caps with
       | [] -> fail "give at least one cache level with --levels"
       | _ ->
@@ -324,11 +372,12 @@ let hierarchy_cmd =
   Cmd.v
     (Cmd.info "hierarchy"
        ~doc:"Nested tiling for a multi-level memory hierarchy, with simulated traffic")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ levels_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ levels_arg $ metrics_arg))
 
 let regions_cmd =
-  let run kernel preset =
-    with_spec kernel preset (fun spec ->
+  let run kernel preset metrics =
+    with_metrics metrics
+    @@ with_spec kernel preset (fun spec ->
       match Closed_form.compute spec with
       | cf ->
         Format.printf "%a@.f(beta) = %a@.@." Spec.pp spec Closed_form.pp cf;
@@ -341,14 +390,19 @@ let regions_cmd =
   Cmd.v
     (Cmd.info "regions"
        ~doc:"Critical regions of the piecewise-linear tile exponent (multiparametric view)")
-    Term.(ret (const run $ kernel_arg $ preset_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg))
 
 let presets_cmd =
-  let run () =
-    List.iter (fun (name, spec) -> Format.printf "%-20s %a@." name Spec.pp spec) preset_specs;
-    `Ok ()
+  let run metrics =
+    with_metrics metrics
+    @@ begin
+         List.iter
+           (fun (name, spec) -> Format.printf "%-20s %a@." name Spec.pp spec)
+           preset_specs;
+         `Ok ()
+       end
   in
-  Cmd.v (Cmd.info "presets" ~doc:"List the stock kernels") Term.(ret (const run $ const ()))
+  Cmd.v (Cmd.info "presets" ~doc:"List the stock kernels") Term.(ret (const run $ metrics_arg))
 
 let () =
   let doc = "communication-optimal tilings for projective nested loops (Dinh & Demmel, SPAA 2020)" in

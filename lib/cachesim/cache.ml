@@ -120,3 +120,15 @@ let stats t =
 
 let capacity_lines t = t.cap_lines
 let resident t addr = Hashtbl.mem t.table (addr / t.line_words)
+
+(* Aggregate-at-the-end instrumentation: Cache.access is the hottest loop
+   in the repository (one call per touched word), so per-access Obs
+   increments are off the table; callers record a finished run's stats in
+   one shot instead. *)
+let record_obs ?(prefix = "cachesim.L1") (s : stats) =
+  let c suffix = Obs.counter (prefix ^ "." ^ suffix) in
+  Obs.incr ~by:s.accesses (c "accesses");
+  Obs.incr ~by:s.hits (c "hits");
+  Obs.incr ~by:s.misses (c "misses");
+  Obs.incr ~by:s.evictions (c "evictions");
+  Obs.incr ~by:s.writebacks (c "writebacks")

@@ -49,3 +49,9 @@ val stats : t -> stats
 val capacity_lines : t -> int
 val resident : t -> int -> bool
 (** Is the line containing this word address currently cached? *)
+
+val record_obs : ?prefix:string -> stats -> unit
+(** Add a finished run's statistics to the global {!Obs} counters
+    [<prefix>.accesses|hits|misses|evictions|writebacks] (default prefix
+    ["cachesim.L1"]). Aggregate instrumentation: one call per simulated
+    run, never per access — the access path stays instrumentation-free. *)

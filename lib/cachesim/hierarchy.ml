@@ -57,3 +57,9 @@ let traffic t =
       let s = Cache.stats c in
       Cache.words_moved ~line_words:t.line_words s)
     t.caches
+
+let record_obs t =
+  Array.iteri
+    (fun k c ->
+      Cache.record_obs ~prefix:(Printf.sprintf "cachesim.L%d" (k + 1)) (Cache.stats c))
+    t.caches

@@ -34,3 +34,8 @@ val traffic : t -> int array
 (** [traffic t] has one entry per boundary: words moved between level
     [k] and level [k+1] (the last entry is the traffic to main memory).
     Entry [k] is [misses_k + writebacks_k] in words. *)
+
+val record_obs : t -> unit
+(** Record every level's statistics into the global {!Obs} counters under
+    [cachesim.L<k>] (levels numbered from 1, fastest first). Call once
+    after {!flush}. *)

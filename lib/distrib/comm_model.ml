@@ -1,12 +1,18 @@
-type grid_cost = { grid : int array; block : int array; words : int }
+type grid_cost = { grid : int array; block : int array; words : Bigint.t }
 
 let cost spec ~grid =
   let block = Partition.block_dims spec ~grid in
+  (* Exact arithmetic: a full-support array over 2^21-sized blocks has a
+     2^63-word footprint, which wraps to a small (or negative) value in
+     63-bit native ints and then wrongly wins [best_grid] comparisons. *)
   let words =
     Array.fold_left
       (fun acc (a : Spec.array_ref) ->
-        acc + Array.fold_left (fun f i -> f * block.(i)) 1 a.Spec.support)
-      0 spec.Spec.arrays
+        Bigint.add acc
+          (Array.fold_left
+             (fun f i -> Bigint.mul f (Bigint.of_int block.(i)))
+             Bigint.one a.Spec.support))
+      Bigint.zero spec.Spec.arrays
   in
   { grid; block; words }
 
@@ -16,7 +22,7 @@ let best_grid spec ~p =
     (fun acc grid ->
       let c = cost spec ~grid in
       match acc with
-      | Some best when best.words <= c.words -> acc
+      | Some best when Bigint.compare best.words c.words <= 0 -> acc
       | _ -> Some c)
     None candidates
 
@@ -42,7 +48,7 @@ type processor_run = {
 let simulate_processor spec ~grid ~m_local =
   let block = Partition.block_dims spec ~grid in
   let sub = Spec.with_bounds spec block in
-  if Spec.iteration_count sub > 20_000_000 then
+  if Bigint.compare (Spec.iteration_count_big sub) (Bigint.of_int 20_000_000) > 0 then
     invalid_arg "Comm_model.simulate_processor: block too large to simulate";
   let tile = Tiling.optimal_shared sub ~m:m_local in
   let r = Executor.run sub ~schedule:(Schedules.Tiled tile) ~capacity:m_local in
@@ -66,19 +72,27 @@ let coverage spec f =
 let min_footprint spec ~iterations =
   if iterations <= 1.0 then 1.0
   else begin
-    (* Coverage is monotone in f; bisect on integers. *)
-    let hi = ref 2 in
-    while coverage spec (float_of_int !hi) < iterations do
-      hi := !hi * 2
+    (* Coverage is monotone in f; bisect in the float domain. The search
+       used to double a native int, which wraps at 2^62 and then cycles
+       at 0 forever when k_hat = 1 forces f past max_int (e.g. a
+       full-support array over 2^21-cubed bounds needs f ~ 2^63). Floats
+       reach such footprints exactly enough; the bisection stops at one
+       part in 10^12, which subsumes the old integer-resolution stop for
+       every footprint below 2^52. *)
+    let hi = ref 2.0 in
+    while coverage spec !hi < iterations do
+      hi := !hi *. 2.0
     done;
-    let lo = ref (!hi / 2) in
-    while !hi - !lo > 1 do
-      let mid = (!lo + !hi) / 2 in
-      if coverage spec (float_of_int mid) >= iterations then hi := mid else lo := mid
+    let lo = ref (!hi /. 2.0) in
+    while !hi -. !lo > Float.max 1.0 (1e-12 *. !hi) do
+      let mid = Float.round ((!lo +. !hi) /. 2.0) in
+      if mid <= !lo || mid >= !hi then lo := !hi
+      else if coverage spec mid >= iterations then hi := mid
+      else lo := mid
     done;
-    float_of_int !hi
+    !hi
   end
 
 let lower_bound spec ~p =
-  let iterations = float_of_int (Spec.iteration_count spec) /. float_of_int p in
+  let iterations = Bigint.to_float (Spec.iteration_count_big spec) /. float_of_int p in
   min_footprint spec ~iterations

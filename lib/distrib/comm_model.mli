@@ -16,7 +16,9 @@
 type grid_cost = {
   grid : int array;
   block : int array;  (** per-processor block dimensions *)
-  words : int;  (** per-processor communication volume *)
+  words : Bigint.t;
+      (** per-processor communication volume; exact, since a full-support
+          footprint can exceed [max_int] *)
 }
 
 val cost : Spec.t -> grid:int array -> grid_cost

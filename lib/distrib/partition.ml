@@ -25,4 +25,10 @@ let block_dims spec ~grid =
     let l = spec.Spec.bounds.(i) in
     (l + grid.(i) - 1) / grid.(i))
 
-let block_iterations spec ~grid = Array.fold_left ( * ) 1 (block_dims spec ~grid)
+let block_iterations spec ~grid =
+  (* Exact: d blocks of ~2^21 iterations each already overflow a 63-bit
+     native product. *)
+  Array.fold_left
+    (fun acc d -> Bigint.mul acc (Bigint.of_int d))
+    Bigint.one
+    (block_dims spec ~grid)

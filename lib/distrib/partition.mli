@@ -15,5 +15,7 @@ val grids : Spec.t -> p:int -> int array list
 val block_dims : Spec.t -> grid:int array -> int array
 (** Per-processor block dimensions [ceil(L_i / p_i)]. *)
 
-val block_iterations : Spec.t -> grid:int array -> int
-(** Iterations of the largest block: [prod_i ceil(L_i / p_i)]. *)
+val block_iterations : Spec.t -> grid:int array -> Bigint.t
+(** Iterations of the largest block: [prod_i ceil(L_i / p_i)]. Exact —
+    a [2^21]-cubed nest on one processor is [2^63] iterations, past
+    native int. *)

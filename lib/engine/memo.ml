@@ -3,9 +3,19 @@ type 'a t = {
   lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  obs_hits : Obs.counter option;
+  obs_misses : Obs.counter option;
 }
 
-let create () = { table = Hashtbl.create 64; lock = Mutex.create (); hits = 0; misses = 0 }
+let create ?name () =
+  {
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    obs_hits = Option.map (fun n -> Obs.counter ("memo." ^ n ^ ".hits")) name;
+    obs_misses = Option.map (fun n -> Obs.counter ("memo." ^ n ^ ".misses")) name;
+  }
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -16,9 +26,11 @@ let find_opt t key =
     match Hashtbl.find_opt t.table key with
     | Some v ->
       t.hits <- t.hits + 1;
+      Option.iter (fun c -> Obs.incr c) t.obs_hits;
       Some v
     | None ->
       t.misses <- t.misses + 1;
+      Option.iter (fun c -> Obs.incr c) t.obs_misses;
       None)
 
 let add t key v =

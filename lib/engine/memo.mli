@@ -18,7 +18,12 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?name:string -> unit -> 'a t
+(** A named table additionally mirrors its hit/miss counts into the
+    global {!Obs} counters [memo.<name>.hits] / [memo.<name>.misses], so
+    snapshots show per-cache effectiveness. {!clear} resets only the
+    per-table counters; the [Obs] mirrors are monotonic and reset with
+    {!Obs.reset}. *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add t key compute] returns the cached value for [key],

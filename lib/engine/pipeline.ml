@@ -34,9 +34,9 @@ type analysis = {
   a_attainment : float;
 }
 
-let lp_cache : Tiling.lp_solution Memo.t = Memo.create ()
-let analysis_cache : analysis Memo.t = Memo.create ()
-let shared_cache : int array Memo.t = Memo.create ()
+let lp_cache : Tiling.lp_solution Memo.t = Memo.create ~name:"lp" ()
+let analysis_cache : analysis Memo.t = Memo.create ~name:"analysis" ()
+let shared_cache : int array Memo.t = Memo.create ~name:"shared" ()
 
 let solve_lp spec ~beta =
   Memo.find_or_add lp_cache (Memo.key_of_spec_beta spec ~beta) (fun () ->
@@ -112,18 +112,36 @@ let simulate spec ~m (s : sim_request) : Report.sim =
 
 let now = Unix.gettimeofday
 
+let c_requests = Obs.counter "pipeline.requests"
+let c_simulations = Obs.counter "pipeline.simulations"
+let t_analysis = Obs.timer "pipeline.analysis"
+let t_shared = Obs.timer "pipeline.shared_tile"
+let t_simulate = Obs.timer "pipeline.simulate"
+
+(* Run [f], charge its duration to [tm], and also return the duration so
+   the per-report [timings] list keeps its existing shape. *)
+let timed tm f =
+  let t0 = now () in
+  let v = f () in
+  let dt = now () -. t0 in
+  Obs.add_seconds tm dt;
+  (v, dt)
+
 let run req =
   let spec = req.rspec and m = req.rm in
-  let t0 = now () in
-  let a, from_cache = analysis spec ~m in
-  let t1 = now () in
-  let want_shared =
-    req.rshared || List.exists (fun s -> s.schedule = Optimal) req.rsims
+  Obs.incr c_requests;
+  Obs.incr ~by:(List.length req.rsims) c_simulations;
+  let (a, from_cache), d_analysis = timed t_analysis (fun () -> analysis spec ~m) in
+  let shared, d_shared =
+    timed t_shared (fun () ->
+      let want_shared =
+        req.rshared || List.exists (fun s -> s.schedule = Optimal) req.rsims
+      in
+      if want_shared then Some (tile_shared spec ~m) else None)
   in
-  let shared = if want_shared then Some (tile_shared spec ~m) else None in
-  let t2 = now () in
-  let sims = List.map (simulate spec ~m) req.rsims in
-  let t3 = now () in
+  let sims, d_simulate =
+    timed t_simulate (fun () -> List.map (simulate spec ~m) req.rsims)
+  in
   {
     Report.spec;
     m;
@@ -139,7 +157,7 @@ let run req =
     attainment = a.a_attainment;
     sims;
     timings =
-      [ ("analysis", t1 -. t0); ("shared_tile", t2 -. t1); ("simulate", t3 -. t2) ];
+      [ ("analysis", d_analysis); ("shared_tile", d_shared); ("simulate", d_simulate) ];
     from_cache;
   }
 
@@ -156,7 +174,7 @@ type hierarchy_report = {
   hresult : Executor.hierarchy_result;
 }
 
-let nested_cache : int array list Memo.t = Memo.create ()
+let nested_cache : int array list Memo.t = Memo.create ~name:"nested" ()
 
 let nested_tiles spec ~capacities =
   let key =

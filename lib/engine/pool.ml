@@ -1,38 +1,77 @@
+let c_maps = Obs.counter "pool.maps"
+let c_tasks = Obs.counter "pool.tasks"
+let c_domains = Obs.counter "pool.domains_spawned"
+let c_max_tasks = Obs.counter "pool.max_tasks_per_domain"
+let t_wall = Obs.timer "pool.map_wall"
+let t_busy = Obs.timer "pool.worker_busy"
+let t_idle = Obs.timer "pool.worker_idle"
+
+let validate_jobs s =
+  match int_of_string_opt (String.trim s) with Some n when n >= 1 -> Some n | _ -> None
+
 let default_jobs () =
   match Sys.getenv_opt "PROJTILE_JOBS" with
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
+  | Some s when String.trim s = "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+    match validate_jobs s with
+    | Some n -> n
+    | None ->
+      let fallback = Domain.recommended_domain_count () in
+      Printf.eprintf
+        "projtile: warning: PROJTILE_JOBS=%S is not a positive integer; using %d domain%s\n%!"
+        s fallback
+        (if fallback = 1 then "" else "s");
+      fallback)
 
 let map ?jobs f xs =
   let n = Array.length xs in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let jobs = min jobs n in
-  if jobs <= 1 || n <= 1 then Array.map f xs
+  Obs.incr c_maps;
+  Obs.incr ~by:n c_tasks;
+  if jobs <= 1 || n <= 1 then begin
+    Obs.record_max c_max_tasks n;
+    Obs.time t_wall (fun () -> Array.map f xs)
+  end
   else begin
     (* Work-stealing by atomic counter: each domain repeatedly claims the
        next unprocessed index. Distinct indices means distinct result
        slots, so the writes below never race. *)
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    let busy = Array.make jobs 0.0 in
+    let worker w =
+      let w0 = Unix.gettimeofday () in
+      let mine = ref 0 in
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
-        else
+        else begin
+          incr mine;
           results.(i) <-
             Some
               (match f xs.(i) with
               | v -> Ok v
               | exception e -> Error (e, Printexc.get_raw_backtrace ()))
-      done
+        end
+      done;
+      busy.(w) <- Unix.gettimeofday () -. w0;
+      Obs.add_seconds t_busy busy.(w);
+      Obs.record_max c_max_tasks !mine
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let t0 = Unix.gettimeofday () in
+    Obs.incr ~by:(jobs - 1) c_domains;
+    let domains = Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1))) in
+    worker 0;
     Array.iter Domain.join domains;
+    let wall = Unix.gettimeofday () -. t0 in
+    Obs.add_seconds t_wall wall;
+    (* Idle capacity of this map: jobs * wall minus the time the workers
+       actually spent in their loops. *)
+    let total_busy = Array.fold_left ( +. ) 0.0 busy in
+    Obs.add_seconds t_idle (Float.max 0.0 ((float_of_int jobs *. wall) -. total_busy));
     Array.map
       (function
         | Some (Ok v) -> v

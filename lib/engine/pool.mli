@@ -14,7 +14,15 @@
 
 val default_jobs : unit -> int
 (** [PROJTILE_JOBS] if set to a positive integer, otherwise
-    {!Domain.recommended_domain_count}. *)
+    {!Domain.recommended_domain_count}. A set-but-invalid value (["0"],
+    ["abc"], ["-3"]) falls back too, after printing a one-line warning on
+    stderr — misconfiguration is never silent. An empty/blank value
+    counts as unset. *)
+
+val validate_jobs : string -> int option
+(** The [PROJTILE_JOBS] parse {!default_jobs} uses: [Some n] for a
+    (trimmed) positive integer, [None] for anything else. Exposed for
+    tests. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] applies [f] to every element, running up to [jobs]

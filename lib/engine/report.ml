@@ -136,3 +136,8 @@ let to_json ?(timings = true) r =
 
 let json_of_reports ?timings rs =
   jarr (List.map (to_json ?timings) rs)
+
+let json_of_sweep ?timings ?obs rs =
+  match obs with
+  | None -> json_of_reports ?timings rs
+  | Some obs -> jobj [ ("reports", json_of_reports ?timings rs); ("obs", obs) ]

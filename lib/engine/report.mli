@@ -50,3 +50,9 @@ val to_json : ?timings:bool -> t -> string
 
 val json_of_reports : ?timings:bool -> t list -> string
 (** JSON array of {!to_json} objects. *)
+
+val json_of_sweep : ?timings:bool -> ?obs:string -> t list -> string
+(** Without [obs], identical to {!json_of_reports} — a bare array, the
+    stable default shape. With [obs] (a pre-rendered JSON value, normally
+    {!Obs.to_json} of a snapshot), wraps the array as
+    [{"reports": [...], "obs": {...}}]. *)

@@ -53,6 +53,7 @@ let run_hierarchy ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capac
   Schedules.iterate spec schedule (fun point ->
     touch layout spec point (fun addr write -> Hierarchy.access h ~write addr));
   Hierarchy.flush h;
+  Hierarchy.record_obs h;
   {
     hschedule = schedule;
     capacities = Array.copy capacities;
@@ -77,6 +78,7 @@ let run ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacity =
       Cache.flush cache;
       Cache.stats cache
   in
+  Cache.record_obs stats;
   {
     schedule;
     policy;

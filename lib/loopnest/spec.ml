@@ -137,6 +137,9 @@ let touching_arrays t i =
 
 let iteration_count t = Array.fold_left ( * ) 1 t.bounds
 
+let iteration_count_big t =
+  Array.fold_left (fun acc l -> Bigint.mul acc (Bigint.of_int l)) Bigint.one t.bounds
+
 let array_dims t j = Array.map (fun i -> t.bounds.(i)) t.arrays.(j).support
 
 let array_words t j = Array.fold_left ( * ) 1 (array_dims t j)

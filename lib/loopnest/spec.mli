@@ -72,7 +72,13 @@ val touching_arrays : t -> int -> int list
     support contains loop [i]. *)
 
 val iteration_count : t -> int
-(** Total number of iterations [prod_i L_i]. *)
+(** Total number of iterations [prod_i L_i]. Silently wraps on native-int
+    overflow — bounds of [2^21] per loop in 3 loops already exceed 63
+    bits. Anything guarding on or reporting the count should use
+    {!iteration_count_big}. *)
+
+val iteration_count_big : t -> Bigint.t
+(** Exact [prod_i L_i], never overflows. *)
 
 val array_dims : t -> int -> int array
 (** Extents of array [j]: the loop bounds of its support, in support

@@ -1,0 +1,133 @@
+type counter = { cell : int Atomic.t }
+
+(* Durations accumulate as integer nanoseconds so workers can add spans
+   with a single fetch-and-add; 63-bit nanoseconds overflow after ~292
+   years of accumulated time. *)
+type timer = { ns : int Atomic.t; count : int Atomic.t }
+
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  with_lock (fun () ->
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+      let c = { cell = Atomic.make 0 } in
+      Hashtbl.add counters name c;
+      c)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
+
+let rec record_max c v =
+  let cur = Atomic.get c.cell in
+  if v > cur && not (Atomic.compare_and_set c.cell cur v) then record_max c v
+
+let value c = Atomic.get c.cell
+
+let timer name =
+  with_lock (fun () ->
+    match Hashtbl.find_opt timers name with
+    | Some t -> t
+    | None ->
+      let t = { ns = Atomic.make 0; count = Atomic.make 0 } in
+      Hashtbl.add timers name t;
+      t)
+
+let add_seconds t s =
+  ignore (Atomic.fetch_and_add t.ns (int_of_float (s *. 1e9)));
+  ignore (Atomic.fetch_and_add t.count 1)
+
+let time t f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_seconds t (Unix.gettimeofday () -. t0)) f
+
+let calls t = Atomic.get t.count
+let seconds t = float_of_int (Atomic.get t.ns) /. 1e9
+
+type timer_stat = { tcalls : int; tseconds : float }
+
+type snapshot = {
+  scounters : (string * int) list;
+  stimers : (string * timer_stat) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  with_lock (fun () ->
+    {
+      scounters =
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) counters []
+        |> List.sort by_name;
+      stimers =
+        Hashtbl.fold
+          (fun name t acc ->
+            (name, { tcalls = Atomic.get t.count; tseconds = seconds t }) :: acc)
+          timers []
+        |> List.sort by_name;
+    })
+
+let reset () =
+  with_lock (fun () ->
+    Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+    Hashtbl.iter
+      (fun _ t ->
+        Atomic.set t.ns 0;
+        Atomic.set t.count 0)
+      timers)
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>";
+  if s.scounters <> [] then begin
+    Format.fprintf fmt "counters:";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "@,  %-36s %12d" name v)
+      s.scounters
+  end;
+  if s.stimers <> [] then begin
+    if s.scounters <> [] then Format.fprintf fmt "@,";
+    Format.fprintf fmt "timers:%38s %12s" "calls" "seconds";
+    List.iter
+      (fun (name, t) ->
+        Format.fprintf fmt "@,  %-36s %12d %12.6f" name t.tcalls t.tseconds)
+      s.stimers
+  end;
+  if s.scounters = [] && s.stimers = [] then Format.fprintf fmt "(no metrics recorded)";
+  Format.fprintf fmt "@]"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json s =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    s.scounters;
+  Buffer.add_string buf "},\"timers\":{";
+  List.iteri
+    (fun i (name, t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"calls\":%d,\"seconds\":%.6f}" (json_escape name) t.tcalls
+           t.tseconds))
+    s.stimers;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

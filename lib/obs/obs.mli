@@ -1,0 +1,79 @@
+(** Lightweight process-wide observability: named counters and timers.
+
+    The paper's whole subject is counting words moved; this module lets
+    the tooling count its own work with the same discipline — simplex
+    pivots, memo hits, cache-level traffic, pool utilization — without
+    ad-hoc printf instrumentation.
+
+    Handles are registered in a global registry keyed by name: asking for
+    the same name twice returns the same handle, so call sites can hold a
+    module-level handle or re-resolve by name, whichever is convenient.
+
+    Everything is safe to use from {!Pool} worker domains: counter and
+    timer cells are atomics, and the registry itself is guarded by a
+    mutex (taken only on handle creation and snapshotting, never on the
+    increment path). Increments are lock-free and cost one
+    fetch-and-add, so instrumenting per-pivot or per-memo-lookup events
+    is fine; do not instrument per-simulated-access events — aggregate
+    and record once per run instead (see {!Cache.record_obs}). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Find or register the counter with this name. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1). Monotonic by convention: use non-negative
+    increments so snapshots can be diffed across time. *)
+
+val record_max : counter -> int -> unit
+(** Raise the counter to [v] if [v] exceeds the current value (a
+    high-watermark gauge, e.g. largest tableau seen). Lock-free CAS. *)
+
+val value : counter -> int
+
+(** {1 Timers} *)
+
+type timer
+
+val timer : string -> timer
+(** Find or register the timer with this name. A timer accumulates total
+    wall-clock seconds and a call count. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall-clock duration to the timer (also on
+    exception). *)
+
+val add_seconds : timer -> float -> unit
+(** Record an externally-measured span. *)
+
+val calls : timer -> int
+val seconds : timer -> float
+
+(** {1 Snapshots} *)
+
+type timer_stat = { tcalls : int; tseconds : float }
+
+type snapshot = {
+  scounters : (string * int) list;  (** sorted by name *)
+  stimers : (string * timer_stat) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Consistent-enough point-in-time view: each cell is read atomically
+    (concurrent increments may or may not be included, but nothing is
+    ever lost or double-counted). *)
+
+val reset : unit -> unit
+(** Zero every registered counter and timer. Handles stay valid. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable two-section table. *)
+
+val to_json : snapshot -> string
+(** One JSON object:
+    [{"counters":{name:int,...},"timers":{name:{"calls":int,"seconds":float},...}}].
+    This is the ["obs"] section the CLI and bench emit under
+    [--metrics]. *)

@@ -19,7 +19,14 @@ type state = {
   allowed : bool array;  (** artificials are banned from entering in phase 2 *)
   red : Rat.t array;  (** reduced-cost row for the current phase, length ncols *)
   mutable pivot_count : int;
+  mutable bland_ties : int;  (** minimum-ratio ties settled by Bland's index rule *)
 }
+
+let c_solves = Obs.counter "simplex.solves"
+let c_pivots = Obs.counter "simplex.pivots"
+let c_bland_ties = Obs.counter "simplex.bland_ties"
+let c_max_rows = Obs.counter "simplex.max_rows"
+let c_max_cols = Obs.counter "simplex.max_cols"
 
 let pivot st r c =
   let last = st.ncols in
@@ -82,13 +89,15 @@ let run_phase st : phase_outcome =
       for r = 0 to st.m - 1 do
         if Rat.sign st.tab.(r).(c) > 0 then begin
           let ratio = Rat.div st.tab.(r).(last) st.tab.(r).(c) in
-          if
-            !leave < 0
-            || Rat.compare ratio !best < 0
-            || (Rat.equal ratio !best && st.basis.(r) < st.basis.(!leave))
-          then begin
+          if !leave < 0 || Rat.compare ratio !best < 0 then begin
             leave := r;
             best := ratio
+          end
+          else if Rat.equal ratio !best then begin
+            (* Degenerate minimum-ratio tie: Bland's rule picks the row
+               whose basic variable has the lowest index. *)
+            st.bland_ties <- st.bland_ties + 1;
+            if st.basis.(r) < st.basis.(!leave) then leave := r
           end
         end
       done;
@@ -196,7 +205,16 @@ let solve (lp : Lp.t) : result =
       allowed = Array.make ncols true;
       red = Array.make ncols Rat.zero;
       pivot_count = 0;
+      bland_ties = 0;
     }
+  in
+  let record result =
+    Obs.incr c_solves;
+    Obs.incr ~by:st.pivot_count c_pivots;
+    Obs.incr ~by:st.bland_ties c_bland_ties;
+    Obs.record_max c_max_rows st.m;
+    Obs.record_max c_max_cols st.ncols;
+    result
   in
   (* ---- Phase 1: drive the artificials to zero. ---- *)
   let phase1_costs =
@@ -213,7 +231,7 @@ let solve (lp : Lp.t) : result =
       | Phase_optimal -> Rat.sign (objective_value st phase1_costs) > 0
     end
   in
-  if infeasible then Infeasible
+  if infeasible then record Infeasible
   else begin
     (* Ban artificials and pivot any still-basic (necessarily zero-valued)
        artificial out of the basis when possible; rows where that fails are
@@ -256,7 +274,7 @@ let solve (lp : Lp.t) : result =
         | Structural v -> dir.(v) <- Rat.neg st.tab.(r).(c)
         | _ -> ()
       done;
-      Unbounded { direction = dir }
+      record (Unbounded { direction = dir })
     | Phase_optimal ->
       let primal = Array.make n Rat.zero in
       for r = 0 to m - 1 do
@@ -272,7 +290,7 @@ let solve (lp : Lp.t) : result =
           let y_dirfixed = if minimize then y_min else Rat.neg y_min in
           Rat.mul flips.(i) y_dirfixed)
       in
-      Optimal { objective; primal; dual; pivots = st.pivot_count }
+      record (Optimal { objective; primal; dual; pivots = st.pivot_count })
   end
 
 let solve_exn lp =

@@ -69,6 +69,34 @@ let test_codegen () =
   check_ok "codegen ocaml" "codegen -p nbody -m 256 --lang ocaml" [ "let nbody_tiled"; "done" ];
   check_ok "codegen untiled" "codegen -p nbody --untiled" [ "void nbody(" ]
 
+let test_sweep () =
+  check_ok "sweep json" "sweep -p matvec -m 64,256" [ "\"kernel\""; "\"lower_bound_words\"" ]
+
+let test_metrics () =
+  (* sweep --metrics wraps the JSON and embeds the obs snapshot *)
+  check_ok "sweep metrics" "sweep -p matvec -m 64,256 --schedules optimal --metrics"
+    [ "\"reports\""; "\"obs\""; "\"counters\""; "simplex.pivots"; "memo."; "cachesim.L1.hits" ];
+  (* text-mode subcommands append the human-readable table *)
+  check_ok "analyze metrics" "analyze -p matvec -m 1024 --metrics"
+    [ "counters:"; "timers:"; "simplex.pivots"; "pipeline.analysis" ];
+  (* without the flag, sweep output stays a bare array *)
+  let code, out = run "sweep -p matvec -m 64" in
+  if code <> 0 then Alcotest.failf "sweep: exit %d\n%s" code out;
+  if Astring.String.is_infix ~affix:"\"obs\"" out then
+    Alcotest.failf "sweep without --metrics must not emit obs\n%s" out
+
+let test_overflow_guards () =
+  (* 2^21-cubed bounds: exact guard must reject simulation with the true
+     iteration count rather than wrap negative and accept *)
+  check_fails "simulate overflow"
+    "simulate -k 'i = 2097152, j = 2097152, k = 2097152 : C[i,j,k] += A[i,j]' -m 1024"
+    "9223372036854775808";
+  (* analysis-only paths still work at these bounds, and partition
+     reports the exact (past-max_int) communication volume *)
+  check_ok "partition overflow"
+    "partition -k 'i = 2097152, j = 2097152, k = 2097152 : C[i,j,k] += A[i,j]' --procs 1"
+    [ "communication: 9223376434901286912 words" ]
+
 let test_error_paths () =
   check_fails "no kernel" "analyze" "kernel is required";
   check_fails "both sources" "analyze -p matmul -k 'i = 2 : A[i] = B[i]'" "not both";
@@ -92,6 +120,9 @@ let () =
           Alcotest.test_case "hierarchy" `Quick test_hierarchy;
           Alcotest.test_case "partition" `Quick test_partition;
           Alcotest.test_case "codegen" `Quick test_codegen;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "overflow guards" `Quick test_overflow_guards;
           Alcotest.test_case "error paths" `Quick test_error_paths;
         ] );
     ]

@@ -1,5 +1,10 @@
 (* Tests for the Section-7 distributed-memory extension. *)
 
+let bigint =
+  Alcotest.testable
+    (fun fmt b -> Format.pp_print_string fmt (Bigint.to_string b))
+    (fun a b -> Bigint.compare a b = 0)
+
 let test_grids_enumeration () =
   let spec = Kernels.matmul ~l1:8 ~l2:8 ~l3:8 in
   let gs = Partition.grids spec ~p:4 in
@@ -24,17 +29,17 @@ let test_block_dims () =
   let spec = Kernels.matmul ~l1:10 ~l2:8 ~l3:8 in
   Alcotest.(check (array int)) "ceil division" [| 4; 4; 8 |]
     (Partition.block_dims spec ~grid:[| 3; 2; 1 |]);
-  Alcotest.(check int) "block iterations" (4 * 4 * 8)
+  Alcotest.check bigint "block iterations" (Bigint.of_int (4 * 4 * 8))
     (Partition.block_iterations spec ~grid:[| 3; 2; 1 |])
 
 let test_cost_matmul () =
   let spec = Kernels.matmul ~l1:8 ~l2:8 ~l3:8 in
   let c = Comm_model.cost spec ~grid:[| 2; 2; 2 |] in
   (* block 4x4x4; each array footprint 16 -> 48 words *)
-  Alcotest.(check int) "cost" 48 c.Comm_model.words;
+  Alcotest.check bigint "cost" (Bigint.of_int 48) c.Comm_model.words;
   let c2 = Comm_model.cost spec ~grid:[| 8; 1; 1 |] in
   (* block 1x8x8: C 1*8=8, A 1*8=8, B 64 -> 80 *)
-  Alcotest.(check int) "1d cost" 80 c2.Comm_model.words
+  Alcotest.check bigint "1d cost" (Bigint.of_int 80) c2.Comm_model.words
 
 let test_best_grid_is_balanced () =
   let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
@@ -60,9 +65,10 @@ let test_lower_bound_sane () =
   | None -> Alcotest.fail "factorable"
   | Some g ->
     (* best-grid cost within a small constant (n = 3 arrays) of the bound *)
-    let ratio = float_of_int g.Comm_model.words /. lb in
+    let ratio = Bigint.to_float g.Comm_model.words /. lb in
     if ratio < 1.0 || ratio > 4.0 then
-      Alcotest.failf "ratio %.2f outside [1, 4] (cost %d, lb %.1f)" ratio g.Comm_model.words lb);
+      Alcotest.failf "ratio %.2f outside [1, 4] (cost %s, lb %.1f)" ratio
+        (Bigint.to_string g.Comm_model.words) lb);
   (* single processor: needs at least enough footprint for everything *)
   let lb1 = Comm_model.lower_bound spec ~p:1 in
   Alcotest.(check bool) "P=1 >= P=8" true (lb1 >= lb)
@@ -90,11 +96,11 @@ let test_simulated_cost_matches_analytic () =
     (fun (spec, p) ->
       List.iter
         (fun grid ->
-          Alcotest.(check int)
+          Alcotest.check bigint
             (Printf.sprintf "grid %s"
                (String.concat "x" (Array.to_list (Array.map string_of_int grid))))
             (Comm_model.cost spec ~grid).Comm_model.words
-            (Comm_model.simulated_cost spec ~grid))
+            (Bigint.of_int (Comm_model.simulated_cost spec ~grid)))
         (Partition.grids spec ~p))
     [
       (Kernels.matmul ~l1:12 ~l2:10 ~l3:8, 4);
@@ -106,7 +112,7 @@ let test_simulated_cost_matches_analytic () =
 let test_simulate_processor_regimes () =
   let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
   let grid = [| 2; 2; 2 |] in
-  let gather = (Comm_model.cost spec ~grid).Comm_model.words in
+  let gather = Bigint.to_int (Comm_model.cost spec ~grid).Comm_model.words in
   let sim m = (Comm_model.simulate_processor spec ~grid ~m_local:m).Comm_model.words_per_proc in
   (* tiny local memory: re-fetching dominates, cost above the gather volume *)
   Alcotest.(check bool) "small M exceeds gather" true (sim 128 > gather);
@@ -123,6 +129,67 @@ let test_simulate_processor_regimes () =
          (Kernels.matmul ~l1:4096 ~l2:4096 ~l3:4096)
          ~grid:[| 1; 1; 1 |] ~m_local:256))
 
+(* Overflow regressions: with native-int arithmetic both of these wrapped
+   negative on 63-bit ints (2^21 cubed = 2^63), silently corrupting grid
+   selection and simulability guards. *)
+
+let overflow_spec =
+  (* C has full 3-loop support, so one processor's block footprint alone
+     is 2^63 words. *)
+  let l = 1 lsl 21 in
+  Spec.create_exn ~name:"overflow" ~loops:[| "i"; "j"; "k" |] ~bounds:[| l; l; l |]
+    ~arrays:
+      [|
+        Spec.array_ref ~mode:Spec.Update "C" [ 0; 1; 2 ];
+        Spec.array_ref "A" [ 0; 1 ];
+      |]
+
+let test_block_iterations_overflow () =
+  let n = Partition.block_iterations overflow_spec ~grid:[| 1; 1; 1 |] in
+  Alcotest.(check string) "exact 2^63" "9223372036854775808" (Bigint.to_string n);
+  Alcotest.(check bool) "exceeds max_int" true (Bigint.compare n (Bigint.of_int max_int) > 0);
+  (* the native product is 2^63 mod 2^63 = 0 on 63-bit ints — the old
+     code reported zero iterations for this nest *)
+  Alcotest.(check int) "native product wraps" 0
+    (Array.fold_left ( * ) 1 overflow_spec.Spec.bounds)
+
+let test_cost_overflow () =
+  let c = Comm_model.cost overflow_spec ~grid:[| 1; 1; 1 |] in
+  (* C footprint 2^63 + A footprint 2^42 *)
+  let expect =
+    Bigint.add (Bigint.pow (Bigint.of_int 2) 63) (Bigint.pow (Bigint.of_int 2) 42)
+  in
+  Alcotest.check bigint "exact footprint" expect c.Comm_model.words;
+  Alcotest.(check bool) "exceeds max_int" true
+    (Bigint.compare c.Comm_model.words (Bigint.of_int max_int) > 0)
+
+let test_best_grid_overflow_ordering () =
+  (* With wrapped costs the 1x1x1 grid looked negative, i.e. "cheapest";
+     exact arithmetic must still order grids correctly. *)
+  match Comm_model.best_grid overflow_spec ~p:8 with
+  | None -> Alcotest.fail "factorable"
+  | Some g ->
+    Alcotest.(check bool) "best grid splits the nest" true
+      (Array.fold_left ( * ) 1 g.Comm_model.grid = 8);
+    let worst = Comm_model.cost overflow_spec ~grid:[| 1; 1; 1 |] in
+    Alcotest.(check bool) "cheaper than the unsplit block" true
+      (Bigint.compare g.Comm_model.words worst.Comm_model.words < 0)
+
+let test_min_footprint_overflow () =
+  (* The doubling search used to wrap a native int at 2^62 and spin
+     forever at 0 once the needed footprint passed max_int. *)
+  let lb = Comm_model.lower_bound overflow_spec ~p:1 in
+  Alcotest.(check bool) "terminates with a finite bound" true (Float.is_finite lb);
+  Alcotest.(check bool) "past max_int" true (lb > float_of_int max_int)
+
+let test_simulate_processor_overflow_guard () =
+  (* The simulability guard must reject the 2^63-iteration block rather
+     than wrap negative and start allocating. *)
+  Alcotest.check_raises "oversized block"
+    (Invalid_argument "Comm_model.simulate_processor: block too large to simulate")
+    (fun () ->
+      ignore (Comm_model.simulate_processor overflow_spec ~grid:[| 1; 1; 1 |] ~m_local:256))
+
 let props =
   [
     QCheck.Test.make ~name:"grid costs bounded below by the LB" ~count:50
@@ -135,7 +202,7 @@ let props =
         List.for_all
           (fun grid ->
             (* the per-array bound can't exceed the summed footprint *)
-            float_of_int (Comm_model.cost spec ~grid).Comm_model.words >= lb *. 0.999)
+            Bigint.to_float (Comm_model.cost spec ~grid).Comm_model.words >= lb *. 0.999)
           (Partition.grids spec ~p));
     QCheck.Test.make ~name:"block covers iteration share" ~count:50
       (QCheck.make
@@ -145,7 +212,10 @@ let props =
         let spec = Kernels.matmul ~l1:l ~l2:l ~l3:l in
         List.for_all
           (fun grid ->
-            Partition.block_iterations spec ~grid * p >= Spec.iteration_count spec)
+            Bigint.compare
+              (Bigint.mul (Partition.block_iterations spec ~grid) (Bigint.of_int p))
+              (Spec.iteration_count_big spec)
+            >= 0)
           (Partition.grids spec ~p));
   ]
 
@@ -168,6 +238,14 @@ let () =
           Alcotest.test_case "Hong-Kung shape" `Quick test_min_footprint_matches_hk;
           Alcotest.test_case "simulated = analytic cost" `Quick test_simulated_cost_matches_analytic;
           Alcotest.test_case "processor simulation regimes" `Quick test_simulate_processor_regimes;
+        ] );
+      ( "overflow",
+        [
+          Alcotest.test_case "block iterations exact" `Quick test_block_iterations_overflow;
+          Alcotest.test_case "cost exact" `Quick test_cost_overflow;
+          Alcotest.test_case "best grid ordering" `Quick test_best_grid_overflow_ordering;
+          Alcotest.test_case "min footprint search" `Quick test_min_footprint_overflow;
+          Alcotest.test_case "simulate guard" `Quick test_simulate_processor_overflow_guard;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
     ]

@@ -142,6 +142,18 @@ let test_pool_jobs_env_override () =
   Alcotest.(check int) "env override respected" 7 n;
   Alcotest.(check bool) "garbage falls back to >= 1" true (fallback >= 1)
 
+let test_pool_validate_jobs () =
+  let check label s expect =
+    Alcotest.(check (option int)) label expect (Pool.validate_jobs s)
+  in
+  check "positive" "7" (Some 7);
+  check "trimmed" " 3 " (Some 3);
+  check "zero rejected" "0" None;
+  check "negative rejected" "-3" None;
+  check "garbage rejected" "abc" None;
+  check "empty rejected" "" None;
+  check "float rejected" "2.5" None
+
 (* ------------------------------------------------------------------ *)
 (* Reports                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -230,6 +242,7 @@ let () =
         [
           Alcotest.test_case "order and values" `Quick test_pool_map_order_and_values;
           Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exceptions;
+          Alcotest.test_case "validate_jobs" `Quick test_pool_validate_jobs;
           Alcotest.test_case "PROJTILE_JOBS" `Quick test_pool_jobs_env_override;
         ] );
       ( "report",

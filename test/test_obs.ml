@@ -1,0 +1,169 @@
+(* Tests for the observability registry (lib/obs) and its wiring through
+   the engine. The registry is global, so every test starts from
+   Obs.reset (); the suite runs in its own executable. *)
+
+let counter_value snap name = List.assoc_opt name snap.Obs.scounters
+let timer_stat snap name = List.assoc_opt name snap.Obs.stimers
+
+let test_counter_basics () =
+  Obs.reset ();
+  let c = Obs.counter "t.basic" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.incr ~by:41 c;
+  Alcotest.(check int) "accumulates" 42 (Obs.value c);
+  Alcotest.(check bool) "same name, same cell" true (Obs.counter "t.basic" == c);
+  Obs.record_max c 10;
+  Alcotest.(check int) "record_max keeps larger current" 42 (Obs.value c);
+  Obs.record_max c 100;
+  Alcotest.(check int) "record_max raises" 100 (Obs.value c)
+
+let test_timer_basics () =
+  Obs.reset ();
+  let t = Obs.timer "t.timer" in
+  let v = Obs.time t (fun () -> 7 * 6) in
+  Alcotest.(check int) "returns the value" 42 v;
+  Obs.add_seconds t 0.25;
+  Alcotest.(check int) "two recordings" 2 (Obs.calls t);
+  Alcotest.(check bool) "seconds accumulated" true (Obs.seconds t >= 0.25);
+  Alcotest.check_raises "exceptions pass through but are recorded"
+    (Failure "boom")
+    (fun () -> Obs.time t (fun () -> failwith "boom"));
+  Alcotest.(check int) "failed call counted" 3 (Obs.calls t)
+
+let test_counter_under_pool_concurrency () =
+  Obs.reset ();
+  let c = Obs.counter "t.conc" in
+  let n = 2000 in
+  ignore (Pool.map ~jobs:4 (fun i -> Obs.incr ~by:i c) (Array.init n (fun i -> i)));
+  Alcotest.(check int) "no lost increments" (n * (n - 1) / 2) (Obs.value c)
+
+let test_record_max_under_pool_concurrency () =
+  Obs.reset ();
+  let c = Obs.counter "t.max" in
+  ignore (Pool.map ~jobs:4 (fun i -> Obs.record_max c i) (Array.init 500 (fun i -> i)));
+  Alcotest.(check int) "max survives races" 499 (Obs.value c)
+
+let test_timer_under_pool_concurrency () =
+  Obs.reset ();
+  let t = Obs.timer "t.tconc" in
+  let n = 200 in
+  ignore (Pool.map ~jobs:4 (fun _ -> Obs.time t (fun () -> ())) (Array.make n ()));
+  Alcotest.(check int) "every timing counted" n (Obs.calls t);
+  Alcotest.(check bool) "non-negative total" true (Obs.seconds t >= 0.0)
+
+let test_snapshot_sorted_and_reset () =
+  Obs.reset ();
+  Obs.incr (Obs.counter "t.zz");
+  Obs.incr (Obs.counter "t.aa");
+  Obs.add_seconds (Obs.timer "t.zt") 0.1;
+  Obs.add_seconds (Obs.timer "t.at") 0.1;
+  let s = Obs.snapshot () in
+  let names = List.map fst s.Obs.scounters in
+  Alcotest.(check (list string)) "counters sorted" (List.sort compare names) names;
+  let tnames = List.map fst s.Obs.stimers in
+  Alcotest.(check (list string)) "timers sorted" (List.sort compare tnames) tnames;
+  Obs.reset ();
+  let s' = Obs.snapshot () in
+  Alcotest.(check int) "reset zeroes counters" 0
+    (List.fold_left (fun acc (_, v) -> acc + v) 0 s'.Obs.scounters);
+  (* handles created before the reset stay valid *)
+  Obs.incr (Obs.counter "t.aa");
+  Alcotest.(check int) "handle survives reset" 1 (Obs.value (Obs.counter "t.aa"))
+
+let test_json_shape () =
+  Obs.reset ();
+  Obs.incr ~by:3 (Obs.counter "t.json \"quoted\"");
+  Obs.add_seconds (Obs.timer "t.jt") 0.5;
+  let j = Obs.to_json (Obs.snapshot ()) in
+  let contains sub = Astring.String.is_infix ~affix:sub j in
+  Alcotest.(check bool) "counters key" true (contains "\"counters\"");
+  Alcotest.(check bool) "timers key" true (contains "\"timers\"");
+  Alcotest.(check bool) "escaped name" true (contains "\\\"quoted\\\"");
+  Alcotest.(check bool) "calls field" true (contains "\"calls\":1");
+  let count ch = String.fold_left (fun n c -> if c = ch then n + 1 else n) 0 j in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check bool) "object" true
+    (String.length j > 1 && j.[0] = '{' && j.[String.length j - 1] = '}')
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_reports () =
+  let spec = Kernels.matmul ~l1:16 ~l2:16 ~l3:16 in
+  let sims = Engine.[ Pipeline.sim Optimal; Pipeline.sim Classic ] in
+  let reqs =
+    List.map (fun m -> Pipeline.request ~sims ~shared:true spec ~m) [ 64; 128; 64 ]
+  in
+  Engine.sweep ~jobs:2 reqs
+
+let test_engine_instrumentation () =
+  Obs.reset ();
+  Engine.reset_caches ();
+  let reports = sweep_reports () in
+  Alcotest.(check int) "three reports" 3 (List.length reports);
+  let s = Obs.snapshot () in
+  let cv name = Option.value ~default:0 (counter_value s name) in
+  Alcotest.(check bool) "simplex solved something" true (cv "simplex.solves" > 0);
+  Alcotest.(check bool) "simplex pivoted" true (cv "simplex.pivots" > 0);
+  Alcotest.(check bool) "cachesim hits recorded" true (cv "cachesim.L1.hits" > 0);
+  Alcotest.(check bool) "cachesim misses recorded" true (cv "cachesim.L1.misses" > 0);
+  Alcotest.(check int) "requests counted" 3 (cv "pipeline.requests");
+  Alcotest.(check int) "simulations counted" 6 (cv "pipeline.simulations");
+  Alcotest.(check bool) "pool ran" true (cv "pool.maps" > 0);
+  (* obs memo counters mirror the per-table counters exactly *)
+  let hits, misses = Engine.cache_stats () in
+  let sum suffix =
+    List.fold_left
+      (fun acc name -> acc + cv ("memo." ^ name ^ "." ^ suffix))
+      0
+      [ "lp"; "analysis"; "shared"; "nested" ]
+  in
+  Alcotest.(check int) "memo hits mirrored" hits (sum "hits");
+  Alcotest.(check int) "memo misses mirrored" misses (sum "misses");
+  Alcotest.(check bool) "repeated m=64 request hit a cache" true (hits > 0);
+  (* stage timers saw every request *)
+  (match timer_stat s "pipeline.analysis" with
+  | None -> Alcotest.fail "pipeline.analysis timer missing"
+  | Some t ->
+    Alcotest.(check int) "analysis timed per request" 3 t.Obs.tcalls;
+    Alcotest.(check bool) "non-negative" true (t.Obs.tseconds >= 0.0))
+
+let test_json_of_sweep_obs_section () =
+  Obs.reset ();
+  Engine.reset_caches ();
+  let reports = sweep_reports () in
+  let plain = Report.json_of_sweep ~timings:false reports in
+  Alcotest.(check bool) "no obs: bare array" true
+    (String.length plain > 0 && plain.[0] = '[');
+  let j = Report.json_of_sweep ~timings:false ~obs:(Obs.to_json (Obs.snapshot ())) reports in
+  let contains sub = Astring.String.is_infix ~affix:sub j in
+  Alcotest.(check bool) "wrapped object" true (j.[0] = '{');
+  Alcotest.(check bool) "reports key" true (contains "\"reports\"");
+  Alcotest.(check bool) "obs key" true (contains "\"obs\"");
+  Alcotest.(check bool) "solver counters inside" true (contains "simplex.pivots")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "timer basics" `Quick test_timer_basics;
+          Alcotest.test_case "snapshot sorted; reset" `Quick test_snapshot_sorted_and_reset;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "counters under Pool.map" `Quick test_counter_under_pool_concurrency;
+          Alcotest.test_case "record_max under Pool.map" `Quick
+            test_record_max_under_pool_concurrency;
+          Alcotest.test_case "timers under Pool.map" `Quick test_timer_under_pool_concurrency;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sweep instrumentation" `Quick test_engine_instrumentation;
+          Alcotest.test_case "json_of_sweep obs section" `Quick test_json_of_sweep_obs_section;
+        ] );
+    ]
