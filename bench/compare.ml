@@ -1,0 +1,124 @@
+(* Compare a freshly generated BENCH_engine.json against a committed
+   baseline and flag regressions.
+
+     dune exec bench/compare.exe -- bench/baseline/BENCH_engine.json BENCH_engine.json
+     dune exec bench/compare.exe -- --strict --time-threshold 0.5 OLD NEW
+
+   Checks, per experiment id:
+     - wall time: NEW more than (1 + threshold) x OLD seconds is a
+       TIME REGRESSION (default threshold 0.25; timing noise on shared CI
+       runners is real, so CI runs this warn-only by default);
+     - words_moved: any headline number that changed at all is a
+       METRIC CHANGE — these are exact counters from a deterministic
+       simulator, so any drift means the model or the tiling changed;
+     - presence: experiments that appear on only one side are reported.
+
+   Exit status is 0 unless --strict is given, in which case any finding
+   makes it 1. *)
+
+type experiment = { title : string; seconds : float; words : (string * float) list }
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let load path =
+  match Jsonlite.of_file path with
+  | Error msg -> die "%s: %s" path msg
+  | Ok json ->
+    let exps =
+      match Jsonlite.list_member "experiments" json with
+      | Some l -> l
+      | None -> die "%s: no \"experiments\" array" path
+    in
+    List.filter_map
+      (fun e ->
+        match Jsonlite.str_member "experiment" e with
+        | None -> None
+        | Some id ->
+          let words =
+            match Jsonlite.member "words_moved" e with
+            | Some (Jsonlite.Obj kvs) ->
+              List.filter_map
+                (fun (k, v) -> Option.map (fun n -> (k, n)) (Jsonlite.to_num v))
+                kvs
+            | _ -> []
+          in
+          Some
+            ( id,
+              {
+                title = Option.value ~default:"" (Jsonlite.str_member "title" e);
+                seconds = Option.value ~default:0.0 (Jsonlite.num_member "seconds" e);
+                words;
+              } ))
+      exps
+
+let () =
+  let strict = ref false in
+  let threshold = ref 0.25 in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--strict" :: rest ->
+      strict := true;
+      parse_args rest
+    | "--time-threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> threshold := t
+      | _ -> die "--time-threshold: expected a non-negative number, got %S" v);
+      parse_args rest
+    | a :: _ when String.length a > 0 && a.[0] = '-' -> die "unknown option %s" a
+    | p :: rest ->
+      paths := p :: !paths;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let base_path, new_path =
+    match List.rev !paths with
+    | [ b; n ] -> (b, n)
+    | _ ->
+      die "usage: compare [--strict] [--time-threshold T] BASELINE.json NEW.json"
+  in
+  let base = load base_path and fresh = load new_path in
+  let findings = ref 0 in
+  let report fmt =
+    incr findings;
+    Printf.printf fmt
+  in
+  List.iter
+    (fun (id, b) ->
+      match List.assoc_opt id fresh with
+      | None -> report "MISSING      %-4s dropped from %s (%s)\n" id new_path b.title
+      | Some n ->
+        (* Experiments under 50ms are dominated by scheduler noise; only
+           the heavyweight simulations carry a meaningful wall time. *)
+        if b.seconds > 0.05 && n.seconds > (1.0 +. !threshold) *. b.seconds then
+          report "TIME REGRESSION %-4s %.3fs -> %.3fs (%+.0f%%, threshold +%.0f%%)  %s\n" id
+            b.seconds n.seconds
+            (100.0 *. ((n.seconds /. b.seconds) -. 1.0))
+            (100.0 *. !threshold) b.title;
+        List.iter
+          (fun (label, bw) ->
+            match List.assoc_opt label n.words with
+            | None -> report "METRIC MISSING %-4s %S dropped\n" id label
+            | Some nw ->
+              if nw <> bw then
+                report "METRIC CHANGE  %-4s %S: %.17g -> %.17g\n" id label bw nw)
+          b.words;
+        List.iter
+          (fun (label, _) ->
+            if not (List.mem_assoc label b.words) then
+              report "METRIC NEW     %-4s %S appeared\n" id label)
+          n.words)
+    base;
+  List.iter
+    (fun (id, n) ->
+      if not (List.mem_assoc id base) then
+        report "NEW          %-4s not in baseline (%s)\n" id n.title)
+    fresh;
+  let total = List.length fresh in
+  if !findings = 0 then
+    Printf.printf "compare: OK — %d experiments match %s (times within +%.0f%%)\n" total
+      base_path (100.0 *. !threshold)
+  else
+    Printf.printf "compare: %d finding(s) across %d experiments (baseline %s)\n" !findings
+      total base_path;
+  exit (if !findings > 0 && !strict then 1 else 0)

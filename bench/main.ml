@@ -48,12 +48,17 @@ let json_escape s =
          | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_json path =
+(* [s0] is the snapshot taken before any experiment ran: the obs section
+   is the delta over this bench invocation, not process-lifetime totals
+   (the distinction matters once bench is driven as a library or the
+   tables are rerun in-process). *)
+let write_json ~s0 path =
   let oc = open_out path in
   let hits, misses = Engine.cache_stats () in
   output_string oc "{\"engine_cache\":{";
   Printf.fprintf oc "\"hits\":%d,\"misses\":%d}," hits misses;
-  Printf.fprintf oc "\"obs\":%s,\"experiments\":[" (Obs.to_json (Obs.snapshot ()));
+  Printf.fprintf oc "\"obs\":%s,\"experiments\":["
+    (Obs.to_json (Obs.diff s0 (Obs.snapshot ())));
   List.iteri
     (fun i o ->
       if i > 0 then output_char oc ',';
@@ -769,7 +774,7 @@ let microbenches () =
       rowf "%-42s %16s\n" name pretty)
     (List.sort compare rows)
 
-let tables () =
+let tables ~s0 () =
   List.iter
     (fun (id, title, body) -> experiment id title body)
     [
@@ -793,14 +798,38 @@ let tables () =
       ("E16", "ablation: exact vs float simplex on the tiling LPs  [DESIGN.md]", e16);
       ("E17", "distributed memory-dependent regime (Irony-Toledo-Tiskin shape)  [Sec 7]", e17);
     ];
-  write_json "BENCH_engine.json"
+  write_json ~s0 "BENCH_engine.json"
 
+(* Usage: bench/main.exe [tables|micro] [--metrics] [--trace FILE] *)
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let metrics = List.mem "--metrics" args in
-  let what =
-    match List.filter (fun a -> a <> "--metrics") args with w :: _ -> w | [] -> "all"
+  let rec trace_of = function
+    | "--trace" :: file :: _ -> Some file
+    | _ :: rest -> trace_of rest
+    | [] -> None
   in
-  if what = "tables" || what = "all" then tables ();
+  let trace = trace_of args in
+  let rec strip = function
+    | [] -> []
+    | "--metrics" :: rest -> strip rest
+    | "--trace" :: _ :: rest -> strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let what = match strip args with w :: _ -> w | [] -> "all" in
+  if trace <> None then begin
+    Obs.Trace.enable ();
+    Obs.Trace.set_lane_name "main"
+  end;
+  let s0 = Obs.snapshot () in
+  if what = "tables" || what = "all" then tables ~s0 ();
   if what = "micro" || what = "all" then microbenches ();
-  if metrics then Format.printf "@.%a@." Obs.pp (Obs.snapshot ())
+  Option.iter
+    (fun file ->
+      Obs.Trace.disable ();
+      Obs.Trace.write_file file;
+      Printf.printf "wrote %s (%s spans, %s dropped)\n" file
+        (Obs.group_int (Obs.Trace.span_count ()))
+        (Obs.group_int (Obs.Trace.dropped ())))
+    trace;
+  if metrics then Format.printf "@.%a@." Obs.pp (Obs.diff s0 (Obs.snapshot ()))

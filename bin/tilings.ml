@@ -10,9 +10,14 @@
      tilings closed-form --preset matmul
      tilings simulate --preset matmul -m 512 --schedule optimal --policy lru
      tilings sweep --preset matmul -m 256,1024,4096 --schedules optimal,classic
+     tilings profile mm --mem 4096 --iters 50
      tilings partition --preset matmul -m 4096 --procs 8
      tilings presets
-*)
+
+   Observability: every subcommand takes --metrics (print the counter /
+   timer-histogram tables for this invocation) and --trace FILE (write a
+   Chrome trace-event JSON of the run, loadable in Perfetto or
+   chrome://tracing, with one lane per Pool worker domain). *)
 
 open Cmdliner
 
@@ -37,6 +42,40 @@ let resolve_spec kernel preset =
            (String.concat ", " (List.map fst preset_specs))))
   | Some _, Some _ -> Error "give either --kernel or --preset, not both"
   | None, None -> Error "a kernel is required: --kernel \"<dsl>\" or --preset <name>"
+
+(* Shorthands accepted where a kernel is named positionally (profile). *)
+let preset_aliases =
+  [
+    ("mm", "matmul");
+    ("mv", "matvec");
+    ("conv", "pointwise_conv");
+    ("fc", "fully_connected");
+    ("bmm", "batched_matmul");
+  ]
+
+(* A positional kernel: DSL if it contains ':', otherwise a preset name,
+   alias, or unique preset-name prefix. *)
+let resolve_named name =
+  if String.contains name ':' then resolve_spec (Some name) None
+  else
+    let canonical =
+      match List.assoc_opt name preset_aliases with Some n -> n | None -> name
+    in
+    match List.assoc_opt canonical preset_specs with
+    | Some s -> Ok s
+    | None -> (
+      match
+        List.filter (fun (n, _) -> String.starts_with ~prefix:canonical n) preset_specs
+      with
+      | [ (_, s) ] -> Ok s
+      | [] ->
+        Error
+          (Printf.sprintf "unknown kernel %S (try: %s)" name
+             (String.concat ", " (List.map fst preset_specs)))
+      | multiple ->
+        Error
+          (Printf.sprintf "ambiguous kernel %S (matches: %s)" name
+             (String.concat ", " (List.map fst multiple))))
 
 let kernel_arg =
   let doc =
@@ -83,14 +122,47 @@ let metrics_arg =
     value & flag
     & info [ "metrics" ]
         ~doc:
-          "Print the observability snapshot (solver counters, cache/memo \
-           hit rates, stage timers) after the command. The $(b,sweep) \
-           command instead wraps its JSON as {\"reports\": ..., \"obs\": ...}.")
+          "Print the observability tables (solver counters, cache/memo \
+           hit rates, stage timers with p50/p90/p99 latencies) for this \
+           invocation. The $(b,sweep) command instead wraps its JSON as \
+           {\"reports\": ..., \"obs\": ...}.")
 
-(* Runs after the command body so the snapshot covers all of its work. *)
-let with_metrics metrics result =
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans (pipeline stages, simplex solves, cache \
+           simulations, pool tasks) and write a Chrome trace-event JSON \
+           file on success — load it in Perfetto (ui.perfetto.dev) or \
+           chrome://tracing. Parallel sweeps render one lane per worker \
+           domain.")
+
+(* Wraps a command body: enables tracing up front when asked, and on
+   success appends the per-invocation metrics delta and/or writes the
+   trace file. The snapshot diff keeps earlier in-process work (there is
+   none in the CLI, but the engine does warm registry handles at module
+   init) out of the emitted numbers. *)
+let with_obs metrics trace body =
+  if trace <> None then begin
+    Obs.Trace.enable ();
+    Obs.Trace.set_lane_name "main"
+  end;
+  let s0 = Obs.snapshot () in
+  let result = body () in
   (match result with
-  | `Ok () when metrics -> Format.printf "%a@." Obs.pp (Obs.snapshot ())
+  | `Ok () ->
+    if metrics then Format.printf "%a@." Obs.pp (Obs.diff s0 (Obs.snapshot ()));
+    Option.iter
+      (fun file ->
+        Obs.Trace.disable ();
+        Obs.Trace.write_file file;
+        Printf.eprintf "trace: %s spans (%s dropped) -> %s\n%!"
+          (Obs.group_int (Obs.Trace.span_count ()))
+          (Obs.group_int (Obs.Trace.dropped ()))
+          file)
+      trace
   | _ -> ());
   result
 
@@ -99,38 +171,39 @@ let with_metrics metrics result =
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run kernel preset m metrics =
-    with_metrics metrics
-      (with_spec kernel preset (fun spec ->
-         if m < 2 then fail "cache must be at least 2 words"
-         else begin
-           Format.printf "%a@." Report.pp (Engine.analyze spec ~m);
-           `Ok ()
-         end))
+  let run kernel preset m metrics trace =
+    with_obs metrics trace (fun () ->
+      with_spec kernel preset (fun spec ->
+        if m < 2 then fail "cache must be at least 2 words"
+        else begin
+          Format.printf "%a@." Report.pp (Engine.analyze spec ~m);
+          `Ok ()
+        end))
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Lower bound, optimal tile, and attainment for a kernel")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg $ trace_arg))
 
 let lower_bound_cmd =
-  let run kernel preset m metrics =
-    with_metrics metrics
-      (with_spec kernel preset (fun spec ->
-         if m < 2 then fail "cache must be at least 2 words"
-         else begin
-           Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound
-             (Engine.lower_bound spec ~m);
-           `Ok ()
-         end))
+  let run kernel preset m metrics trace =
+    with_obs metrics trace (fun () ->
+      with_spec kernel preset (fun spec ->
+        if m < 2 then fail "cache must be at least 2 words"
+        else begin
+          Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound
+            (Engine.lower_bound spec ~m);
+          `Ok ()
+        end))
   in
   Cmd.v
     (Cmd.info "lower-bound" ~doc:"Arbitrary-bounds communication lower bound (Theorem 2)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg $ trace_arg))
 
 let tile_cmd =
-  let run kernel preset m metrics =
-    with_metrics metrics
-    @@ with_spec kernel preset (fun spec ->
+  let run kernel preset m metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    with_spec kernel preset (fun spec ->
       if m < Spec.num_arrays spec then fail "cache too small for this kernel"
       else begin
         let r = Engine.analyze ~shared:true spec ~m in
@@ -152,12 +225,13 @@ let tile_cmd =
   in
   Cmd.v
     (Cmd.info "tile" ~doc:"Communication-optimal rectangular tile (Section 5)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ cache_arg $ metrics_arg $ trace_arg))
 
 let closed_form_cmd =
-  let run kernel preset metrics =
-    with_metrics metrics
-    @@ with_spec kernel preset (fun spec ->
+  let run kernel preset metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    with_spec kernel preset (fun spec ->
       match Closed_form.compute spec with
       | cf ->
         Format.printf "%a@." Spec.pp spec;
@@ -170,7 +244,7 @@ let closed_form_cmd =
   Cmd.v
     (Cmd.info "closed-form"
        ~doc:"Piecewise-linear closed form of the tile exponent (Section 7)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg $ trace_arg))
 
 let schedule_conv =
   Arg.enum
@@ -180,9 +254,10 @@ let policy_conv =
   Arg.enum [ ("lru", Policy.Lru); ("fifo", Policy.Fifo); ("opt", Policy.Opt) ]
 
 let simulate_cmd =
-  let run kernel preset m schedule policy metrics =
-    with_metrics metrics
-    @@ with_spec kernel preset (fun spec ->
+  let run kernel preset m schedule policy metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    with_spec kernel preset (fun spec ->
       if m < Spec.num_arrays spec then fail "cache too small for this kernel"
       else
         match simulable spec with
@@ -210,10 +285,12 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ preset_arg $ cache_arg $ schedule_arg $ policy_arg
-       $ metrics_arg))
+       $ metrics_arg $ trace_arg))
 
 let sweep_cmd =
-  let run kernel preset ms schedules policies jobs timings metrics =
+  let run kernel preset ms schedules policies jobs timings metrics trace =
+    with_obs false trace
+    @@ fun () ->
     with_spec kernel preset (fun spec ->
       match List.find_opt (fun m -> m < max 2 (Spec.num_arrays spec)) ms with
       | Some m -> fail "cache size %d too small for this kernel" m
@@ -229,9 +306,12 @@ let sweep_cmd =
           | Error msg -> fail "%s" msg
           | Ok () ->
             let reqs = List.map (fun m -> Pipeline.request ~sims ~shared:true spec ~m) ms in
+            (* The obs section is the delta over this sweep alone, not
+               process-lifetime totals. *)
+            let s0 = Obs.snapshot () in
             let reports = Engine.sweep ?jobs reqs in
             let obs =
-              if metrics then Some (Obs.to_json (Obs.snapshot ())) else None
+              if metrics then Some (Obs.to_json (Obs.diff s0 (Obs.snapshot ()))) else None
             in
             print_endline (Report.json_of_sweep ~timings ?obs reports);
             `Ok ()
@@ -268,12 +348,132 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ preset_arg $ ms_arg $ schedules_arg $ policies_arg
-       $ jobs_arg $ timings_arg $ metrics_arg))
+       $ jobs_arg $ timings_arg $ metrics_arg $ trace_arg))
+
+let profile_cmd =
+  let run name m iters cold schedule policy jobs trace =
+    with_obs false trace
+    @@ fun () ->
+    match resolve_named name with
+    | Error msg -> fail "%s" msg
+    | Ok spec -> (
+      try
+        if iters < 1 then fail "need at least one iteration (--iters)"
+        else if m < max 2 (Spec.num_arrays spec) then fail "cache too small for this kernel"
+        else begin
+          let sims =
+            match schedule with None -> [] | Some s -> [ Pipeline.sim ~policy s ]
+          in
+          match (if sims = [] then Ok () else simulable spec) with
+          | Error msg -> fail "%s" msg
+          | Ok () ->
+            let t_iter = Obs.timer "profile.iteration" in
+            let s0 = Obs.snapshot () in
+            let reqs =
+              List.init iters (fun _ -> Pipeline.request ~sims ~shared:true spec ~m)
+            in
+            (match jobs with
+            | None ->
+              List.iter
+                (fun req ->
+                  if cold then Engine.reset_caches ();
+                  Obs.time t_iter (fun () -> ignore (Pipeline.run req)))
+                reqs
+            | Some jobs ->
+              (* Parallel profiling: iteration latency includes queue
+                 contention; that is the point of --jobs. *)
+              if cold then Engine.reset_caches ();
+              ignore
+                (Pool.map_list ~jobs
+                   (fun req -> Obs.time t_iter (fun () -> ignore (Pipeline.run req)))
+                   reqs));
+            let d = Obs.diff s0 (Obs.snapshot ()) in
+            Format.printf "profile: %s  (bounds %s)  m = %d  iters = %d%s%s@." spec.Spec.name
+              (pp_bounds spec) m iters
+              (match schedule with None -> "  (analysis only)" | Some _ -> "  (with simulation)")
+              (if cold then "  (cold: caches reset per iteration)" else "");
+            (match List.assoc_opt "profile.iteration" d.Obs.stimers with
+            | Some t ->
+              let dd = t.Obs.tdist in
+              Format.printf "@.%-12s %10s %10s %10s %10s %10s %10s@." "" "count" "mean"
+                "p50" "p90" "p99" "max";
+              Format.printf "%-12s %10s %10s %10s %10s %10s %10s@." "iteration"
+                (Obs.group_int dd.Obs.dcount)
+                (Obs.pp_dur_ns (Obs.mean_ns dd))
+                (Obs.pp_dur_ns (Obs.percentile dd 50.0))
+                (Obs.pp_dur_ns (Obs.percentile dd 90.0))
+                (Obs.pp_dur_ns (Obs.percentile dd 99.0))
+                (Obs.pp_dur_ns (float_of_int dd.Obs.dmax_ns))
+            | None -> ());
+            Format.printf "@.%a@." Obs.pp d;
+            `Ok ()
+        end
+      with Failure msg -> fail "kernel %s (bounds %s): %s" spec.Spec.name (pp_bounds spec) msg)
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KERNEL"
+          ~doc:
+            "Kernel to profile: a preset name ($(b,matmul)), a shorthand \
+             ($(b,mm), $(b,mv), $(b,conv), $(b,fc), $(b,bmm)), a unique \
+             preset-name prefix, or a one-line DSL string.")
+  in
+  let mem_arg =
+    let doc = "Fast-memory (cache) size in words." in
+    Arg.(value & opt int 4096 & info [ "m"; "mem"; "cache" ] ~docv:"WORDS" ~doc)
+  in
+  let iters_arg =
+    Arg.(value & opt int 50 & info [ "iters" ] ~docv:"N" ~doc:"Number of pipeline runs.")
+  in
+  let cold_arg =
+    Arg.(
+      value & flag
+      & info [ "cold" ]
+          ~doc:
+            "Reset the engine memo caches before each iteration, so every \
+             run pays the full LP/analysis cost instead of profiling the \
+             memoized path.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some schedule_conv) None
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Also simulate this schedule each iteration ($(b,optimal), \
+             $(b,classic), $(b,untiled)); default is analysis only.")
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv Policy.Lru & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Replacement policy when --schedule is given.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the iterations through the worker pool with N domains \
+             instead of sequentially; iteration latency then includes \
+             queue wait.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a kernel through the pipeline repeatedly and print latency \
+          percentiles (p50/p90/p99) per stage")
+    Term.(
+      ret
+        (const run $ name_arg $ mem_arg $ iters_arg $ cold_arg $ schedule_arg $ policy_arg
+       $ jobs_arg $ trace_arg))
 
 let partition_cmd =
-  let run kernel preset procs metrics =
-    with_metrics metrics
-    @@ with_spec kernel preset (fun spec ->
+  let run kernel preset procs metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    with_spec kernel preset (fun spec ->
       if procs < 1 then fail "need at least one processor"
       else begin
         Format.printf "%a@." Spec.pp spec;
@@ -296,12 +496,13 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Distributed-memory rectangular partition and its lower bound (Section 7)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ procs_arg $ metrics_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ procs_arg $ metrics_arg $ trace_arg))
 
 let codegen_cmd =
-  let run kernel preset m lang untiled metrics =
-    with_metrics metrics
-    @@ with_spec kernel preset (fun spec ->
+  let run kernel preset m lang untiled metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    with_spec kernel preset (fun spec ->
       let lang = match lang with `C -> Codegen.C | `OCaml -> Codegen.OCaml in
       if untiled then begin
         print_string (Codegen.emit_untiled ~lang spec);
@@ -327,12 +528,13 @@ let codegen_cmd =
     Term.(
       ret
         (const run $ kernel_arg $ preset_arg $ cache_arg $ lang_arg $ untiled_arg
-       $ metrics_arg))
+       $ metrics_arg $ trace_arg))
 
 let hierarchy_cmd =
-  let run kernel preset caps metrics =
-    with_metrics metrics
-    @@ with_spec kernel preset (fun spec ->
+  let run kernel preset caps metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    with_spec kernel preset (fun spec ->
       match caps with
       | [] -> fail "give at least one cache level with --levels"
       | _ ->
@@ -372,12 +574,13 @@ let hierarchy_cmd =
   Cmd.v
     (Cmd.info "hierarchy"
        ~doc:"Nested tiling for a multi-level memory hierarchy, with simulated traffic")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ levels_arg $ metrics_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ levels_arg $ metrics_arg $ trace_arg))
 
 let regions_cmd =
-  let run kernel preset metrics =
-    with_metrics metrics
-    @@ with_spec kernel preset (fun spec ->
+  let run kernel preset metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    with_spec kernel preset (fun spec ->
       match Closed_form.compute spec with
       | cf ->
         Format.printf "%a@.f(beta) = %a@.@." Spec.pp spec Closed_form.pp cf;
@@ -390,23 +593,23 @@ let regions_cmd =
   Cmd.v
     (Cmd.info "regions"
        ~doc:"Critical regions of the piecewise-linear tile exponent (multiparametric view)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg))
+    Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg $ trace_arg))
 
 let presets_cmd =
-  let run metrics =
-    with_metrics metrics
-    @@ begin
-         List.iter
-           (fun (name, spec) -> Format.printf "%-20s %a@." name Spec.pp spec)
-           preset_specs;
-         `Ok ()
-       end
+  let run metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    List.iter
+      (fun (name, spec) -> Format.printf "%-20s %a@." name Spec.pp spec)
+      preset_specs;
+    `Ok ()
   in
-  Cmd.v (Cmd.info "presets" ~doc:"List the stock kernels") Term.(ret (const run $ metrics_arg))
+  Cmd.v (Cmd.info "presets" ~doc:"List the stock kernels")
+    Term.(ret (const run $ metrics_arg $ trace_arg))
 
 let () =
   let doc = "communication-optimal tilings for projective nested loops (Dinh & Demmel, SPAA 2020)" in
-  let info = Cmd.info "tilings" ~version:"1.1.0" ~doc in
+  let info = Cmd.info "tilings" ~version:"1.2.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -419,6 +622,7 @@ let () =
             regions_cmd;
             simulate_cmd;
             sweep_cmd;
+            profile_cmd;
             hierarchy_cmd;
             partition_cmd;
             codegen_cmd;

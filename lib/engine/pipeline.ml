@@ -38,18 +38,29 @@ let lp_cache : Tiling.lp_solution Memo.t = Memo.create ~name:"lp" ()
 let analysis_cache : analysis Memo.t = Memo.create ~name:"analysis" ()
 let shared_cache : int array Memo.t = Memo.create ~name:"shared" ()
 
+let t_lp = Obs.timer "pipeline.solve_lp"
+let t_lower = Obs.timer "pipeline.lower_bound"
+let t_tile = Obs.timer "pipeline.tile"
+
+(* Stage instrumentation: charge the timer (and its histogram) and, when
+   tracing is on, emit a span on the current domain's lane. Memoized
+   stages are timed around the cache lookup too, so hit latency is the
+   distribution's fast mode and misses are its tail. *)
+let staged name tm f = Obs.Trace.with_span name (fun () -> Obs.time tm f)
+
 let solve_lp spec ~beta =
-  Memo.find_or_add lp_cache (Memo.key_of_spec_beta spec ~beta) (fun () ->
-    Tiling.solve_lp spec ~beta)
+  staged "pipeline.solve_lp" t_lp (fun () ->
+    Memo.find_or_add lp_cache (Memo.key_of_spec_beta spec ~beta) (fun () ->
+      Tiling.solve_lp spec ~beta))
 
 let key_of_request spec ~m =
   let beta = Lower_bound.beta_of_bounds ~m spec.Spec.bounds in
   (beta, Memo.key_of_spec_beta spec ~beta ^ ";m=" ^ string_of_int m)
 
 let compute_analysis spec ~m ~beta =
-  let bound = Lower_bound.communication spec ~m in
+  let bound = staged "pipeline.lower_bound" t_lower (fun () -> Lower_bound.communication spec ~m) in
   let lp = solve_lp spec ~beta in
-  let tile = Tiling.of_lambda spec ~m lp.Tiling.lambda in
+  let tile = staged "pipeline.tile" t_tile (fun () -> Tiling.of_lambda spec ~m lp.Tiling.lambda) in
   let traffic = Tiling.analytic_traffic spec tile in
   let moved = traffic.Tiling.reads +. traffic.Tiling.writes in
   {
@@ -79,8 +90,9 @@ let lower_bound spec ~m = (fst (analysis spec ~m)).a_bound
 let tile spec ~m = (fst (analysis spec ~m)).a_tile
 
 let tile_shared spec ~m =
-  let _, key = key_of_request spec ~m in
-  Memo.find_or_add shared_cache key (fun () -> Tiling.optimal_shared spec ~m)
+  Obs.Trace.with_span "pipeline.tile_shared" (fun () ->
+    let _, key = key_of_request spec ~m in
+    Memo.find_or_add shared_cache key (fun () -> Tiling.optimal_shared spec ~m))
 
 let schedule_of spec ~m = function
   | Optimal -> Schedules.Tiled (tile_shared spec ~m)
@@ -94,6 +106,7 @@ let schedule_of spec ~m = function
 (* ------------------------------------------------------------------ *)
 
 let simulate spec ~m (s : sim_request) : Report.sim =
+  Obs.Trace.with_span "pipeline.simulate" (fun () ->
   let sched = schedule_of spec ~m s.schedule in
   let r = Executor.run ~line_words:s.line_words ~policy:s.policy spec ~schedule:sched ~capacity:m in
   let bound = lower_bound spec ~m in
@@ -108,7 +121,7 @@ let simulate spec ~m (s : sim_request) : Report.sim =
       (if bound.Lower_bound.words > 0.0 then
          float_of_int r.Executor.words_moved /. bound.Lower_bound.words
        else nan);
-  }
+  })
 
 let now = Unix.gettimeofday
 
@@ -118,29 +131,33 @@ let t_analysis = Obs.timer "pipeline.analysis"
 let t_shared = Obs.timer "pipeline.shared_tile"
 let t_simulate = Obs.timer "pipeline.simulate"
 
-(* Run [f], charge its duration to [tm], and also return the duration so
-   the per-report [timings] list keeps its existing shape. *)
-let timed tm f =
-  let t0 = now () in
-  let v = f () in
-  let dt = now () -. t0 in
-  Obs.add_seconds tm dt;
-  (v, dt)
+(* Run [f], charge its duration to [tm] (and emit a [span] when tracing),
+   and also return the duration so the per-report [timings] list keeps
+   its existing shape. *)
+let timed span tm f =
+  Obs.Trace.with_span span (fun () ->
+    let t0 = now () in
+    let v = f () in
+    let dt = now () -. t0 in
+    Obs.add_seconds tm dt;
+    (v, dt))
 
 let run req =
   let spec = req.rspec and m = req.rm in
   Obs.incr c_requests;
   Obs.incr ~by:(List.length req.rsims) c_simulations;
-  let (a, from_cache), d_analysis = timed t_analysis (fun () -> analysis spec ~m) in
+  let (a, from_cache), d_analysis =
+    timed "pipeline.analysis" t_analysis (fun () -> analysis spec ~m)
+  in
   let shared, d_shared =
-    timed t_shared (fun () ->
+    timed "pipeline.shared_tile" t_shared (fun () ->
       let want_shared =
         req.rshared || List.exists (fun s -> s.schedule = Optimal) req.rsims
       in
       if want_shared then Some (tile_shared spec ~m) else None)
   in
   let sims, d_simulate =
-    timed t_simulate (fun () -> List.map (simulate spec ~m) req.rsims)
+    timed "pipeline.simulate_stage" t_simulate (fun () -> List.map (simulate spec ~m) req.rsims)
   in
   {
     Report.spec;

@@ -6,6 +6,13 @@ let t_wall = Obs.timer "pool.map_wall"
 let t_busy = Obs.timer "pool.worker_busy"
 let t_idle = Obs.timer "pool.worker_idle"
 
+(* Submit-to-start latency of each task: the time between Pool.map being
+   called and a worker claiming the task's index. Long tasks and
+   scheduling stalls look identical in busy/idle totals; this histogram
+   tells them apart. *)
+let t_queue = Obs.timer "pool.queue_wait"
+let t_task = Obs.timer "pool.task"
+
 let validate_jobs s =
   match int_of_string_opt (String.trim s) with Some n when n >= 1 -> Some n | _ -> None
 
@@ -24,15 +31,23 @@ let default_jobs () =
         (if fallback = 1 then "" else "s");
       fallback)
 
+(* One claimed task: queue-wait recorded at claim time, execution wrapped
+   in a "pool.task" span (tagged with the task index) on the claiming
+   domain's trace lane. *)
+let run_task ~submitted f x i =
+  Obs.add_seconds t_queue (Unix.gettimeofday () -. submitted);
+  Obs.Trace.with_span ~arg:i "pool.task" (fun () -> Obs.time t_task (fun () -> f x))
+
 let map ?jobs f xs =
   let n = Array.length xs in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let jobs = min jobs n in
   Obs.incr c_maps;
   Obs.incr ~by:n c_tasks;
+  let submitted = Unix.gettimeofday () in
   if jobs <= 1 || n <= 1 then begin
     Obs.record_max c_max_tasks n;
-    Obs.time t_wall (fun () -> Array.map f xs)
+    Obs.time t_wall (fun () -> Array.mapi (fun i x -> run_task ~submitted f x i) xs)
   end
   else begin
     (* Work-stealing by atomic counter: each domain repeatedly claims the
@@ -42,6 +57,8 @@ let map ?jobs f xs =
     let next = Atomic.make 0 in
     let busy = Array.make jobs 0.0 in
     let worker w =
+      if w > 0 && Obs.Trace.is_enabled () then
+        Obs.Trace.set_lane_name (Printf.sprintf "worker-%d" w);
       let w0 = Unix.gettimeofday () in
       let mine = ref 0 in
       let continue = ref true in
@@ -52,7 +69,7 @@ let map ?jobs f xs =
           incr mine;
           results.(i) <-
             Some
-              (match f xs.(i) with
+              (match run_task ~submitted f xs.(i) i with
               | v -> Ok v
               | exception e -> Error (e, Printexc.get_raw_backtrace ()))
         end

@@ -10,7 +10,16 @@
     The pool size defaults to {!Domain.recommended_domain_count} and can
     be overridden with the [PROJTILE_JOBS] environment variable (or the
     [?jobs] argument, which wins). [jobs <= 1] degrades to a plain
-    sequential map with no domains spawned. *)
+    sequential map with no domains spawned.
+
+    Observability: besides the busy/idle/wall timers from PR 2, every
+    task records its submit-to-start latency in the
+    ["pool.queue_wait"] timer (whose histogram separates scheduling
+    stalls from long tasks) and its runtime in ["pool.task"]; with
+    {!Obs.Trace} enabled each task execution is a ["pool.task"] span
+    tagged with the task index, and each spawned worker gets its own
+    trace lane named ["worker-N"] (worker 0 runs on the caller's
+    domain and stays on the caller's lane). *)
 
 val default_jobs : unit -> int
 (** [PROJTILE_JOBS] if set to a positive integer, otherwise

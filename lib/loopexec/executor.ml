@@ -47,7 +47,15 @@ type hierarchy_result = {
   boundary_words : int array;
 }
 
+(* Cache-sim latencies: full simulated executions, the dominant cost of
+   any sweep that simulates. Timed + traced so a sweep's trace shows one
+   fat span per simulation under the pool.task lanes. *)
+let t_run = Obs.timer "executor.run"
+let t_run_hierarchy = Obs.timer "executor.run_hierarchy"
+
 let run_hierarchy ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacities =
+  Obs.Trace.with_span "executor.run_hierarchy" (fun () ->
+  Obs.time t_run_hierarchy (fun () ->
   let h = Hierarchy.create ~line_words ~policy ~capacities () in
   let layout = Layout.make spec in
   Schedules.iterate spec schedule (fun point ->
@@ -59,9 +67,11 @@ let run_hierarchy ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capac
     capacities = Array.copy capacities;
     hstats = Hierarchy.stats h;
     boundary_words = Hierarchy.traffic h;
-  }
+  }))
 
 let run ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacity =
+  Obs.Trace.with_span "executor.run" (fun () ->
+  Obs.time t_run (fun () ->
   let stats =
     match policy with
     | Policy.Opt ->
@@ -85,4 +95,4 @@ let run ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacity =
     capacity;
     stats;
     words_moved = Cache.words_moved ~line_words stats;
-  }
+  }))

@@ -1,63 +1,406 @@
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Log-bucketed latency histogram. Bucket [b] covers the nanosecond
+   range [2^(b/4), 2^((b+1)/4)): four sub-buckets per octave, so any
+   percentile estimate is within a factor of 2^(1/4) ~ 19% of the true
+   value. 256 buckets cover [1ns, 2^64 ns); everything is an Atomic, so
+   recording is lock-free (one bucket fetch-and-add plus the sum/count
+   adds and a CAS-loop for the max). *)
+
+let sub_buckets = 4
+let num_buckets = 256
+
+type hist = {
+  hbuckets : int Atomic.t array;
+  hcount : int Atomic.t;
+  hsum : int Atomic.t; (* ns *)
+  hmax : int Atomic.t; (* ns *)
+}
+
+let make_hist () =
+  {
+    hbuckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+    hcount = Atomic.make 0;
+    hsum = Atomic.make 0;
+    hmax = Atomic.make 0;
+  }
+
+let bucket_of_ns v =
+  if v <= 1 then 0
+  else
+    min (num_buckets - 1)
+      (int_of_float (float_of_int sub_buckets *. (log (float_of_int v) /. log 2.0)))
+
+(* Geometric midpoint of bucket [b], in nanoseconds. *)
+let bucket_mid b = Float.pow 2.0 ((float_of_int b +. 0.5) /. float_of_int sub_buckets)
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let hist_observe_ns h ns =
+  let ns = max 0 ns in
+  ignore (Atomic.fetch_and_add h.hbuckets.(bucket_of_ns ns) 1);
+  ignore (Atomic.fetch_and_add h.hcount 1);
+  ignore (Atomic.fetch_and_add h.hsum ns);
+  atomic_max h.hmax ns
+
+let hist_reset h =
+  Array.iter (fun b -> Atomic.set b 0) h.hbuckets;
+  Atomic.set h.hcount 0;
+  Atomic.set h.hsum 0;
+  Atomic.set h.hmax 0
+
+(* ------------------------------------------------------------------ *)
+(* Registries                                                          *)
+(* ------------------------------------------------------------------ *)
+
 type counter = { cell : int Atomic.t }
 
-(* Durations accumulate as integer nanoseconds so workers can add spans
-   with a single fetch-and-add; 63-bit nanoseconds overflow after ~292
-   years of accumulated time. *)
-type timer = { ns : int Atomic.t; count : int Atomic.t }
+(* A timer is a histogram of nanosecond durations; total seconds and the
+   call count are the histogram's sum and count, so every timer gets
+   percentiles for free. 63-bit nanoseconds overflow after ~292 years of
+   accumulated time. *)
+type timer = { th : hist }
+type histogram = { hh : hist }
 
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
 let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let counter name =
+let find_or_register table name make =
   with_lock (fun () ->
-    match Hashtbl.find_opt counters name with
-    | Some c -> c
+    match Hashtbl.find_opt table name with
+    | Some v -> v
     | None ->
-      let c = { cell = Atomic.make 0 } in
-      Hashtbl.add counters name c;
-      c)
+      let v = make () in
+      Hashtbl.add table name v;
+      v)
 
+let counter name = find_or_register counters name (fun () -> { cell = Atomic.make 0 })
 let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
-
-let rec record_max c v =
-  let cur = Atomic.get c.cell in
-  if v > cur && not (Atomic.compare_and_set c.cell cur v) then record_max c v
-
+let record_max c v = atomic_max c.cell v
 let value c = Atomic.get c.cell
 
-let timer name =
-  with_lock (fun () ->
-    match Hashtbl.find_opt timers name with
-    | Some t -> t
-    | None ->
-      let t = { ns = Atomic.make 0; count = Atomic.make 0 } in
-      Hashtbl.add timers name t;
-      t)
+let timer name = find_or_register timers name (fun () -> { th = make_hist () })
+let histogram name = find_or_register histograms name (fun () -> { hh = make_hist () })
 
-let add_seconds t s =
-  ignore (Atomic.fetch_and_add t.ns (int_of_float (s *. 1e9)));
-  ignore (Atomic.fetch_and_add t.count 1)
+let add_seconds t s = hist_observe_ns t.th (int_of_float (s *. 1e9))
 
 let time t f =
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () -> add_seconds t (Unix.gettimeofday () -. t0)) f
 
-let calls t = Atomic.get t.count
-let seconds t = float_of_int (Atomic.get t.ns) /. 1e9
+let calls t = Atomic.get t.th.hcount
+let seconds t = float_of_int (Atomic.get t.th.hsum) /. 1e9
 
-type timer_stat = { tcalls : int; tseconds : float }
+let observe_ns h ns = hist_observe_ns h.hh ns
+let observe_s h s = hist_observe_ns h.hh (int_of_float (s *. 1e9))
+let observations h = Atomic.get h.hh.hcount
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snap = {
+  dbuckets : int array;
+  dcount : int;
+  dsum_ns : int;
+  dmax_ns : int;
+}
+
+type timer_stat = { tcalls : int; tseconds : float; tdist : hist_snap }
 
 type snapshot = {
   scounters : (string * int) list;
   stimers : (string * timer_stat) list;
+  shists : (string * hist_snap) list;
 }
 
+let snap_hist h =
+  {
+    dbuckets = Array.map Atomic.get h.hbuckets;
+    dcount = Atomic.get h.hcount;
+    dsum_ns = Atomic.get h.hsum;
+    dmax_ns = Atomic.get h.hmax;
+  }
+
+let timer_stat_of_snap d =
+  { tcalls = d.dcount; tseconds = float_of_int d.dsum_ns /. 1e9; tdist = d }
+
 let by_name (a, _) (b, _) = String.compare a b
+
+(* Rank-based percentile estimate from the log buckets: the geometric
+   midpoint of the bucket holding the p-th sample, clamped to the
+   recorded max. [p] in [0, 100]. *)
+let percentile d p =
+  if d.dcount = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int d.dcount)) in
+      max 1 (min d.dcount r)
+    in
+    let b = ref 0 and cum = ref 0 in
+    (try
+       for i = 0 to num_buckets - 1 do
+         cum := !cum + d.dbuckets.(i);
+         if !cum >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Float.min (bucket_mid !b) (float_of_int d.dmax_ns)
+  end
+
+let mean_ns d = if d.dcount = 0 then 0.0 else float_of_int d.dsum_ns /. float_of_int d.dcount
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  (* Span-level tracing with zero locking on the hot path. Each domain
+     owns a ring buffer found through domain-local storage: begin/end
+     touch only that ring (plus two global fetch-and-adds for the span
+     id), so worker domains never contend. The registry mutex is taken
+     once per domain (ring creation) and on the cold export/reset
+     paths only. Ring fields are written by the owning domain alone;
+     export reads them after the workers have joined. *)
+
+  type event = {
+    ename : string;
+    ts_ns : int; (* span start, absolute *)
+    dur_ns : int;
+    sid : int;
+    parent : int; (* 0 = root *)
+    tid : int;
+    earg : int; (* caller-supplied tag, -1 = none *)
+  }
+
+  type ring = {
+    rtid : int;
+    mutable rname : string;
+    buf : event array;
+    mutable widx : int; (* total events ever written; slot = widx mod cap *)
+    mutable stack : int list; (* sids of open spans, innermost first *)
+  }
+
+  let enabled = Atomic.make false
+  let epoch_ns = Atomic.make 0
+  let next_sid = Atomic.make 1
+  let next_tid = Atomic.make 0
+  let capacity = ref 16384
+  let rings_lock = Mutex.create ()
+  let rings : ring list ref = ref []
+
+  let null_event =
+    { ename = ""; ts_ns = 0; dur_ns = 0; sid = 0; parent = 0; tid = 0; earg = -1 }
+
+  let dls_ring : ring option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+  let make_ring () =
+    let tid = Atomic.fetch_and_add next_tid 1 in
+    let r =
+      {
+        rtid = tid;
+        rname = (if tid = 0 then "main" else Printf.sprintf "domain-%d" tid);
+        buf = Array.make !capacity null_event;
+        widx = 0;
+        stack = [];
+      }
+    in
+    Mutex.lock rings_lock;
+    rings := r :: !rings;
+    Mutex.unlock rings_lock;
+    r
+
+  let get_ring () =
+    let slot = Domain.DLS.get dls_ring in
+    match !slot with
+    | Some r -> r
+    | None ->
+      let r = make_ring () in
+      slot := Some r;
+      r
+
+  let set_capacity n = capacity := max 16 n
+  let is_enabled () = Atomic.get enabled
+  let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+  let enable () =
+    if Atomic.get epoch_ns = 0 then Atomic.set epoch_ns (now_ns ());
+    Atomic.set enabled true
+
+  let disable () = Atomic.set enabled false
+
+  let set_lane_name name =
+    if Atomic.get enabled then (get_ring ()).rname <- name
+
+  type span = { span_sid : int; span_name : string; span_start : int; span_parent : int;
+                span_arg : int }
+
+  let null_span = { span_sid = -1; span_name = ""; span_start = 0; span_parent = 0;
+                    span_arg = -1 }
+
+  let begin_span ?(arg = -1) name =
+    if not (Atomic.get enabled) then null_span
+    else begin
+      let r = get_ring () in
+      let sid = Atomic.fetch_and_add next_sid 1 in
+      let parent = match r.stack with [] -> 0 | p :: _ -> p in
+      r.stack <- sid :: r.stack;
+      { span_sid = sid; span_name = name; span_start = now_ns (); span_parent = parent;
+        span_arg = arg }
+    end
+
+  let end_span s =
+    (* No [enabled] check: if the begin ran, the ring exists and the event
+       is recorded even when tracing was switched off mid-span. *)
+    if s.span_sid >= 0 then begin
+      let r = get_ring () in
+      let t1 = now_ns () in
+      (match r.stack with
+      | top :: rest when top = s.span_sid -> r.stack <- rest
+      | _ -> r.stack <- List.filter (fun x -> x <> s.span_sid) r.stack);
+      let e =
+        {
+          ename = s.span_name;
+          ts_ns = s.span_start;
+          dur_ns = max 0 (t1 - s.span_start);
+          sid = s.span_sid;
+          parent = s.span_parent;
+          tid = r.rtid;
+          earg = s.span_arg;
+        }
+      in
+      let cap = Array.length r.buf in
+      r.buf.(r.widx mod cap) <- e;
+      r.widx <- r.widx + 1
+    end
+
+  let with_span ?arg name f =
+    let s = begin_span ?arg name in
+    Fun.protect ~finally:(fun () -> end_span s) f
+
+  let reset () =
+    Mutex.lock rings_lock;
+    List.iter
+      (fun r ->
+        r.widx <- 0;
+        r.stack <- [])
+      !rings;
+    Mutex.unlock rings_lock;
+    Atomic.set next_sid 1;
+    Atomic.set epoch_ns (if Atomic.get enabled then now_ns () else 0)
+
+  let span_count () =
+    Mutex.lock rings_lock;
+    let n = List.fold_left (fun acc r -> acc + r.widx) 0 !rings in
+    Mutex.unlock rings_lock;
+    n
+
+  let dropped () =
+    Mutex.lock rings_lock;
+    let n =
+      List.fold_left (fun acc r -> acc + max 0 (r.widx - Array.length r.buf)) 0 !rings
+    in
+    Mutex.unlock rings_lock;
+    n
+
+  (* All retained events, oldest-first by start timestamp. *)
+  let events () =
+    Mutex.lock rings_lock;
+    let rs = !rings in
+    Mutex.unlock rings_lock;
+    let collected =
+      List.concat_map
+        (fun r ->
+          let cap = Array.length r.buf in
+          let n = min r.widx cap in
+          List.init n (fun i ->
+            (* oldest retained slot first when the ring has wrapped *)
+            r.buf.((r.widx - n + i) mod cap)))
+        rs
+    in
+    List.sort (fun a b -> compare a.ts_ns b.ts_ns) collected
+
+  let lanes () =
+    Mutex.lock rings_lock;
+    let rs = !rings in
+    Mutex.unlock rings_lock;
+    List.sort compare (List.filter_map (fun r -> if r.widx > 0 then Some (r.rtid, r.rname) else None) rs)
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Chrome trace-event JSON (the chrome://tracing / Perfetto format):
+     one "M" thread_name metadata record per lane, then every span as a
+     complete "X" event sorted by start time, timestamps in microseconds
+     relative to {!enable}. *)
+  let export_json () =
+    let epoch = Atomic.get epoch_ns in
+    let evs = events () in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    let first = ref true in
+    let emit s =
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf s
+    in
+    List.iter
+      (fun (tid, name) ->
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+             tid (json_escape name)))
+      (lanes ());
+    List.iter
+      (fun e ->
+        let ts_us = float_of_int (max 0 (e.ts_ns - epoch)) /. 1e3 in
+        let dur_us = float_of_int e.dur_ns /. 1e3 in
+        let args =
+          if e.earg >= 0 then
+            Printf.sprintf "{\"sid\":%d,\"parent\":%d,\"i\":%d}" e.sid e.parent e.earg
+          else Printf.sprintf "{\"sid\":%d,\"parent\":%d}" e.sid e.parent
+        in
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"args\":%s}"
+             e.tid (json_escape e.ename) ts_us dur_us args))
+      evs;
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+
+  let write_file path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (export_json ());
+        output_char oc '\n')
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / reset                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let snapshot () =
   with_lock (fun () ->
@@ -67,51 +410,145 @@ let snapshot () =
         |> List.sort by_name;
       stimers =
         Hashtbl.fold
-          (fun name t acc ->
-            (name, { tcalls = Atomic.get t.count; tseconds = seconds t }) :: acc)
+          (fun name t acc -> (name, timer_stat_of_snap (snap_hist t.th)) :: acc)
           timers []
+        |> List.sort by_name;
+      shists =
+        Hashtbl.fold (fun name h acc -> (name, snap_hist h.hh) :: acc) histograms []
         |> List.sort by_name;
     })
 
 let reset () =
   with_lock (fun () ->
     Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
-    Hashtbl.iter
-      (fun _ t ->
-        Atomic.set t.ns 0;
-        Atomic.set t.count 0)
-      timers)
+    Hashtbl.iter (fun _ t -> hist_reset t.th) timers;
+    Hashtbl.iter (fun _ h -> hist_reset h.hh) histograms);
+  Trace.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot diff                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [b - a] per cell, saturating at 0 (a reset between the snapshots, or a
+   high-watermark gauge that climbed, keeps the [b] value rather than
+   going negative). The max of a distribution delta is unknowable from
+   bucket counts alone, so the diff keeps [b]'s max: an upper bound on
+   the true window max. *)
+let diff_hist a b =
+  match a with
+  | None -> b
+  | Some a ->
+    let sub x y = if y > x then x else x - y in
+    {
+      dbuckets = Array.mapi (fun i v -> sub v a.dbuckets.(i)) b.dbuckets;
+      dcount = sub b.dcount a.dcount;
+      dsum_ns = sub b.dsum_ns a.dsum_ns;
+      dmax_ns = b.dmax_ns;
+    }
+
+let diff a b =
+  let sub x y = if y > x then x else x - y in
+  {
+    scounters =
+      List.map
+        (fun (name, v) ->
+          (name, sub v (Option.value ~default:0 (List.assoc_opt name a.scounters))))
+        b.scounters;
+    stimers =
+      List.map
+        (fun (name, t) ->
+          let prev = Option.map (fun p -> p.tdist) (List.assoc_opt name a.stimers) in
+          (name, timer_stat_of_snap (diff_hist prev t.tdist)))
+        b.stimers;
+    shists =
+      List.map
+        (fun (name, d) -> (name, diff_hist (List.assoc_opt name a.shists) d))
+        b.shists;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* 1234567 -> "1,234,567" *)
+let group_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Human duration from nanoseconds: "412ns", "3.4us", "12.8ms", "1.25s". *)
+let pp_dur_ns ns =
+  if ns < 0.5 then "0"
+  else if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let dist_columns d =
+  ( pp_dur_ns (mean_ns d),
+    pp_dur_ns (percentile d 50.0),
+    pp_dur_ns (percentile d 90.0),
+    pp_dur_ns (percentile d 99.0),
+    pp_dur_ns (float_of_int d.dmax_ns) )
+
+let pp_dist_header fmt label =
+  Format.fprintf fmt "%-36s %12s %12s %9s %9s %9s %9s %9s" label "calls" "seconds" "mean"
+    "p50" "p90" "p99" "max"
+
+let pp_dist_row fmt name d =
+  let mean, p50, p90, p99, mx = dist_columns d in
+  Format.fprintf fmt "@,  %-34s %12s %12.6f %9s %9s %9s %9s %9s" name (group_int d.dcount)
+    (float_of_int d.dsum_ns /. 1e9)
+    mean p50 p90 p99 mx
 
 let pp fmt s =
   Format.fprintf fmt "@[<v>";
+  let sections = ref 0 in
+  let sep () =
+    if !sections > 0 then Format.fprintf fmt "@,";
+    Stdlib.incr sections
+  in
   if s.scounters <> [] then begin
+    sep ();
     Format.fprintf fmt "counters:";
     List.iter
-      (fun (name, v) -> Format.fprintf fmt "@,  %-36s %12d" name v)
+      (fun (name, v) -> Format.fprintf fmt "@,  %-34s %14s" name (group_int v))
       s.scounters
   end;
   if s.stimers <> [] then begin
-    if s.scounters <> [] then Format.fprintf fmt "@,";
-    Format.fprintf fmt "timers:%38s %12s" "calls" "seconds";
-    List.iter
-      (fun (name, t) ->
-        Format.fprintf fmt "@,  %-36s %12d %12.6f" name t.tcalls t.tseconds)
-      s.stimers
+    sep ();
+    pp_dist_header fmt "timers:";
+    List.iter (fun (name, t) -> pp_dist_row fmt name t.tdist) s.stimers
   end;
-  if s.scounters = [] && s.stimers = [] then Format.fprintf fmt "(no metrics recorded)";
+  if s.shists <> [] then begin
+    sep ();
+    pp_dist_header fmt "histograms:";
+    List.iter (fun (name, d) -> pp_dist_row fmt name d) s.shists
+  end;
+  if !sections = 0 then Format.fprintf fmt "(no metrics recorded)";
   Format.fprintf fmt "@]"
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape = Trace.json_escape
+
+let json_of_dist d =
+  Printf.sprintf
+    "\"mean_s\":%.9f,\"p50_s\":%.9f,\"p90_s\":%.9f,\"p99_s\":%.9f,\"max_s\":%.9f"
+    (mean_ns d /. 1e9)
+    (percentile d 50.0 /. 1e9)
+    (percentile d 90.0 /. 1e9)
+    (percentile d 99.0 /. 1e9)
+    (float_of_int d.dmax_ns /. 1e9)
 
 let to_json s =
   let buf = Buffer.create 512 in
@@ -126,8 +563,16 @@ let to_json s =
     (fun i (name, t) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf "\"%s\":{\"calls\":%d,\"seconds\":%.6f}" (json_escape name) t.tcalls
-           t.tseconds))
+        (Printf.sprintf "\"%s\":{\"calls\":%d,\"seconds\":%.6f,%s}" (json_escape name)
+           t.tcalls t.tseconds (json_of_dist t.tdist)))
     s.stimers;
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (name, d) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"count\":%d,%s}" (json_escape name) d.dcount
+           (json_of_dist d)))
+    s.shists;
   Buffer.add_string buf "}}";
   Buffer.contents buf

@@ -1,21 +1,25 @@
-(** Lightweight process-wide observability: named counters and timers.
+(** Lightweight process-wide observability: counters, timers with latency
+    histograms, standalone histograms, and span-level tracing.
 
     The paper's whole subject is counting words moved; this module lets
     the tooling count its own work with the same discipline — simplex
     pivots, memo hits, cache-level traffic, pool utilization — without
-    ad-hoc printf instrumentation.
+    ad-hoc printf instrumentation. PR 3 adds the {e when} and {e where}:
+    every timer keeps a lock-free log-bucketed histogram of its samples
+    (p50/p90/p99/max for free), and {!Trace} records spans into
+    per-domain ring buffers exported as Chrome trace-event JSON.
 
     Handles are registered in a global registry keyed by name: asking for
     the same name twice returns the same handle, so call sites can hold a
     module-level handle or re-resolve by name, whichever is convenient.
 
-    Everything is safe to use from {!Pool} worker domains: counter and
-    timer cells are atomics, and the registry itself is guarded by a
-    mutex (taken only on handle creation and snapshotting, never on the
-    increment path). Increments are lock-free and cost one
-    fetch-and-add, so instrumenting per-pivot or per-memo-lookup events
-    is fine; do not instrument per-simulated-access events — aggregate
-    and record once per run instead (see {!Cache.record_obs}). *)
+    Everything is safe to use from {!Pool} worker domains: counter,
+    timer and histogram cells are atomics, and the registry itself is
+    guarded by a mutex (taken only on handle creation and snapshotting,
+    never on the increment path). Increments are lock-free; a timer or
+    histogram record costs three fetch-and-adds plus a CAS loop for the
+    max. Do not instrument per-simulated-access events — aggregate and
+    record once per run instead (see {!Cache.record_obs}). *)
 
 (** {1 Counters} *)
 
@@ -40,7 +44,8 @@ type timer
 
 val timer : string -> timer
 (** Find or register the timer with this name. A timer accumulates total
-    wall-clock seconds and a call count. *)
+    wall-clock seconds and a call count, and buckets every sample into
+    its latency histogram. *)
 
 val time : timer -> (unit -> 'a) -> 'a
 (** Run the thunk, adding its wall-clock duration to the timer (also on
@@ -52,13 +57,45 @@ val add_seconds : timer -> float -> unit
 val calls : timer -> int
 val seconds : timer -> float
 
+(** {1 Histograms}
+
+    Lock-free log-bucketed distributions of nanosecond values: 4
+    sub-buckets per power of two, 256 buckets, so percentile estimates
+    carry at most ~19% relative bucket error. Every {!timer} embeds one;
+    standalone handles are for latencies measured outside a timer. *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Find or register the standalone histogram with this name. *)
+
+val observe_ns : histogram -> int -> unit
+(** Record one non-negative nanosecond sample. Lock-free. *)
+
+val observe_s : histogram -> float -> unit
+(** [observe_ns] of [seconds *. 1e9]. *)
+
+val observations : histogram -> int
+
 (** {1 Snapshots} *)
 
-type timer_stat = { tcalls : int; tseconds : float }
+type hist_snap = {
+  dbuckets : int array;  (** per-bucket sample counts *)
+  dcount : int;
+  dsum_ns : int;
+  dmax_ns : int;
+}
+
+type timer_stat = {
+  tcalls : int;
+  tseconds : float;
+  tdist : hist_snap;  (** the timer's latency distribution *)
+}
 
 type snapshot = {
   scounters : (string * int) list;  (** sorted by name *)
   stimers : (string * timer_stat) list;  (** sorted by name *)
+  shists : (string * hist_snap) list;  (** standalone histograms, sorted *)
 }
 
 val snapshot : unit -> snapshot
@@ -66,14 +103,125 @@ val snapshot : unit -> snapshot
     (concurrent increments may or may not be included, but nothing is
     ever lost or double-counted). *)
 
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after] is the work between the two snapshots: counters,
+    timer/histogram counts, sums and buckets subtract elementwise,
+    saturating at 0 (so a high-watermark gauge or an interleaved
+    {!reset} degrades to the [after] value rather than going negative).
+    Distribution maxima are not recoverable from bucket deltas, so the
+    diff keeps [after]'s max — an upper bound on the window max. This is
+    what [sweep --metrics] and the bench emit, so their ["obs"] sections
+    are per-invocation, not process-lifetime totals. *)
+
 val reset : unit -> unit
-(** Zero every registered counter and timer. Handles stay valid. *)
+(** Zero every registered counter, timer and histogram (buckets
+    included) and clear all trace ring buffers. Handles stay valid. *)
+
+val percentile : hist_snap -> float -> float
+(** [percentile d p] for [p] in [0,100]: the nanosecond value at the
+    p-th percentile, estimated as the geometric midpoint of the bucket
+    holding that rank, clamped to the recorded max. 0 when empty. *)
+
+val mean_ns : hist_snap -> float
 
 val pp : Format.formatter -> snapshot -> unit
-(** Human-readable two-section table. *)
+(** Human-readable table: counters with thousands separators, then
+    timers and histograms with calls/total/mean/p50/p90/p99/max
+    columns. *)
+
+val group_int : int -> string
+(** [group_int 1234567 = "1,234,567"]. *)
+
+val pp_dur_ns : float -> string
+(** Compact human duration: ["412ns"], ["3.4us"], ["12.8ms"], ["1.25s"]. *)
 
 val to_json : snapshot -> string
 (** One JSON object:
-    [{"counters":{name:int,...},"timers":{name:{"calls":int,"seconds":float},...}}].
+    [{"counters":{name:int,...},
+      "timers":{name:{"calls":int,"seconds":float,"mean_s":...,"p50_s":...,
+                      "p90_s":...,"p99_s":...,"max_s":...},...},
+      "histograms":{name:{"count":int,"mean_s":...,...},...}}].
     This is the ["obs"] section the CLI and bench emit under
     [--metrics]. *)
+
+(** {1 Tracing}
+
+    Span-level tracing across {!Pool} worker domains. Each domain owns a
+    ring buffer reached through domain-local storage, so
+    {!Trace.begin_span}/{!Trace.end_span} never take a lock — the only
+    global operations are two atomic fetch-and-adds (span id) and the
+    one-time ring registration per domain. When tracing is disabled
+    (the default) a span costs one atomic load.
+
+    Spans must begin and end on the same domain, LIFO within the domain
+    (which [with_span] guarantees); parent links come from the
+    per-domain stack of open spans. Rings hold the most recent
+    [capacity] spans per domain — older ones are overwritten, see
+    {!Trace.dropped}. *)
+
+module Trace : sig
+  type event = {
+    ename : string;
+    ts_ns : int;  (** span start, absolute nanoseconds *)
+    dur_ns : int;
+    sid : int;  (** unique span id, > 0 *)
+    parent : int;  (** enclosing span's id, 0 for roots *)
+    tid : int;  (** lane: one per domain that ever traced *)
+    earg : int;  (** caller tag (e.g. pool task index), -1 = none *)
+  }
+
+  val enable : unit -> unit
+  (** Start recording. The first call pins the trace epoch; exported
+      timestamps are relative to it. *)
+
+  val disable : unit -> unit
+  val is_enabled : unit -> bool
+
+  val set_capacity : int -> unit
+  (** Ring size (spans per domain) for rings created after this call.
+      Default 16384. *)
+
+  type span
+
+  val begin_span : ?arg:int -> string -> span
+  (** Open a span named [name]. No-op (and allocation-free) when
+      disabled. [arg] is an integer tag exported as [args.i]. *)
+
+  val end_span : span -> unit
+  (** Close the span and write the completed event to this domain's
+      ring. Must run on the domain that opened it. *)
+
+  val with_span : ?arg:int -> string -> (unit -> 'a) -> 'a
+  (** [begin_span]/[end_span] around the thunk (also on exception). *)
+
+  val set_lane_name : string -> unit
+  (** Name the calling domain's lane in the exported trace ("worker-3");
+      defaults are "main" / "domain-N". No-op when disabled. *)
+
+  val reset : unit -> unit
+  (** Clear every ring (also done by {!Obs.reset}). *)
+
+  val span_count : unit -> int
+  (** Total spans recorded since the last reset, dropped ones included. *)
+
+  val dropped : unit -> int
+  (** Spans overwritten by ring wrap-around since the last reset. *)
+
+  val events : unit -> event list
+  (** Retained events across all lanes, sorted by start time. Call after
+      parallel work has joined — rings are read without synchronization. *)
+
+  val lanes : unit -> (int * string) list
+  (** [(tid, name)] of every lane with at least one retained event. *)
+
+  val export_json : unit -> string
+  (** Chrome trace-event JSON ({{:https://ui.perfetto.dev}Perfetto} /
+      [chrome://tracing] loadable): one [ph:"M"] thread-name record per
+      lane, then every span as a complete [ph:"X"] event with
+      microsecond [ts]/[dur] relative to {!enable}, [pid] 1, [tid] per
+      lane, and [args] carrying [sid]/[parent] (and [i] when a tag was
+      given), sorted by [ts]. *)
+
+  val write_file : string -> unit
+  (** {!export_json} to a file (with a trailing newline). *)
+end

@@ -117,7 +117,9 @@ let objective_value st costs =
   done;
   !acc
 
-let solve (lp : Lp.t) : result =
+let t_solve = Obs.timer "simplex.solve"
+
+let solve_tableau (lp : Lp.t) : result =
   let m = Lp.num_constraints lp in
   let n = Lp.num_vars lp in
   let constrs = Lp.constraints lp in
@@ -292,6 +294,12 @@ let solve (lp : Lp.t) : result =
       in
       record (Optimal { objective; primal; dual; pivots = st.pivot_count })
   end
+
+(* Every exact solve is timed (the histogram prices the exact-arithmetic
+   choice, cf. bench E16) and traced as a "simplex.solve" span. *)
+let solve lp =
+  Obs.Trace.with_span "simplex.solve" (fun () ->
+    Obs.time t_solve (fun () -> solve_tableau lp))
 
 let solve_exn lp =
   match solve lp with

@@ -85,6 +85,45 @@ let test_metrics () =
   if Astring.String.is_infix ~affix:"\"obs\"" out then
     Alcotest.failf "sweep without --metrics must not emit obs\n%s" out
 
+let test_profile () =
+  (* preset shorthands and cmdliner's prefix matching: "mm" -> matmul,
+     "--m" -> --mem (profile deliberately has no --metrics) *)
+  check_ok "profile shorthand" "profile mm --m 4096 --iters 5"
+    [ "profile: matmul"; "iteration"; "p50"; "p90"; "p99"; "timers:" ];
+  check_ok "profile prefix" "profile matv --iters 3" [ "profile: matvec" ];
+  check_ok "profile dsl" "profile 'i = 16, j = 16 : A[i] += B[i,j]' --iters 2"
+    [ "iteration" ];
+  check_ok "profile cold with sim"
+    "profile outer_product --m 256 --iters 3 --cold --schedule optimal"
+    [ "cold: caches reset"; "with simulation"; "executor.run" ];
+  check_fails "profile unknown" "profile nosuch" "unknown kernel";
+  check_fails "profile ambiguous" "profile mat" "ambiguous kernel";
+  check_fails "profile bad iters" "profile mm --iters 0" "at least one iteration"
+
+let test_trace_flag () =
+  let tmp = Filename.temp_file "cli_trace" ".json" in
+  check_ok "sweep with trace"
+    (Printf.sprintf "sweep -p matvec -m 64,128 --jobs 2 --trace %s" tmp)
+    [ "\"kernel\""; "trace:"; "spans" ];
+  let ic = open_in tmp in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  List.iter
+    (fun f ->
+      if not (Astring.String.is_infix ~affix:f contents) then
+        Alcotest.failf "trace file missing %S" f)
+    [ "\"traceEvents\""; "\"ph\":\"X\""; "thread_name"; "pipeline.analysis" ];
+  (* failed invocations must not leave a trace file behind *)
+  let tmp2 = Filename.temp_file "cli_trace2" ".json" in
+  Sys.remove tmp2;
+  check_fails "trace on failure" (Printf.sprintf "analyze --trace %s" tmp2) "kernel is required";
+  if Sys.file_exists tmp2 then begin
+    Sys.remove tmp2;
+    Alcotest.fail "trace file written despite command failure"
+  end
+
 let test_overflow_guards () =
   (* 2^21-cubed bounds: exact guard must reject simulation with the true
      iteration count rather than wrap negative and accept *)
@@ -122,6 +161,8 @@ let () =
           Alcotest.test_case "codegen" `Quick test_codegen;
           Alcotest.test_case "sweep" `Quick test_sweep;
           Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "profile" `Quick test_profile;
+          Alcotest.test_case "trace flag" `Quick test_trace_flag;
           Alcotest.test_case "overflow guards" `Quick test_overflow_guards;
           Alcotest.test_case "error paths" `Quick test_error_paths;
         ] );

@@ -87,6 +87,149 @@ let test_json_shape () =
     (String.length j > 1 && j.[0] = '{' && j.[String.length j - 1] = '}')
 
 (* ------------------------------------------------------------------ *)
+(* Histograms and percentiles                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Log buckets (4 per octave) put ~19% worst-case relative error on any
+   percentile estimate; 25% is a safe assertion margin. *)
+let check_near name expected actual =
+  let rel = Float.abs (actual -. expected) /. expected in
+  if rel > 0.25 then Alcotest.failf "%s = %.0f, expected ~%.0f (err %.0f%%)" name actual expected (100. *. rel)
+
+let test_histogram_percentiles () =
+  Obs.reset ();
+  let h = Obs.histogram "t.hist" in
+  (* a long-tailed distribution with known quantiles: 900 fast samples,
+     90 medium, 10 slow *)
+  for _ = 1 to 900 do Obs.observe_ns h 1_000 done;
+  for _ = 1 to 90 do Obs.observe_ns h 100_000 done;
+  for _ = 1 to 10 do Obs.observe_ns h 10_000_000 done;
+  Alcotest.(check int) "observations" 1000 (Obs.observations h);
+  let d = List.assoc "t.hist" (Obs.snapshot ()).Obs.shists in
+  Alcotest.(check int) "count" 1000 d.Obs.dcount;
+  Alcotest.(check int) "sum exact" (900 * 1_000 + 90 * 100_000 + 10 * 10_000_000) d.Obs.dsum_ns;
+  Alcotest.(check int) "max exact" 10_000_000 d.Obs.dmax_ns;
+  check_near "mean" 109_900.0 (Obs.mean_ns d);
+  check_near "p50" 1_000.0 (Obs.percentile d 50.0);
+  check_near "p90" 1_000.0 (Obs.percentile d 90.0);
+  check_near "p95" 100_000.0 (Obs.percentile d 95.0);
+  check_near "p99.5" 10_000_000.0 (Obs.percentile d 99.5);
+  (* the estimate never exceeds the recorded max *)
+  Alcotest.(check bool) "p100 clamped to max" true
+    (Obs.percentile d 100.0 <= float_of_int d.Obs.dmax_ns);
+  Alcotest.(check (float 0.0)) "empty distribution" 0.0
+    (Obs.percentile { Obs.dbuckets = [||]; dcount = 0; dsum_ns = 0; dmax_ns = 0 } 50.0)
+
+let test_timer_feeds_histogram () =
+  Obs.reset ();
+  let t = Obs.timer "t.th" in
+  for _ = 1 to 32 do Obs.add_seconds t 0.001 done;
+  let st = List.assoc "t.th" (Obs.snapshot ()).Obs.stimers in
+  Alcotest.(check int) "distribution count = calls" 32 st.Obs.tdist.Obs.dcount;
+  check_near "p50 = 1ms" 1e6 (Obs.percentile st.Obs.tdist 50.0);
+  check_near "p99 = 1ms" 1e6 (Obs.percentile st.Obs.tdist 99.0)
+
+let test_diff () =
+  Obs.reset ();
+  let c = Obs.counter "t.dc" and t = Obs.timer "t.dt" in
+  Obs.incr ~by:5 c;
+  Obs.add_seconds t 0.01;
+  let s0 = Obs.snapshot () in
+  Obs.incr ~by:3 c;
+  Obs.add_seconds t 0.02;
+  Obs.add_seconds t 0.02;
+  Obs.observe_ns (Obs.histogram "t.dh") 1_000;
+  let d = Obs.diff s0 (Obs.snapshot ()) in
+  Alcotest.(check (option int)) "counter delta" (Some 3) (counter_value d "t.dc");
+  (match timer_stat d "t.dt" with
+  | None -> Alcotest.fail "timer missing from diff"
+  | Some st ->
+    Alcotest.(check int) "timer call delta" 2 st.Obs.tcalls;
+    Alcotest.(check bool) "timer seconds delta" true
+      (Float.abs (st.Obs.tseconds -. 0.04) < 1e-3);
+    Alcotest.(check int) "distribution delta" 2 st.Obs.tdist.Obs.dcount);
+  (* a histogram born inside the window diffs against nothing *)
+  let dh = List.assoc "t.dh" d.Obs.shists in
+  Alcotest.(check int) "new histogram kept whole" 1 dh.Obs.dcount;
+  (* never negative: when before > after (interleaved reset, or a diff
+     taken backwards) the delta degrades to after's raw value *)
+  let back = Obs.diff (Obs.snapshot ()) s0 in
+  Alcotest.(check (option int)) "degrades to after's value" (Some 5)
+    (counter_value back "t.dc")
+
+let test_reset_clears_histograms () =
+  Obs.reset ();
+  let h = Obs.histogram "t.rh" in
+  let t = Obs.timer "t.rt" in
+  Obs.observe_ns h 500;
+  Obs.add_seconds t 0.5;
+  Obs.reset ();
+  Alcotest.(check int) "observations cleared" 0 (Obs.observations h);
+  Alcotest.(check int) "timer calls cleared" 0 (Obs.calls t);
+  let d = List.assoc "t.rh" (Obs.snapshot ()).Obs.shists in
+  Alcotest.(check int) "count cleared" 0 d.Obs.dcount;
+  Alcotest.(check bool) "all buckets zero" true (Array.for_all (( = ) 0) d.Obs.dbuckets);
+  Alcotest.(check int) "max cleared" 0 d.Obs.dmax_ns;
+  (* handles stay live after the reset *)
+  Obs.observe_ns h 500;
+  Alcotest.(check int) "handle survives" 1 (Obs.observations h)
+
+let test_histogram_under_pool_concurrency () =
+  Obs.reset ();
+  let h = Obs.histogram "t.hconc" in
+  let n = 2000 in
+  ignore (Pool.map ~jobs:4 (fun i -> Obs.observe_ns h (1 + i)) (Array.init n (fun i -> i)));
+  let d = List.assoc "t.hconc" (Obs.snapshot ()).Obs.shists in
+  Alcotest.(check int) "no lost observations" n d.Obs.dcount;
+  Alcotest.(check int) "bucket totals agree" n (Array.fold_left ( + ) 0 d.Obs.dbuckets);
+  Alcotest.(check int) "sum exact" (n * (n + 1) / 2) d.Obs.dsum_ns;
+  Alcotest.(check int) "max exact" n d.Obs.dmax_ns
+
+let test_pp_format () =
+  Obs.reset ();
+  Obs.incr ~by:1234567 (Obs.counter "t.big");
+  Obs.add_seconds (Obs.timer "t.pt") 0.5;
+  Obs.observe_s (Obs.histogram "t.ph") 0.25;
+  let out = Format.asprintf "%a" Obs.pp (Obs.snapshot ()) in
+  let contains sub = Astring.String.is_infix ~affix:sub out in
+  Alcotest.(check bool) "thousands separators" true (contains "1,234,567");
+  Alcotest.(check bool) "percentile columns" true (contains "p99");
+  Alcotest.(check bool) "mean column" true (contains "mean");
+  Alcotest.(check bool) "histogram section" true (contains "histograms:");
+  Alcotest.(check bool) "human duration" true (contains "500.0ms");
+  Alcotest.(check string) "group_int" "1,234,567" (Obs.group_int 1234567);
+  Alcotest.(check string) "group_int small" "42" (Obs.group_int 42);
+  Alcotest.(check string) "group_int negative" "-1,000" (Obs.group_int (-1000));
+  Alcotest.(check string) "dur ns" "412ns" (Obs.pp_dur_ns 412.0);
+  Alcotest.(check string) "dur us" "3.4us" (Obs.pp_dur_ns 3_400.0);
+  Alcotest.(check string) "dur ms" "12.8ms" (Obs.pp_dur_ns 12_800_000.0);
+  Alcotest.(check string) "dur s" "1.25s" (Obs.pp_dur_ns 1.25e9);
+  Alcotest.(check string) "dur zero" "0" (Obs.pp_dur_ns 0.0)
+
+let test_json_histogram_fields () =
+  Obs.reset ();
+  Obs.add_seconds (Obs.timer "t.jh") 0.125;
+  Obs.observe_s (Obs.histogram "t.jhh") 0.125;
+  let j = Obs.to_json (Obs.snapshot ()) in
+  match Jsonlite.parse j with
+  | Error msg -> Alcotest.failf "to_json unparseable: %s\n%s" msg j
+  | Ok json ->
+    let timer =
+      Option.get (Jsonlite.member "t.jh" (Option.get (Jsonlite.member "timers" json)))
+    in
+    Alcotest.(check (option (float 1e-9))) "calls" (Some 1.0) (Jsonlite.num_member "calls" timer);
+    (match Jsonlite.num_member "p50_s" timer with
+    | None -> Alcotest.fail "p50_s missing"
+    | Some p -> check_near "p50_s" 0.125 p);
+    (match Jsonlite.num_member "max_s" timer with
+    | None -> Alcotest.fail "max_s missing"
+    | Some p -> check_near "max_s" 0.125 p);
+    let hist =
+      Jsonlite.member "t.jhh" (Option.get (Jsonlite.member "histograms" json))
+    in
+    Alcotest.(check bool) "histograms section carries the entry" true (hist <> None)
+
+(* ------------------------------------------------------------------ *)
 (* Engine integration                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -154,12 +297,24 @@ let () =
           Alcotest.test_case "snapshot sorted; reset" `Quick test_snapshot_sorted_and_reset;
           Alcotest.test_case "json shape" `Quick test_json_shape;
         ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "percentiles on a known distribution" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "timer feeds its histogram" `Quick test_timer_feeds_histogram;
+          Alcotest.test_case "snapshot diff" `Quick test_diff;
+          Alcotest.test_case "reset clears buckets" `Quick test_reset_clears_histograms;
+          Alcotest.test_case "pp formatting" `Quick test_pp_format;
+          Alcotest.test_case "json percentile fields" `Quick test_json_histogram_fields;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "counters under Pool.map" `Quick test_counter_under_pool_concurrency;
           Alcotest.test_case "record_max under Pool.map" `Quick
             test_record_max_under_pool_concurrency;
           Alcotest.test_case "timers under Pool.map" `Quick test_timer_under_pool_concurrency;
+          Alcotest.test_case "histograms under Pool.map" `Quick
+            test_histogram_under_pool_concurrency;
         ] );
       ( "engine",
         [
