@@ -20,10 +20,19 @@ type experiment = { title : string; seconds : float; words : (string * float) li
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
+(* The wire schema this tool understands; keep in sync with
+   Report.schema_version (not referenced directly so compare keeps its
+   jsonlite-only dependency footprint). *)
+let schema_version = 1.0
+
 let load path =
   match Jsonlite.of_file path with
   | Error msg -> die "%s: %s" path msg
   | Ok json ->
+    (match Jsonlite.num_member "v" json with
+    | Some v when v = schema_version -> ()
+    | Some v -> die "%s: unsupported schema version %g (want %g)" path v schema_version
+    | None -> die "%s: missing \"v\" schema-version field" path);
     let exps =
       match Jsonlite.list_member "experiments" json with
       | Some l -> l

@@ -55,7 +55,7 @@ let json_escape s =
 let write_json ~s0 path =
   let oc = open_out path in
   let hits, misses = Engine.cache_stats () in
-  output_string oc "{\"engine_cache\":{";
+  Printf.fprintf oc "{\"v\":%d,\"engine_cache\":{" Report.schema_version;
   Printf.fprintf oc "\"hits\":%d,\"misses\":%d}," hits misses;
   Printf.fprintf oc "\"obs\":%s,\"experiments\":["
     (Obs.to_json (Obs.diff s0 (Obs.snapshot ())));

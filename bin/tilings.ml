@@ -27,55 +27,40 @@ open Cmdliner
 
 let preset_specs = Kernels.all ()
 
+(* Errors in two tiers: misuse of the command line itself stays a
+   cmdliner usage error (`Usage, exit 124); anything the engine can
+   diagnose becomes a typed Engine_error (`Typed) rendered with its own
+   exit code — see Engine_error.exit_code for the map. *)
 let resolve_spec kernel preset =
   match (kernel, preset) with
   | Some dsl, None -> (
     match Parser.parse dsl with
     | Ok s -> Ok s
-    | Error e -> Error (Printf.sprintf "cannot parse kernel: %s" (Parser.string_of_error e)))
+    | Error e ->
+      Error
+        (`Typed
+           (Engine_error.Parse_error
+              {
+                line = e.Parser.pos.Parser.line;
+                col = e.Parser.pos.Parser.col;
+                message = e.Parser.message;
+              })))
   | None, Some name -> (
     match List.assoc_opt name preset_specs with
     | Some s -> Ok s
     | None ->
       Error
-        (Printf.sprintf "unknown preset %S (try: %s)" name
-           (String.concat ", " (List.map fst preset_specs))))
-  | Some _, Some _ -> Error "give either --kernel or --preset, not both"
-  | None, None -> Error "a kernel is required: --kernel \"<dsl>\" or --preset <name>"
+        (`Typed
+           (Engine_error.Invalid_spec
+              (Printf.sprintf "unknown preset %S (try: %s)" name
+                 (String.concat ", " (List.map fst preset_specs))))))
+  | Some _, Some _ -> Error (`Usage "give either --kernel or --preset, not both")
+  | None, None ->
+    Error (`Usage "a kernel is required: --kernel \"<dsl>\" or --preset <name>")
 
-(* Shorthands accepted where a kernel is named positionally (profile). *)
-let preset_aliases =
-  [
-    ("mm", "matmul");
-    ("mv", "matvec");
-    ("conv", "pointwise_conv");
-    ("fc", "fully_connected");
-    ("bmm", "batched_matmul");
-  ]
-
-(* A positional kernel: DSL if it contains ':', otherwise a preset name,
-   alias, or unique preset-name prefix. *)
-let resolve_named name =
-  if String.contains name ':' then resolve_spec (Some name) None
-  else
-    let canonical =
-      match List.assoc_opt name preset_aliases with Some n -> n | None -> name
-    in
-    match List.assoc_opt canonical preset_specs with
-    | Some s -> Ok s
-    | None -> (
-      match
-        List.filter (fun (n, _) -> String.starts_with ~prefix:canonical n) preset_specs
-      with
-      | [ (_, s) ] -> Ok s
-      | [] ->
-        Error
-          (Printf.sprintf "unknown kernel %S (try: %s)" name
-             (String.concat ", " (List.map fst preset_specs)))
-      | multiple ->
-        Error
-          (Printf.sprintf "ambiguous kernel %S (matches: %s)" name
-             (String.concat ", " (List.map fst multiple))))
+(* A positional kernel (profile): DSL, preset name, alias, or unique
+   preset-name prefix — shared with the serve protocol (Kernels.resolve). *)
+let resolve_named = Kernels.resolve
 
 let kernel_arg =
   let doc =
@@ -93,18 +78,35 @@ let cache_arg =
 
 let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
 
+(* Typed engine errors render as one diagnostic line with the stable
+   wire code, and exit with the code's own status (parse_error 2,
+   invalid_spec 3, cache_too_small 4, ... — Engine_error.exit_code).
+   Exiting here also guarantees a failed invocation never writes a
+   --trace file or metrics table (the with_obs postlude only runs on
+   success). *)
+let fail_error e : 'a =
+  Printf.eprintf "tilings: error [%s]: %s\n%!" (Engine_error.code e)
+    (Engine_error.to_string e);
+  exit (Engine_error.exit_code e)
+
 let pp_bounds spec =
   String.concat " x " (List.map string_of_int (Array.to_list spec.Spec.bounds))
 
 let with_spec kernel preset f =
   match resolve_spec kernel preset with
-  | Error msg -> fail "%s" msg
+  | Error (`Usage msg) -> fail "%s" msg
+  | Error (`Typed e) -> fail_error e
   | Ok spec -> (
     (* Library-level aborts (e.g. a bound whose exact footprint exceeds
-       native int range reaching Bigint.to_int) become a structured CLI
-       error naming the kernel and its bounds, not an uncaught exception. *)
-    try f spec
-    with Failure msg -> fail "kernel %s (bounds %s): %s" spec.Spec.name (pp_bounds spec) msg)
+       native int range reaching Bigint.to_int) become a rendered typed
+       error naming the kernel and its bounds, not an uncaught
+       exception. *)
+    try f spec with
+    | Engine_error.Error e -> fail_error e
+    | Failure msg ->
+      fail_error
+        (Engine_error.Internal
+           (Printf.sprintf "kernel %s (bounds %s): %s" spec.Spec.name (pp_bounds spec) msg)))
 
 let simulable spec =
   (* Exact comparison: the native product wraps (to 0 for 2^21-cubed
@@ -174,11 +176,11 @@ let analyze_cmd =
   let run kernel preset m metrics trace =
     with_obs metrics trace (fun () ->
       with_spec kernel preset (fun spec ->
-        if m < 2 then fail "cache must be at least 2 words"
-        else begin
-          Format.printf "%a@." Report.pp (Engine.analyze spec ~m);
-          `Ok ()
-        end))
+        match Engine.analyze_checked spec ~m with
+        | Error e -> fail_error e
+        | Ok r ->
+          Format.printf "%a@." Report.pp r;
+          `Ok ()))
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Lower bound, optimal tile, and attainment for a kernel")
@@ -188,7 +190,7 @@ let lower_bound_cmd =
   let run kernel preset m metrics trace =
     with_obs metrics trace (fun () ->
       with_spec kernel preset (fun spec ->
-        if m < 2 then fail "cache must be at least 2 words"
+        if m < 2 then fail_error (Engine_error.Cache_too_small { m; min_words = 2 })
         else begin
           Format.printf "%a@.%a@." Spec.pp spec Lower_bound.pp_bound
             (Engine.lower_bound spec ~m);
@@ -204,9 +206,9 @@ let tile_cmd =
     with_obs metrics trace
     @@ fun () ->
     with_spec kernel preset (fun spec ->
-      if m < Spec.num_arrays spec then fail "cache too small for this kernel"
-      else begin
-        let r = Engine.analyze ~shared:true spec ~m in
+      match Engine.analyze_checked ~shared:true spec ~m with
+      | Error e -> fail_error e
+      | Ok r ->
         let sol = r.Report.lp in
         Format.printf "%a@." Spec.pp spec;
         Format.printf "LP (5.1) value: %a (tile cardinality M^%.4f)@." Rat.pp sol.Tiling.value
@@ -220,8 +222,7 @@ let tile_cmd =
           Format.printf "tile (shared cache of M words):  %a  volume %d@." (Tiling.pp spec)
             shared (Tiling.volume shared)
         | None -> ());
-        `Ok ()
-      end)
+        `Ok ())
   in
   Cmd.v
     (Cmd.info "tile" ~doc:"Communication-optimal rectangular tile (Section 5)")
@@ -258,19 +259,14 @@ let simulate_cmd =
     with_obs metrics trace
     @@ fun () ->
     with_spec kernel preset (fun spec ->
-      if m < Spec.num_arrays spec then fail "cache too small for this kernel"
-      else
-        match simulable spec with
-        | Error msg -> fail "%s" msg
-        | Ok () ->
-          let r =
-            Engine.analyze ~sims:[ Pipeline.sim ~policy schedule ] spec ~m
-          in
-          Format.printf "%a@." Spec.pp spec;
-          List.iter
-            (fun s -> Format.printf "%a@." (Report.pp_sim ~bound:r.Report.bound ~m) s)
-            r.Report.sims;
-          `Ok ())
+      match Engine.analyze_checked ~sims:[ Pipeline.sim ~policy schedule ] spec ~m with
+      | Error e -> fail_error e
+      | Ok r ->
+        Format.printf "%a@." Spec.pp spec;
+        List.iter
+          (fun s -> Format.printf "%a@." (Report.pp_sim ~bound:r.Report.bound ~m) s)
+          r.Report.sims;
+        `Ok ())
   in
   let schedule_arg =
     Arg.(value & opt schedule_conv Engine.Optimal & info [ "schedule" ] ~docv:"SCHED"
@@ -292,30 +288,35 @@ let sweep_cmd =
     with_obs false trace
     @@ fun () ->
     with_spec kernel preset (fun spec ->
-      match List.find_opt (fun m -> m < max 2 (Spec.num_arrays spec)) ms with
-      | Some m -> fail "cache size %d too small for this kernel" m
-      | None ->
-        if ms = [] then fail "give at least one cache size with -m"
-        else begin
-          let sims =
-            List.concat_map
-              (fun sched -> List.map (fun policy -> Pipeline.sim ~policy sched) policies)
-              schedules
+      if ms = [] then fail "give at least one cache size with -m"
+      else begin
+        let sims =
+          List.concat_map
+            (fun sched -> List.map (fun policy -> Pipeline.sim ~policy sched) policies)
+            schedules
+        in
+        let reqs = List.map (fun m -> Pipeline.request ~sims ~shared:true spec ~m) ms in
+        (* The obs section is the delta over this sweep alone, not
+           process-lifetime totals. *)
+        let s0 = Obs.snapshot () in
+        let results = Engine.sweep_checked ?jobs reqs in
+        (* All-or-nothing at the CLI: a single bad point (cache too
+           small, kernel too large to simulate) fails the invocation
+           with its typed code — partial sweeps are the server's job. *)
+        match
+          List.find_map (function Error e -> Some e | Ok _ -> None) results
+        with
+        | Some e -> fail_error e
+        | None ->
+          let reports =
+            List.filter_map (function Ok r -> Some r | Error _ -> None) results
           in
-          match (if sims = [] then Ok () else simulable spec) with
-          | Error msg -> fail "%s" msg
-          | Ok () ->
-            let reqs = List.map (fun m -> Pipeline.request ~sims ~shared:true spec ~m) ms in
-            (* The obs section is the delta over this sweep alone, not
-               process-lifetime totals. *)
-            let s0 = Obs.snapshot () in
-            let reports = Engine.sweep ?jobs reqs in
-            let obs =
-              if metrics then Some (Obs.to_json (Obs.diff s0 (Obs.snapshot ()))) else None
-            in
-            print_endline (Report.json_of_sweep ~timings ?obs reports);
-            `Ok ()
-        end)
+          let obs =
+            if metrics then Some (Obs.to_json (Obs.diff s0 (Obs.snapshot ()))) else None
+          in
+          print_endline (Report.json_of_sweep ~timings ?obs reports);
+          `Ok ()
+      end)
   in
   let ms_arg =
     Arg.(value & opt (list int) [ 256; 1024; 4096 ]
@@ -359,7 +360,9 @@ let profile_cmd =
     | Ok spec -> (
       try
         if iters < 1 then fail "need at least one iteration (--iters)"
-        else if m < max 2 (Spec.num_arrays spec) then fail "cache too small for this kernel"
+        else if m < max 2 (Spec.num_arrays spec) then
+          fail_error
+            (Engine_error.Cache_too_small { m; min_words = max 2 (Spec.num_arrays spec) })
         else begin
           let sims =
             match schedule with None -> [] | Some s -> [ Pipeline.sim ~policy s ]
@@ -408,7 +411,12 @@ let profile_cmd =
             Format.printf "@.%a@." Obs.pp d;
             `Ok ()
         end
-      with Failure msg -> fail "kernel %s (bounds %s): %s" spec.Spec.name (pp_bounds spec) msg)
+      with
+      | Engine_error.Error e -> fail_error e
+      | Failure msg ->
+        fail_error
+          (Engine_error.Internal
+             (Printf.sprintf "kernel %s (bounds %s): %s" spec.Spec.name (pp_bounds spec) msg)))
   in
   let name_arg =
     Arg.(
@@ -468,6 +476,117 @@ let profile_cmd =
       ret
         (const run $ name_arg $ mem_arg $ iters_arg $ cold_arg $ schedule_arg $ policy_arg
        $ jobs_arg $ trace_arg))
+
+let serve_cmd =
+  let run socket queue jobs deadline_ms metrics trace =
+    if queue < 1 then fail "queue capacity must be at least 1"
+    else if deadline_ms < 0 then fail "--deadline-ms must be non-negative"
+    else begin
+      if trace <> None then begin
+        Obs.Trace.enable ();
+        Obs.Trace.set_lane_name "main"
+      end;
+      let s0 = Obs.snapshot () in
+      (* Pool sizing is decided exactly once, here at daemon start —
+         requests never re-read PROJTILE_JOBS — and both logged and
+         recorded as the serve.pool_jobs gauge. *)
+      let jobs, jobs_source =
+        match jobs with
+        | Some j -> (max 1 j, "--jobs")
+        | None ->
+          ( Pool.default_jobs (),
+            match Sys.getenv_opt "PROJTILE_JOBS" with
+            | Some s when Pool.validate_jobs s <> None -> "PROJTILE_JOBS"
+            | _ -> "default" )
+      in
+      Obs.record_max (Obs.counter "serve.pool_jobs") jobs;
+      let cfg =
+        {
+          Serve.jobs;
+          queue_capacity = queue;
+          default_deadline_s =
+            (if deadline_ms = 0 then None else Some (float_of_int deadline_ms /. 1000.0));
+        }
+      in
+      Printf.eprintf "serve: pool: %d job%s (%s); queue capacity %d; mode: %s\n%!" jobs
+        (if jobs = 1 then "" else "s")
+        jobs_source queue
+        (match socket with None -> "pipe (stdin/stdout)" | Some p -> "socket " ^ p);
+      (* SIGTERM/SIGINT flip a flag: the in-flight batch completes and
+         flushes before the loop exits (graceful drain). SIGPIPE is
+         ignored so a vanished client surfaces as EPIPE, handled per
+         connection. *)
+      let stopped = Atomic.make false in
+      let on_stop = Sys.Signal_handle (fun _ -> Atomic.set stopped true) in
+      (try Sys.set_signal Sys.sigterm on_stop with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigint on_stop with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ());
+      let stop () = Atomic.get stopped in
+      (match socket with
+      | None -> Serve.run_pipe ~stop cfg
+      | Some path -> Serve.run_socket ~stop cfg ~path);
+      (* Diagnostics go to stderr: stdout is the protocol stream. *)
+      if metrics then Format.eprintf "%a@." Obs.pp (Obs.diff s0 (Obs.snapshot ()));
+      Option.iter
+        (fun file ->
+          Obs.Trace.disable ();
+          Obs.Trace.write_file file;
+          Printf.eprintf "trace: %s spans (%s dropped) -> %s\n%!"
+            (Obs.group_int (Obs.Trace.span_count ()))
+            (Obs.group_int (Obs.Trace.dropped ()))
+            file)
+        trace;
+      `Ok ()
+    end
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of serving \
+             stdin/stdout; connections are NDJSON sessions served \
+             sequentially.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity: at most $(docv) requests are admitted \
+             per batch cycle; further already-waiting lines are answered with \
+             a structured $(b,overloaded) error instead of buffered without \
+             bound.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for batch execution (default: PROJTILE_JOBS or the \
+             recommended domain count). Resolved once at daemon start.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request budget applied when a request carries no \
+             $(b,deadline_ms) field; 0 means no default deadline.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running analysis daemon: newline-delimited JSON requests in, one \
+          JSON response per request in arrival order; batches concurrent \
+          requests into one parallel sweep over a warm memo cache")
+    Term.(
+      ret
+        (const run $ socket_arg $ queue_arg $ jobs_arg $ deadline_arg $ metrics_arg
+       $ trace_arg))
 
 let partition_cmd =
   let run kernel preset procs metrics trace =
@@ -622,6 +741,7 @@ let () =
             regions_cmd;
             simulate_cmd;
             sweep_cmd;
+            serve_cmd;
             profile_cmd;
             hierarchy_cmd;
             partition_cmd;

@@ -9,7 +9,12 @@ type schedule_choice = Pipeline.schedule_choice =
 
 let analyze ?sims ?shared spec ~m = Pipeline.run (Pipeline.request ?sims ?shared spec ~m)
 
+let analyze_checked ?sims ?shared ?deadline spec ~m =
+  Pipeline.run_checked ?deadline (Pipeline.request ?sims ?shared spec ~m)
+
+let run_checked = Pipeline.run_checked
 let sweep = Pipeline.sweep
+let sweep_checked = Pipeline.sweep_checked
 
 let sweep_grid ?jobs ?sims ?shared specs ~ms =
   let reqs =

@@ -16,10 +16,34 @@ type schedule_choice = Pipeline.schedule_choice =
 
 val analyze :
   ?sims:Pipeline.sim_request list -> ?shared:bool -> Spec.t -> m:int -> report
-(** Full pipeline for one kernel at one cache size. *)
+(** Full pipeline for one kernel at one cache size.
+    @raise Engine_error.Error on an invalid request — this is the thin
+    raising wrapper over {!analyze_checked}; prefer the checked variant
+    in code that must not die. *)
+
+val analyze_checked :
+  ?sims:Pipeline.sim_request list ->
+  ?shared:bool ->
+  ?deadline:float ->
+  Spec.t ->
+  m:int ->
+  (report, Engine_error.t) result
+(** Non-raising {!analyze} with an optional absolute deadline; see
+    {!Pipeline.run_checked} for validation and deadline semantics. *)
+
+val run_checked :
+  ?deadline:float -> Pipeline.request -> (report, Engine_error.t) result
+(** Re-export of {!Pipeline.run_checked}. *)
 
 val sweep : ?jobs:int -> Pipeline.request list -> report list
-(** Parallel sweep over independent requests; deterministic order. *)
+(** Parallel sweep over independent requests; deterministic order.
+    @raise Engine_error.Error on the first failing request. *)
+
+val sweep_checked :
+  ?jobs:int -> ?deadline:float -> Pipeline.request list ->
+  (report, Engine_error.t) result list
+(** Re-export of {!Pipeline.sweep_checked}: per-request results in input
+    order, one bad request never poisons the batch. *)
 
 val sweep_grid :
   ?jobs:int ->

@@ -142,13 +142,26 @@ let timed span tm f =
     Obs.add_seconds tm dt;
     (v, dt))
 
-let run req =
+(* Cooperative deadlines: the checked entry points thread an absolute
+   wall-clock deadline through the stage sequence; it is tested at stage
+   boundaries (cheap, no preemption), so a request can overshoot by at
+   most one stage.  [Deadline_hit] never escapes [run_checked]. *)
+exception Deadline_hit of string
+
+let run_internal ?deadline req =
+  let guard stage =
+    match deadline with
+    | Some t when Unix.gettimeofday () >= t -> raise (Deadline_hit stage)
+    | _ -> ()
+  in
   let spec = req.rspec and m = req.rm in
   Obs.incr c_requests;
   Obs.incr ~by:(List.length req.rsims) c_simulations;
+  guard "analysis";
   let (a, from_cache), d_analysis =
     timed "pipeline.analysis" t_analysis (fun () -> analysis spec ~m)
   in
+  guard "shared_tile";
   let shared, d_shared =
     timed "pipeline.shared_tile" t_shared (fun () ->
       let want_shared =
@@ -157,7 +170,12 @@ let run req =
       if want_shared then Some (tile_shared spec ~m) else None)
   in
   let sims, d_simulate =
-    timed "pipeline.simulate_stage" t_simulate (fun () -> List.map (simulate spec ~m) req.rsims)
+    timed "pipeline.simulate_stage" t_simulate (fun () ->
+      List.map
+        (fun s ->
+          guard "simulate";
+          simulate spec ~m s)
+        req.rsims)
   in
   {
     Report.spec;
@@ -178,7 +196,39 @@ let run req =
     from_cache;
   }
 
+let sim_iteration_limit = 20_000_000
+
+let validate req =
+  let spec = req.rspec and m = req.rm in
+  let min_words = max 2 (Spec.num_arrays spec) in
+  if m < min_words then Some (Engine_error.Cache_too_small { m; min_words })
+  else if req.rsims <> [] then begin
+    (* Exact comparison: the native iteration product wraps for 2^21-cubed
+       bounds and would sail straight past a native-int guard. *)
+    let n = Spec.iteration_count_big spec in
+    if Bigint.compare n (Bigint.of_int sim_iteration_limit) > 0 then
+      Some
+        (Engine_error.Kernel_too_large
+           { iterations = Bigint.to_string n; limit = sim_iteration_limit })
+    else None
+  end
+  else None
+
+let run_checked ?deadline req =
+  match validate req with
+  | Some e -> Error e
+  | None -> (
+    match run_internal ?deadline req with
+    | r -> Ok r
+    | exception Deadline_hit stage -> Error (Engine_error.Deadline_exceeded { stage })
+    | exception e -> (
+      match Engine_error.of_exn e with Some t -> Error t | None -> raise e))
+
+let run req =
+  match run_checked req with Ok r -> r | Error e -> Engine_error.raise_error e
+
 let sweep ?jobs reqs = Pool.map_list ?jobs run reqs
+let sweep_checked ?jobs ?deadline reqs = Pool.map_list ?jobs (run_checked ?deadline) reqs
 
 (* ------------------------------------------------------------------ *)
 (* Hierarchies                                                        *)

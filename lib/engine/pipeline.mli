@@ -35,17 +35,49 @@ val request : ?sims:sim_request list -> ?shared:bool -> Spec.t -> m:int -> reque
 (** Defaults: no simulations, [shared = false]. The shared tile is
     computed anyway when some simulation asks for [Optimal]. *)
 
+val run_checked :
+  ?deadline:float -> request -> (Report.t, Engine_error.t) result
+(** Execute one request without raising. Analysis (LP, bound, tile) is
+    served from the memo cache when an equivalent [(spec, beta, m)] has
+    been analyzed before; simulations always execute.
+
+    Up-front validation: [Error Cache_too_small] when [m] is below
+    [max 2 (num_arrays)] (the bound needs 2 words, the tile one word per
+    array), [Error Kernel_too_large] when a simulation is requested and
+    the exact iteration count exceeds {!sim_iteration_limit}. Stage
+    failures ([Invalid_argument]/[Failure] from the analysis stack) come
+    back as [Error Invalid_spec]/[Error Internal]; asynchronous
+    exceptions still propagate.
+
+    [deadline] is an absolute [Unix.gettimeofday] instant. It is tested
+    cooperatively at stage boundaries (before the analysis, the shared
+    tile and each simulation), so an expired request returns
+    [Error (Deadline_exceeded _)] having overshot by at most one stage —
+    there is no preemption. A deadline already in the past fails before
+    any work. *)
+
 val run : request -> Report.t
-(** Execute one request. Analysis (LP, bound, tile) is served from the
-    memo cache when an equivalent [(spec, beta, m)] has been analyzed
-    before; simulations always execute.
-    @raise Invalid_argument on [m < 2] (via {!Lower_bound.beta_of_bounds})
-    or a cache smaller than one word per array when a tile is needed. *)
+(** Thin raising wrapper over {!run_checked} (no deadline), kept for
+    straight-line callers: [Error e] becomes [raise (Engine_error.Error e)].
+    New code should prefer {!run_checked}. *)
 
 val sweep : ?jobs:int -> request list -> Report.t list
 (** Run independent requests in parallel with {!Pool.map_list}. Result
     order matches input order and every report is byte-identical (under
-    {!Report.pp}) to what the sequential path produces. *)
+    {!Report.pp}) to what the sequential path produces.
+    @raise Engine_error.Error on the first failing request (via {!run}). *)
+
+val sweep_checked :
+  ?jobs:int -> ?deadline:float -> request list ->
+  (Report.t, Engine_error.t) result list
+(** {!run_checked} over the pool: one [result] per request, input order,
+    failures isolated per element (one bad request never poisons the
+    batch). The one [deadline] applies to every request; callers needing
+    per-request deadlines map {!run_checked} over {!Pool} directly. *)
+
+val sim_iteration_limit : int
+(** Iteration-count ceiling above which simulation requests are refused
+    ([2 * 10^7] — the cache simulator touches every iteration). *)
 
 (** {1 Memoized stages, usable a la carte} *)
 

@@ -137,7 +137,8 @@ let to_json ?(timings = true) r =
 let json_of_reports ?timings rs =
   jarr (List.map (to_json ?timings) rs)
 
+let schema_version = 1
+
 let json_of_sweep ?timings ?obs rs =
-  match obs with
-  | None -> json_of_reports ?timings rs
-  | Some obs -> jobj [ ("reports", json_of_reports ?timings rs); ("obs", obs) ]
+  let fields = [ ("v", string_of_int schema_version); ("reports", json_of_reports ?timings rs) ] in
+  jobj (match obs with None -> fields | Some obs -> fields @ [ ("obs", obs) ])

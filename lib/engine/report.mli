@@ -51,8 +51,14 @@ val to_json : ?timings:bool -> t -> string
 val json_of_reports : ?timings:bool -> t list -> string
 (** JSON array of {!to_json} objects. *)
 
+val schema_version : int
+(** Version of the machine-readable wire schema shared by
+    {!json_of_sweep}, the [tilings serve] protocol and
+    [BENCH_engine.json]. Currently [1]; consumers must check it
+    ([bench/compare.exe] and the CI schema smoke do). *)
+
 val json_of_sweep : ?timings:bool -> ?obs:string -> t list -> string
-(** Without [obs], identical to {!json_of_reports} — a bare array, the
-    stable default shape. With [obs] (a pre-rendered JSON value, normally
-    {!Obs.to_json} of a snapshot), wraps the array as
-    [{"reports": [...], "obs": {...}}]. *)
+(** The versioned sweep envelope:
+    [{"v": 1, "reports": [...]}], with an extra ["obs"] field when [obs]
+    (a pre-rendered JSON value, normally {!Obs.to_json} of a snapshot) is
+    given. Schema v1 replaced the unversioned bare-array shape. *)

@@ -120,3 +120,40 @@ let all () =
     ("mttkrp", mttkrp ~i:32 ~j:32 ~k:32 ~r:16);
     ("three_body", three_body ~l1:64 ~l2:64 ~l3:64);
   ]
+
+let aliases =
+  [
+    ("mm", "matmul");
+    ("mv", "matvec");
+    ("conv", "pointwise_conv");
+    ("fc", "fully_connected");
+    ("bmm", "batched_matmul");
+  ]
+
+let lookup name =
+  let presets = all () in
+  let canonical =
+    match List.assoc_opt name aliases with Some n -> n | None -> name
+  in
+  match List.assoc_opt canonical presets with
+  | Some s -> Ok s
+  | None -> (
+    match
+      List.filter (fun (n, _) -> String.starts_with ~prefix:canonical n) presets
+    with
+    | [ (_, s) ] -> Ok s
+    | [] ->
+      Error
+        (Printf.sprintf "unknown kernel %S (try: %s)" name
+           (String.concat ", " (List.map fst presets)))
+    | multiple ->
+      Error
+        (Printf.sprintf "ambiguous kernel %S (matches: %s)" name
+           (String.concat ", " (List.map fst multiple))))
+
+let resolve name =
+  if String.contains name ':' then
+    match Parser.parse_string name with
+    | Ok s -> Ok s
+    | Error msg -> Error (Printf.sprintf "cannot parse kernel: %s" msg)
+  else lookup name

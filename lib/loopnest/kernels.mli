@@ -52,3 +52,20 @@ val three_body : l1:int -> l2:int -> l3:int -> Spec.t
 
 val all : unit -> (string * Spec.t) list
 (** A representative instance of every kernel, for tests and demos. *)
+
+(** {1 Name resolution}
+
+    Shared by the CLI's positional-kernel arguments and the serve
+    daemon's wire protocol, so both accept exactly the same spellings. *)
+
+val aliases : (string * string) list
+(** Shorthand -> preset name: [mm], [mv], [conv], [fc], [bmm]. *)
+
+val lookup : string -> (Spec.t, string) result
+(** Resolve a preset name, an alias, or a unique preset-name prefix
+    against {!all}. The error message lists the candidates. *)
+
+val resolve : string -> (Spec.t, string) result
+(** Resolve a kernel in any accepted spelling: text containing [':'] is
+    parsed as the DSL ({!Parser.parse_string}), anything else goes
+    through {!lookup}. *)

@@ -261,6 +261,11 @@ let parse ?name src =
     | Error e -> fail target_pos "%s" (Spec.string_of_error e))
   with Error e -> Result.Error e
 
+let parse_string ?name src =
+  match parse ?name src with
+  | Ok spec -> Ok spec
+  | Result.Error e -> Result.Error (string_of_error e)
+
 let parse_exn ?name src =
   match parse ?name src with
   | Ok spec -> spec

@@ -24,6 +24,12 @@ val string_of_error : parse_error -> string
 val parse : ?name:string -> string -> (Spec.t, parse_error) result
 (** Parse a full kernel description (loop declarations + statement). *)
 
+val parse_string : ?name:string -> string -> (Spec.t, string) result
+(** {!parse} with the error pre-rendered via {!string_of_error}
+    (["line L, col C: message"]) — for callers that only display the
+    error: the CLI's [--kernel] path and the serve daemon's request
+    decoder both go through this. *)
+
 val parse_exn : ?name:string -> string -> Spec.t
 (** @raise Invalid_argument with a rendered error. *)
 

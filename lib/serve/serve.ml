@@ -1,0 +1,228 @@
+type event = Line of string | Wait | Eof
+
+type config = {
+  jobs : int;
+  queue_capacity : int;
+  default_deadline_s : float option;
+}
+
+let default_config () =
+  { jobs = Pool.default_jobs (); queue_capacity = 512; default_deadline_s = None }
+
+let c_requests = Obs.counter "serve.requests"
+let c_responses = Obs.counter "serve.responses"
+let c_batches = Obs.counter "serve.batches"
+let c_errors = Obs.counter "serve.errors"
+let c_parse = Obs.counter "serve.parse_errors"
+let c_deadline = Obs.counter "serve.deadline_exceeded"
+let c_overloaded = Obs.counter "serve.rejected_overloaded"
+let c_connections = Obs.counter "serve.connections"
+let c_batch_max = Obs.counter "serve.batch_size_max"
+let c_queue_max = Obs.counter "serve.queue_depth_max"
+let t_batch = Obs.timer "serve.batch"
+let t_request = Obs.timer "serve.request"
+
+let count_error err =
+  Obs.incr c_errors;
+  match (err : Engine_error.t) with
+  | Parse_error _ -> Obs.incr c_parse
+  | Deadline_exceeded _ -> Obs.incr c_deadline
+  | Overloaded _ -> Obs.incr c_overloaded
+  | _ -> ()
+
+(* One batch: decode every admitted line, run them all through the pool
+   (decode errors ride along so indices stay aligned), then emit one
+   response per line in arrival order — admitted first, overload
+   rejections after (they arrived later by construction). *)
+let process cfg ~emit admitted rejected =
+  Obs.incr c_batches;
+  Obs.incr ~by:(List.length admitted + List.length rejected) c_requests;
+  Obs.record_max c_batch_max (List.length admitted);
+  Obs.record_max c_queue_max (List.length admitted + List.length rejected);
+  Obs.Trace.with_span "serve.batch" @@ fun () ->
+  Obs.time t_batch @@ fun () ->
+  let admitted_at = Unix.gettimeofday () in
+  let decoded =
+    List.map
+      (fun line ->
+        match Serve_protocol.decode line with
+        | Error e -> Error e
+        | Ok req ->
+          let budget =
+            match req.Serve_protocol.deadline_s with
+            | Some _ as b -> b
+            | None -> cfg.default_deadline_s
+          in
+          Ok (req, Option.map (fun b -> admitted_at +. b) budget))
+      admitted
+  in
+  let run_one item =
+    Obs.time t_request @@ fun () ->
+    match item with
+    | Error { Serve_protocol.err_id; err } -> (err_id, Error err)
+    | Ok (req, deadline) ->
+      let presq =
+        Pipeline.request ~sims:req.Serve_protocol.sims ~shared:req.Serve_protocol.shared
+          req.Serve_protocol.spec ~m:req.Serve_protocol.m
+      in
+      ( req.Serve_protocol.id,
+        Result.map
+          (fun rep -> Report.to_json ~timings:req.Serve_protocol.timings rep)
+          (Pipeline.run_checked ?deadline presq) )
+  in
+  let outcomes = Pool.map_list ~jobs:cfg.jobs run_one decoded in
+  List.iter
+    (fun (id, res) ->
+      let line =
+        match res with
+        | Ok report_json -> Serve_protocol.ok_response ~id ~report_json
+        | Error err ->
+          count_error err;
+          Serve_protocol.error_response ~id err
+      in
+      Obs.incr c_responses;
+      emit line)
+    outcomes;
+  List.iter
+    (fun line ->
+      let err = Engine_error.Overloaded { capacity = cfg.queue_capacity } in
+      count_error err;
+      Obs.incr c_responses;
+      emit (Serve_protocol.error_response ~id:(Serve_protocol.peek_id line) err))
+    rejected
+
+let serve ?(stop = fun () -> false) cfg ~next ~emit =
+  let rec loop () =
+    if stop () then ()
+    else
+      match next ~block:true with
+      | Eof -> ()
+      | Wait -> loop ()  (* interrupted: re-check [stop] and retry *)
+      | Line first ->
+        (* Drain what is already waiting into this cycle's batch. Reads
+           per cycle are bounded (capacity admitted + capacity rejected);
+           anything beyond stays in the transport's buffer. *)
+        let admitted = ref [ first ] and rejected = ref [] in
+        let n_admitted = ref 1 and n_rejected = ref 0 in
+        let saw_eof = ref false in
+        let draining = ref true in
+        while !draining do
+          if !n_rejected >= cfg.queue_capacity then draining := false
+          else
+            match next ~block:false with
+            | Wait -> draining := false
+            | Eof ->
+              saw_eof := true;
+              draining := false
+            | Line l ->
+              if !n_admitted < cfg.queue_capacity then begin
+                admitted := l :: !admitted;
+                incr n_admitted
+              end
+              else begin
+                rejected := l :: !rejected;
+                incr n_rejected
+              end
+        done;
+        process cfg ~emit (List.rev !admitted) (List.rev !rejected);
+        if !saw_eof then () else loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reader_of_fd fd =
+  let chunk = Bytes.create 65536 in
+  let pending = Queue.create () in
+  let partial = Buffer.create 256 in
+  let eof = ref false in
+  let push_chunk n =
+    let start = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.get chunk i = '\n' then begin
+        Buffer.add_subbytes partial chunk !start (i - !start);
+        Queue.add (Buffer.contents partial) pending;
+        Buffer.clear partial;
+        start := i + 1
+      end
+    done;
+    Buffer.add_subbytes partial chunk !start (n - !start)
+  in
+  (* `Progress: bytes consumed (or EOF reached); `Would_block; `Interrupted *)
+  let try_read ~block =
+    let ready =
+      block
+      ||
+      match Unix.select [ fd ] [] [] 0.0 with
+      | [], _, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if not ready then `Would_block
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+        eof := true;
+        `Progress
+      | n ->
+        push_chunk n;
+        `Progress
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Interrupted
+  in
+  fun ~block ->
+    let rec go () =
+      if not (Queue.is_empty pending) then Line (Queue.pop pending)
+      else if !eof then
+        if Buffer.length partial > 0 then begin
+          (* final line without a trailing newline *)
+          let l = Buffer.contents partial in
+          Buffer.clear partial;
+          Line l
+        end
+        else Eof
+      else
+        match try_read ~block with
+        | `Would_block | `Interrupted -> Wait
+        | `Progress -> go ()
+    in
+    go ()
+
+let write_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let run_pipe ?stop cfg =
+  try
+    serve ?stop cfg ~next:(reader_of_fd Unix.stdin) ~emit:(write_line Unix.stdout)
+  with Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+
+let run_socket ?(stop = fun () -> false) cfg ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 16;
+  let rec accept_loop () =
+    if stop () then ()
+    else
+      match Unix.accept srv with
+      | conn, _ ->
+        Obs.incr c_connections;
+        (try serve ~stop cfg ~next:(reader_of_fd conn) ~emit:(write_line conn)
+         with Unix.Unix_error (Unix.EPIPE, _, _) -> ());
+        (try Unix.close conn with Unix.Unix_error _ -> ());
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    accept_loop

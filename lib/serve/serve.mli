@@ -1,0 +1,82 @@
+(** The [tilings serve] daemon: a long-running batching front-end over
+    the engine pipeline.
+
+    Why a daemon: every one-shot CLI invocation pays process startup and
+    a cold memo cache, but the expensive exact-LP stages depend only on
+    the canonical [(spec, beta, m)] point — across requests the shared
+    {!Memo} tables amortize them, and concurrently-arriving requests
+    batch into one {!Pool}-parallel sweep.
+
+    Production semantics:
+    - {b Bounded admission}: per batch cycle at most [queue_capacity]
+      requests are admitted; further lines already waiting are answered
+      with a structured [overloaded] error instead of buffered without
+      bound (anything not yet read stays in the OS pipe buffer — that is
+      the transport's own backpressure).
+    - {b Deadlines}: a request's [deadline_ms] budget starts at
+      admission (queue wait counts). Expiry returns a [deadline_exceeded]
+      response, checked at pipeline stage boundaries
+      ({!Pipeline.run_checked}); a [deadline_ms] of 0 fails before any
+      work — the liveness probe.
+    - {b Ordering}: one response line per request line, in arrival
+      order, errors included.
+    - {b Drain}: EOF (or a [stop] flag flipped by SIGTERM/SIGINT)
+      finishes the admitted batch, flushes its responses, and returns —
+      no request is half-answered.
+    - {b Isolation}: a malformed or failing request yields an error
+      response; the loop keeps serving.
+
+    Observability ([serve.*], via {!Obs}): counters [serve.requests],
+    [serve.responses], [serve.batches], [serve.errors],
+    [serve.parse_errors], [serve.deadline_exceeded],
+    [serve.rejected_overloaded], [serve.connections], high-watermarks
+    [serve.batch_size_max] / [serve.queue_depth_max] / [serve.pool_jobs],
+    and timers (with latency histograms) [serve.batch] /
+    [serve.request]. Each batch is a [serve.batch] trace span with one
+    [serve.request] child per request. *)
+
+type event =
+  | Line of string  (** one complete request line, newline stripped *)
+  | Wait  (** nothing available without blocking (or interrupted) *)
+  | Eof
+
+type config = {
+  jobs : int;
+      (** pool width for batch execution, resolved {e once} at daemon
+          start (never re-read from [PROJTILE_JOBS] per request) *)
+  queue_capacity : int;  (** max requests admitted per batch cycle *)
+  default_deadline_s : float option;
+      (** budget applied when a request carries no [deadline_ms] *)
+}
+
+val default_config : unit -> config
+(** [jobs = Pool.default_jobs ()], [queue_capacity = 512], no default
+    deadline. *)
+
+val serve :
+  ?stop:(unit -> bool) -> config -> next:(block:bool -> event) ->
+  emit:(string -> unit) -> unit
+(** The transport-agnostic loop: pull lines with [next], push response
+    lines (no trailing newline) with [emit]. [next ~block:true] may
+    return [Wait] only when interrupted (the loop re-checks [stop] and
+    retries); [next ~block:false] returns [Wait] when reading would
+    block, which closes the current batch. Returns on [Eof] or when
+    [stop] reads true between cycles. *)
+
+(** {1 Transports} *)
+
+val reader_of_fd : Unix.file_descr -> block:bool -> event
+(** Buffered line reader over a file descriptor. Non-blocking probes use
+    [select]; [EINTR] surfaces as [Wait] so signal flags get checked. *)
+
+val run_pipe : ?stop:(unit -> bool) -> config -> unit
+(** Serve stdin -> stdout until EOF. Responses are written and flushed
+    line-by-line. A broken stdout ([EPIPE]) drains and returns. *)
+
+val run_socket : ?stop:(unit -> bool) -> config -> path:string -> unit
+(** Listen on a Unix-domain stream socket at [path] (an existing file
+    there is replaced), serving connections sequentially: each
+    connection is an NDJSON session with the same semantics as
+    {!run_pipe}. The socket file is removed on return. Callers should
+    ignore [SIGPIPE] so a vanishing client surfaces as [EPIPE] (handled
+    per-connection) rather than killing the daemon. *)

@@ -1,0 +1,187 @@
+type request = {
+  id : string option;
+  spec : Spec.t;
+  m : int;
+  sims : Pipeline.sim_request list;
+  shared : bool;
+  deadline_s : float option;
+  timings : bool;
+}
+
+type decode_error = { err_id : string option; err : Engine_error.t }
+
+(* ------------------------------------------------------------------ *)
+(* JSON writing (mirrors Report's conventions)                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+let jid = function None -> "null" | Some s -> jstr s
+
+let ok_response ~id ~report_json =
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true,\"report\":%s}" Report.schema_version
+    (jid id) report_json
+
+let error_response ~id err =
+  let position =
+    match err with
+    | Engine_error.Parse_error { line; col; _ } when line > 0 ->
+      Printf.sprintf ",\"line\":%d,\"col\":%d" line col
+    | _ -> ""
+  in
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":false,\"error\":{\"code\":%s,\"message\":%s%s}}"
+    Report.schema_version (jid id)
+    (jstr (Engine_error.code err))
+    (jstr (Engine_error.to_string err))
+    position
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let peek_id line =
+  match Jsonlite.parse line with
+  | Ok json -> Jsonlite.str_member "id" json
+  | Error _ -> None
+
+let schedule_of_string = function
+  | "optimal" -> Some Pipeline.Optimal
+  | "classic" -> Some Pipeline.Classic
+  | "untiled" -> Some Pipeline.Untiled
+  | _ -> None
+
+let policy_of_string = function
+  | "lru" -> Some Policy.Lru
+  | "fifo" -> Some Policy.Fifo
+  | "opt" -> Some Policy.Opt
+  | _ -> None
+
+exception Reject of Engine_error.t
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Reject (Engine_error.Invalid_request s))) fmt
+
+(* A list of strings out of an optional array-of-strings field. *)
+let string_list json field ~default =
+  match Jsonlite.member field json with
+  | None | Some Jsonlite.Null -> default
+  | Some (Jsonlite.Arr items) ->
+    List.map
+      (fun v ->
+        match Jsonlite.to_str v with
+        | Some s -> s
+        | None -> reject "%S must be an array of strings" field)
+      items
+  | Some _ -> reject "%S must be an array of strings" field
+
+let bool_field json field ~default =
+  match Jsonlite.member field json with
+  | None | Some Jsonlite.Null -> default
+  | Some (Jsonlite.Bool b) -> b
+  | Some _ -> reject "%S must be a boolean" field
+
+let int_field json field =
+  match Jsonlite.num_member field json with
+  | Some v when Float.is_integer v && Float.abs v < 1e15 -> Some (int_of_float v)
+  | Some _ -> reject "%S must be an integer" field
+  | None -> (
+    match Jsonlite.member field json with
+    | None | Some Jsonlite.Null -> None
+    | Some _ -> reject "%S must be an integer" field)
+
+let decode line =
+  match Jsonlite.parse line with
+  | Error msg -> Error { err_id = None; err = Parse_error { line = 0; col = 0; message = msg } }
+  | Ok json -> (
+    let err_id = Jsonlite.str_member "id" json in
+    try
+      (match json with Jsonlite.Obj _ -> () | _ -> reject "request must be a JSON object");
+      (match int_field json "v" with
+      | None | Some 1 -> ()
+      | Some v -> reject "unsupported schema version %d (this server speaks v1)" v);
+      let id =
+        match Jsonlite.member "id" json with
+        | None | Some Jsonlite.Null -> None
+        | Some (Jsonlite.Str s) -> Some s
+        | Some _ -> reject "\"id\" must be a string"
+      in
+      let spec =
+        match Jsonlite.str_member "kernel" json with
+        | None -> reject "\"kernel\" is required (preset name or DSL)"
+        | Some text ->
+          if String.contains text ':' then (
+            match Parser.parse text with
+            | Ok s -> s
+            | Error e ->
+              raise
+                (Reject
+                   (Engine_error.Parse_error
+                      {
+                        line = e.Parser.pos.Parser.line;
+                        col = e.Parser.pos.Parser.col;
+                        message = e.Parser.message;
+                      })))
+          else (
+            match Kernels.lookup text with
+            | Ok s -> s
+            | Error msg -> raise (Reject (Engine_error.Invalid_spec msg)))
+      in
+      let m =
+        match int_field json "m" with
+        | Some m -> m
+        | None -> reject "\"m\" (fast-memory words) is required"
+      in
+      let schedules =
+        List.map
+          (fun s ->
+            match schedule_of_string s with
+            | Some sched -> sched
+            | None -> reject "unknown schedule %S (optimal, classic, untiled)" s)
+          (string_list json "schedules" ~default:[])
+      in
+      let policies =
+        List.map
+          (fun s ->
+            match policy_of_string s with
+            | Some p -> p
+            | None -> reject "unknown policy %S (lru, fifo, opt)" s)
+          (string_list json "policies" ~default:[ "lru" ])
+      in
+      let sims =
+        List.concat_map
+          (fun sched -> List.map (fun policy -> Pipeline.sim ~policy sched) policies)
+          schedules
+      in
+      let deadline_s =
+        match Jsonlite.num_member "deadline_ms" json with
+        | Some ms when ms >= 0.0 -> Some (ms /. 1000.0)
+        | Some _ -> reject "\"deadline_ms\" must be non-negative"
+        | None -> (
+          match Jsonlite.member "deadline_ms" json with
+          | None | Some Jsonlite.Null -> None
+          | Some _ -> reject "\"deadline_ms\" must be a number")
+      in
+      Ok
+        {
+          id;
+          spec;
+          m;
+          sims;
+          shared = bool_field json "shared" ~default:true;
+          deadline_s;
+          timings = bool_field json "timings" ~default:false;
+        }
+    with Reject err -> Error { err_id; err })

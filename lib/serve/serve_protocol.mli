@@ -1,0 +1,66 @@
+(** Wire protocol of the [tilings serve] daemon.
+
+    Newline-delimited JSON, one request per line, one response line per
+    request, in arrival order. Schema version 1 (the ["v"] field,
+    {!Report.schema_version}); a request may omit ["v"] and is then
+    treated as v1, but a present-and-different version is refused.
+
+    Request object:
+    {v
+      {"v": 1,                  // optional, must be 1 when present
+       "id": "r42",             // optional, echoed back verbatim
+       "kernel": "matmul",      // preset | alias | unique prefix | DSL
+       "m": 4096,               // required: fast-memory words
+       "schedules": ["optimal", "classic", "untiled"],  // default []
+       "policies": ["lru", "fifo", "opt"],              // default ["lru"]
+       "shared": true,          // default true: also compute shared tile
+       "deadline_ms": 250,      // optional per-request budget
+       "timings": false}        // default false: stage wall-times in report
+    v}
+    Unknown fields are ignored (forward compatibility). The simulations
+    run are the cross product [schedules x policies], exactly like
+    [tilings sweep].
+
+    Response lines (see {!ok_response} / {!error_response}):
+    {v
+      {"v":1,"id":"r42","ok":true,"report":{...Report.to_json...}}
+      {"v":1,"id":"r42","ok":false,
+       "error":{"code":"deadline_exceeded","message":"..."}}
+    v}
+    The embedded ["report"] object is byte-identical to what the
+    one-shot [tilings sweep] emits for the same request. Error ["code"]s
+    are {!Engine_error.code} values; [parse_error]s carry ["line"] and
+    ["col"] fields too. *)
+
+type request = {
+  id : string option;
+  spec : Spec.t;
+  m : int;
+  sims : Pipeline.sim_request list;
+  shared : bool;
+  deadline_s : float option;  (** relative budget in seconds, [>= 0] *)
+  timings : bool;
+}
+
+type decode_error = {
+  err_id : string option;
+      (** the request's ["id"] when the line parsed far enough to have
+          one — so even a rejected request gets a correlatable answer *)
+  err : Engine_error.t;
+}
+
+val decode : string -> (request, decode_error) result
+(** Decode one request line. Malformed JSON -> [Parse_error]; a non-object
+    or missing/ill-typed field -> [Invalid_request]; an unknown preset ->
+    [Invalid_spec]; a DSL kernel that fails to parse -> [Parse_error]
+    with the DSL's line/column. *)
+
+val peek_id : string -> string option
+(** Best-effort ["id"] extraction from a raw line (used for [overloaded]
+    rejections, which are answered without full decoding). *)
+
+val ok_response : id:string option -> report_json:string -> string
+(** [report_json] must be a pre-rendered JSON object
+    ({!Report.to_json}). *)
+
+val error_response : id:string option -> Engine_error.t -> string

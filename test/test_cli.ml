@@ -70,7 +70,8 @@ let test_codegen () =
   check_ok "codegen untiled" "codegen -p nbody --untiled" [ "void nbody(" ]
 
 let test_sweep () =
-  check_ok "sweep json" "sweep -p matvec -m 64,256" [ "\"kernel\""; "\"lower_bound_words\"" ]
+  check_ok "sweep json" "sweep -p matvec -m 64,256"
+    [ "{\"v\":1,\"reports\":["; "\"kernel\""; "\"lower_bound_words\"" ]
 
 let test_metrics () =
   (* sweep --metrics wraps the JSON and embeds the obs snapshot *)
@@ -79,7 +80,7 @@ let test_metrics () =
   (* text-mode subcommands append the human-readable table *)
   check_ok "analyze metrics" "analyze -p matvec -m 1024 --metrics"
     [ "counters:"; "timers:"; "simplex.pivots"; "pipeline.analysis" ];
-  (* without the flag, sweep output stays a bare array *)
+  (* without the flag, the versioned envelope carries no obs section *)
   let code, out = run "sweep -p matvec -m 64" in
   if code <> 0 then Alcotest.failf "sweep: exit %d\n%s" code out;
   if Astring.String.is_infix ~affix:"\"obs\"" out then
@@ -136,11 +137,109 @@ let test_overflow_guards () =
     "partition -k 'i = 2097152, j = 2097152, k = 2097152 : C[i,j,k] += A[i,j]' --procs 1"
     [ "communication: 9223376434901286912 words" ]
 
+(* Pipe [lines] into `tilings serve`, return the response lines. The
+   requests (a few KB) fit in the pipe buffer, so writing everything
+   before reading cannot deadlock. *)
+let run_serve args lines =
+  let cmd = Printf.sprintf "%s serve %s 2>/dev/null" cli args in
+  let ic, oc = Unix.open_process cmd in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process (ic, oc));
+  List.rev !out
+
+let test_serve_pipe () =
+  (* one daemon, >=100 mixed preset requests, responses in arrival order *)
+  let presets = [| ("mm", 64); ("conv", 128); ("nbody", 256); ("matvec", 64) |] in
+  let n = 120 in
+  let reqs =
+    List.init n (fun i ->
+      let k, m = presets.(i mod Array.length presets) in
+      Printf.sprintf "{\"id\":\"r%d\",\"kernel\":%S,\"m\":%d}" i k m)
+  in
+  let out = run_serve "" reqs in
+  if List.length out <> n then
+    Alcotest.failf "serve: %d requests, %d responses" n (List.length out);
+  List.iteri
+    (fun i line ->
+      let id = Printf.sprintf "\"id\":\"r%d\"" i in
+      if not (Astring.String.is_infix ~affix:id line) then
+        Alcotest.failf "response %d out of arrival order: %s" i line;
+      if not (Astring.String.is_infix ~affix:"\"ok\":true" line) then
+        Alcotest.failf "response %d not ok: %s" i line)
+    out
+
+let test_serve_matches_sweep () =
+  (* the daemon's report is byte-identical to the one-shot CLI's *)
+  let code, sweep = run "sweep -p matmul -m 512" in
+  if code <> 0 then Alcotest.failf "sweep: exit %d\n%s" code sweep;
+  let sweep = String.trim sweep in
+  let pre = "{\"v\":1,\"reports\":[" in
+  if not (Astring.String.is_prefix ~affix:pre sweep) then
+    Alcotest.failf "sweep envelope changed: %s" sweep;
+  let report =
+    String.sub sweep (String.length pre) (String.length sweep - String.length pre - 2)
+  in
+  match run_serve "" [ "{\"id\":\"a\",\"kernel\":\"matmul\",\"m\":512}" ] with
+  | [ line ] ->
+    let expected =
+      Printf.sprintf "{\"v\":1,\"id\":\"a\",\"ok\":true,\"report\":%s}" report
+    in
+    Alcotest.(check string) "byte-identical report" expected line
+  | out -> Alcotest.failf "expected 1 response, got %d" (List.length out)
+
+let test_serve_golden () =
+  let read_lines file =
+    let ic = open_in file in
+    let out = ref [] in
+    (try
+       while true do
+         out := input_line ic :: !out
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !out
+  in
+  let out = run_serve "" (read_lines "golden/serve_requests.ndjson") in
+  Alcotest.(check (list string))
+    "transcript byte-identical" (read_lines "golden/serve_transcript.ndjson") out
+
+let test_serve_metrics () =
+  (* serve --metrics prints the serve.* section to stderr after drain *)
+  let cmd = Printf.sprintf "echo '%s' | %s serve --metrics 2>&1 >/dev/null"
+      "{\"kernel\":\"matvec\",\"m\":64}" cli
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 512 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  let err = Buffer.contents buf in
+  List.iter
+    (fun f ->
+      if not (Astring.String.is_infix ~affix:f err) then
+        Alcotest.failf "serve --metrics stderr missing %S\n%s" f err)
+    [ "serve.requests"; "serve.responses"; "serve.batch"; "serve.pool_jobs"; "serve: pool:" ]
+
 let test_error_paths () =
   check_fails "no kernel" "analyze" "kernel is required";
   check_fails "both sources" "analyze -p matmul -k 'i = 2 : A[i] = B[i]'" "not both";
   check_fails "unknown preset" "analyze -p nosuch" "unknown preset";
-  check_fails "bad dsl" "analyze -k 'garbage'" "cannot parse kernel";
+  check_fails "bad dsl" "analyze -k 'garbage'" "parse error";
+  check_fails "bad dsl position" "analyze -k 'garbage'" "line 1";
   check_fails "bad cache" "analyze -p matmul -m 1" "cache";
   check_fails "bad levels" "hierarchy -p matmul --levels 512,256" "increasing"
 
@@ -165,5 +264,12 @@ let () =
           Alcotest.test_case "trace flag" `Quick test_trace_flag;
           Alcotest.test_case "overflow guards" `Quick test_overflow_guards;
           Alcotest.test_case "error paths" `Quick test_error_paths;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "pipe 120 requests" `Quick test_serve_pipe;
+          Alcotest.test_case "matches sweep" `Quick test_serve_matches_sweep;
+          Alcotest.test_case "golden transcript" `Quick test_serve_golden;
+          Alcotest.test_case "metrics" `Quick test_serve_metrics;
         ] );
     ]

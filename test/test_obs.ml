@@ -278,8 +278,14 @@ let test_json_of_sweep_obs_section () =
   Engine.reset_caches ();
   let reports = sweep_reports () in
   let plain = Report.json_of_sweep ~timings:false reports in
-  Alcotest.(check bool) "no obs: bare array" true
-    (String.length plain > 0 && plain.[0] = '[');
+  Alcotest.(check bool) "no obs: versioned object" true
+    (String.length plain > 0 && plain.[0] = '{');
+  Alcotest.(check bool) "no obs: schema version" true
+    (Astring.String.is_prefix ~affix:"{\"v\":1," plain);
+  Alcotest.(check bool) "no obs: reports key" true
+    (Astring.String.is_infix ~affix:"\"reports\":[" plain);
+  Alcotest.(check bool) "no obs: no obs key" true
+    (not (Astring.String.is_infix ~affix:"\"obs\"" plain));
   let j = Report.json_of_sweep ~timings:false ~obs:(Obs.to_json (Obs.snapshot ())) reports in
   let contains sub = Astring.String.is_infix ~affix:sub j in
   Alcotest.(check bool) "wrapped object" true (j.[0] = '{');

@@ -1,0 +1,339 @@
+(* The serve layer: request decoding, response encoding, and the
+   transport-agnostic batching loop (driven by scripted events — no
+   pipes or sockets, so every scenario is deterministic), plus the
+   checked engine API underneath it. *)
+
+let spec_of name =
+  match Kernels.lookup name with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "preset %s: %s" name msg
+
+(* ------------------------------------------------------------------ *)
+(* Response-line probes (responses are JSON — parse them back)         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_line line =
+  match Jsonlite.parse line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+
+let resp_id line = Jsonlite.str_member "id" (parse_line line)
+
+let resp_ok line =
+  match Jsonlite.member "ok" (parse_line line) with
+  | Some (Jsonlite.Bool b) -> b
+  | _ -> Alcotest.failf "response missing \"ok\": %s" line
+
+let resp_error_code line =
+  match Jsonlite.member "error" (parse_line line) with
+  | Some err -> Jsonlite.str_member "code" err
+  | None -> None
+
+let resp_version line =
+  match Jsonlite.num_member "v" (parse_line line) with
+  | Some v -> int_of_float v
+  | None -> Alcotest.failf "response missing \"v\": %s" line
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: decoding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_decode_minimal () =
+  match Serve_protocol.decode {|{"kernel":"matmul","m":64}|} with
+  | Error _ -> Alcotest.fail "minimal request rejected"
+  | Ok req ->
+    Alcotest.(check (option string)) "no id" None req.Serve_protocol.id;
+    Alcotest.(check string) "kernel" "matmul" req.Serve_protocol.spec.Spec.name;
+    Alcotest.(check int) "m" 64 req.Serve_protocol.m;
+    Alcotest.(check int) "no sims by default" 0 (List.length req.Serve_protocol.sims);
+    Alcotest.(check bool) "shared defaults on" true req.Serve_protocol.shared;
+    Alcotest.(check bool) "no deadline" true (req.Serve_protocol.deadline_s = None);
+    Alcotest.(check bool) "timings off" false req.Serve_protocol.timings
+
+let test_decode_full () =
+  let line =
+    {|{"v":1,"id":"q7","kernel":"mv","m":256,"schedules":["optimal","classic"],|}
+    ^ {|"policies":["lru","fifo"],"shared":false,"deadline_ms":1500,"timings":true}|}
+  in
+  match Serve_protocol.decode line with
+  | Error _ -> Alcotest.fail "full request rejected"
+  | Ok req ->
+    Alcotest.(check (option string)) "id" (Some "q7") req.Serve_protocol.id;
+    (* "mv" is the matvec alias *)
+    Alcotest.(check string) "alias resolved" "matvec" req.Serve_protocol.spec.Spec.name;
+    Alcotest.(check int) "schedules x policies" 4 (List.length req.Serve_protocol.sims);
+    Alcotest.(check bool) "shared off" false req.Serve_protocol.shared;
+    Alcotest.(check (option (float 1e-9))) "deadline in seconds" (Some 1.5)
+      req.Serve_protocol.deadline_s;
+    Alcotest.(check bool) "timings on" true req.Serve_protocol.timings
+
+let test_decode_dsl () =
+  match Serve_protocol.decode {|{"kernel":"i = 8, j = 8 : A[i] += B[i,j]","m":32}|} with
+  | Error _ -> Alcotest.fail "DSL kernel rejected"
+  | Ok req -> Alcotest.(check int) "two loops" 2 (Array.length req.Serve_protocol.spec.Spec.loops)
+
+let expect_error name line pred =
+  match Serve_protocol.decode line with
+  | Ok _ -> Alcotest.failf "%s: expected a decode error" name
+  | Error { Serve_protocol.err_id; err } -> pred err_id err
+
+let test_decode_errors () =
+  expect_error "not json" "this is not json" (fun id err ->
+    Alcotest.(check (option string)) "no id recoverable" None id;
+    match err with
+    | Engine_error.Parse_error { line = 0; col = 0; _ } -> ()
+    | e -> Alcotest.failf "wanted parse_error at 0:0, got %s" (Engine_error.code e));
+  expect_error "missing m" {|{"id":"x1","kernel":"matmul"}|} (fun id err ->
+    (* the id still rides along so the error response can carry it *)
+    Alcotest.(check (option string)) "id preserved" (Some "x1") id;
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  expect_error "missing kernel" {|{"m":64}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  expect_error "bad version" {|{"v":2,"kernel":"matmul","m":64}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  expect_error "unknown kernel" {|{"kernel":"nosuch","m":64}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_spec" (Engine_error.code err));
+  expect_error "bad schedule" {|{"kernel":"matmul","m":64,"schedules":["zig"]}|}
+    (fun _ err -> Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  expect_error "bad dsl has position" {|{"kernel":"i = 4 : garbage[","m":64}|}
+    (fun _ err ->
+      match err with
+      | Engine_error.Parse_error { line; _ } ->
+        Alcotest.(check bool) "line set" true (line >= 1)
+      | e -> Alcotest.failf "wanted parse_error, got %s" (Engine_error.code e))
+
+let test_peek_id () =
+  Alcotest.(check (option string)) "valid" (Some "a")
+    (Serve_protocol.peek_id {|{"id":"a","kernel":"nosuch","m":1}|});
+  Alcotest.(check (option string)) "malformed" None (Serve_protocol.peek_id "garbage")
+
+let test_response_shapes () =
+  let ok = Serve_protocol.ok_response ~id:(Some "a") ~report_json:{|{"x":1}|} in
+  Alcotest.(check string) "ok line" {|{"v":1,"id":"a","ok":true,"report":{"x":1}}|} ok;
+  let err =
+    Serve_protocol.error_response ~id:None
+      (Engine_error.Parse_error { line = 3; col = 9; message = "boom" })
+  in
+  Alcotest.(check string) "error line"
+    {|{"v":1,"id":null,"ok":false,"error":{"code":"parse_error","message":"parse error: line 3, col 9: boom","line":3,"col":9}}|}
+    err
+
+(* ------------------------------------------------------------------ *)
+(* Checked engine API                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_checked () =
+  let spec = spec_of "matmul" in
+  (match Engine.analyze_checked spec ~m:64 with
+  | Ok r -> Alcotest.(check int) "m echoed" 64 r.Report.m
+  | Error e -> Alcotest.failf "valid request failed: %s" (Engine_error.to_string e));
+  (match Engine.analyze_checked spec ~m:1 with
+  | Error (Engine_error.Cache_too_small { m = 1; _ }) -> ()
+  | Error e -> Alcotest.failf "wanted cache_too_small, got %s" (Engine_error.code e)
+  | Ok _ -> Alcotest.fail "m=1 accepted");
+  (* an already-expired deadline trips before any work *)
+  (match Engine.analyze_checked ~deadline:0.0 spec ~m:64 with
+  | Error (Engine_error.Deadline_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wanted deadline_exceeded, got %s" (Engine_error.code e)
+  | Ok _ -> Alcotest.fail "expired deadline accepted");
+  (* the raising wrapper surfaces the same typed error *)
+  match Pipeline.run (Pipeline.request spec ~m:1) with
+  | _ -> Alcotest.fail "raising wrapper did not raise"
+  | exception Engine_error.Error (Engine_error.Cache_too_small _) -> ()
+
+let test_run_checked_too_large () =
+  match Parser.parse_string "i = 2097152, j = 2097152, k = 2097152 : C[i,j,k] += A[i,j]" with
+  | Error e -> Alcotest.failf "spec: %s" e
+  | Ok spec -> (
+    let sims = [ Pipeline.sim ~policy:Policy.Lru Pipeline.Optimal ] in
+    match Engine.analyze_checked ~sims spec ~m:1024 with
+    | Error (Engine_error.Kernel_too_large { iterations; _ }) ->
+      Alcotest.(check string) "exact count" "9223372036854775808" iterations
+    | Error e -> Alcotest.failf "wanted kernel_too_large, got %s" (Engine_error.code e)
+    | Ok _ -> Alcotest.fail "2^63 iterations accepted for simulation")
+
+(* ------------------------------------------------------------------ *)
+(* The serve loop, driven by scripted events                           *)
+(* ------------------------------------------------------------------ *)
+
+let feeder events =
+  let q = ref events in
+  fun ~block:_ ->
+    match !q with
+    | [] -> Serve.Eof
+    | e :: rest ->
+      q := rest;
+      e
+
+let run_loop ?(cfg = { (Serve.default_config ()) with jobs = 1 }) events =
+  let out = ref [] in
+  Serve.serve cfg ~next:(feeder events) ~emit:(fun l -> out := l :: !out);
+  List.rev !out
+
+let req ?(extra = "") i = Printf.sprintf {|{"id":"r%d","kernel":"matvec","m":64%s}|} i extra
+
+let test_loop_order () =
+  (* one batch of four: responses come back in arrival order *)
+  let events = [ Serve.Line (req 0); Line (req 1); Line (req 2); Line (req 3); Eof ] in
+  let out = run_loop events in
+  Alcotest.(check (list (option string))) "arrival order"
+    [ Some "r0"; Some "r1"; Some "r2"; Some "r3" ]
+    (List.map resp_id out);
+  List.iter (fun l ->
+    Alcotest.(check bool) "ok" true (resp_ok l);
+    Alcotest.(check int) "versioned" 1 (resp_version l))
+    out
+
+let test_loop_wait_splits_batches () =
+  (* Wait closes the current batch; the loop then blocks for the next *)
+  let events = [ Serve.Line (req 0); Wait; Line (req 1); Eof ] in
+  let out = run_loop events in
+  Alcotest.(check int) "both answered" 2 (List.length out)
+
+let test_loop_malformed_recovery () =
+  (* a garbage line gets an error response; the loop keeps serving *)
+  let events =
+    [ Serve.Line (req 0); Line "garbage"; Line {|{"id":"r2","kernel":"matvec"}|};
+      Line (req 3); Eof ]
+  in
+  let out = run_loop events in
+  Alcotest.(check (list (option string))) "order kept, errors included"
+    [ Some "r0"; None; Some "r2"; Some "r3" ]
+    (List.map resp_id out);
+  Alcotest.(check (list (option string))) "codes"
+    [ None; Some "parse_error"; Some "invalid_request"; None ]
+    (List.map resp_error_code out)
+
+let test_loop_deadline () =
+  (* deadline_ms 0 is the liveness probe: fails before any work *)
+  let out = run_loop [ Serve.Line (req ~extra:{|,"deadline_ms":0|} 0); Eof ] in
+  match out with
+  | [ l ] ->
+    Alcotest.(check bool) "not ok" false (resp_ok l);
+    Alcotest.(check (option string)) "code" (Some "deadline_exceeded") (resp_error_code l)
+  | _ -> Alcotest.failf "expected 1 response, got %d" (List.length out)
+
+let test_loop_default_deadline () =
+  (* config-level default applies only to requests without their own *)
+  let cfg = { (Serve.default_config ()) with jobs = 1; default_deadline_s = Some 0.0 } in
+  let out =
+    run_loop ~cfg
+      [ Serve.Line (req 0); Line (req ~extra:{|,"deadline_ms":60000|} 1); Eof ]
+  in
+  Alcotest.(check (list (option string))) "only r0 expired"
+    [ Some "deadline_exceeded"; None ]
+    (List.map resp_error_code out)
+
+let test_loop_overloaded () =
+  (* capacity 1: of three immediately-available lines, the first is
+     admitted, the second rejected as overloaded (with its id), and the
+     third — beyond this cycle's bounded reads — is served next cycle *)
+  let cfg = { (Serve.default_config ()) with jobs = 1; queue_capacity = 1 } in
+  let out = run_loop ~cfg [ Serve.Line (req 0); Line (req 1); Line (req 2); Eof ] in
+  Alcotest.(check (list (option string))) "order"
+    [ Some "r0"; Some "r1"; Some "r2" ]
+    (List.map resp_id out);
+  Alcotest.(check (list (option string))) "middle rejected"
+    [ None; Some "overloaded"; None ]
+    (List.map resp_error_code out)
+
+let test_loop_eof_drains () =
+  (* EOF seen while draining: the whole admitted batch is still answered *)
+  let out = run_loop [ Serve.Line (req 0); Line (req 1); Line (req 2); Eof ] in
+  Alcotest.(check int) "all three answered" 3 (List.length out)
+
+let test_loop_stop_flag () =
+  let out = ref [] in
+  Serve.serve ~stop:(fun () -> true)
+    { (Serve.default_config ()) with jobs = 1 }
+    ~next:(feeder [ Serve.Line (req 0) ])
+    ~emit:(fun l -> out := l :: !out);
+  Alcotest.(check int) "stop before reading" 0 (List.length !out)
+
+let test_batch_matches_sequential () =
+  (* the same requests, batched wide vs one at a time, produce
+     byte-identical response lines *)
+  let reqs =
+    List.init 8 (fun i ->
+      Printf.sprintf
+        {|{"id":"r%d","kernel":"%s","m":%d,"schedules":["optimal"]}|} i
+        (if i mod 2 = 0 then "matvec" else "outer_product")
+        (64 * (1 + (i mod 3))))
+  in
+  let wide =
+    run_loop
+      ~cfg:{ (Serve.default_config ()) with jobs = 4 }
+      (List.map (fun l -> Serve.Line l) reqs @ [ Serve.Eof ])
+  in
+  let narrow =
+    run_loop (List.concat_map (fun l -> [ Serve.Line l; Serve.Wait ]) reqs @ [ Serve.Eof ])
+  in
+  Alcotest.(check (list string)) "byte-identical" narrow wide
+
+let test_report_matches_engine () =
+  (* a serve response embeds exactly the report the engine API returns *)
+  let spec = spec_of "matmul" in
+  let expected =
+    (* serve defaults shared:true, analyze_checked defaults it off *)
+    match Engine.analyze_checked ~shared:true spec ~m:256 with
+    | Ok r -> Report.to_json ~timings:false r
+    | Error e -> Alcotest.failf "engine: %s" (Engine_error.to_string e)
+  in
+  let out = run_loop [ Serve.Line {|{"id":"a","kernel":"matmul","m":256}|}; Eof ] in
+  match out with
+  | [ line ] ->
+    Alcotest.(check string) "embedded verbatim"
+      (Serve_protocol.ok_response ~id:(Some "a") ~report_json:expected)
+      line
+  | _ -> Alcotest.failf "expected 1 response, got %d" (List.length out)
+
+let test_serve_counters () =
+  Obs.reset ();
+  let cv name =
+    let s = Obs.snapshot () in
+    match List.assoc_opt name s.Obs.scounters with Some v -> v | None -> 0
+  in
+  let _ =
+    run_loop
+      [ Serve.Line (req 0); Line "garbage"; Line (req ~extra:{|,"deadline_ms":0|} 2); Eof ]
+  in
+  Alcotest.(check int) "requests" 3 (cv "serve.requests");
+  Alcotest.(check int) "responses" 3 (cv "serve.responses");
+  Alcotest.(check int) "errors" 2 (cv "serve.errors");
+  Alcotest.(check int) "parse errors" 1 (cv "serve.parse_errors");
+  Alcotest.(check int) "deadline exceeded" 1 (cv "serve.deadline_exceeded");
+  Alcotest.(check int) "batches" 1 (cv "serve.batches");
+  Alcotest.(check int) "batch high-watermark" 3 (cv "serve.batch_size_max")
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "decode minimal" `Quick test_decode_minimal;
+          Alcotest.test_case "decode full" `Quick test_decode_full;
+          Alcotest.test_case "decode dsl" `Quick test_decode_dsl;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "peek id" `Quick test_peek_id;
+          Alcotest.test_case "response shapes" `Quick test_response_shapes;
+        ] );
+      ( "checked",
+        [
+          Alcotest.test_case "run_checked" `Quick test_run_checked;
+          Alcotest.test_case "kernel too large" `Quick test_run_checked_too_large;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "arrival order" `Quick test_loop_order;
+          Alcotest.test_case "wait splits batches" `Quick test_loop_wait_splits_batches;
+          Alcotest.test_case "malformed recovery" `Quick test_loop_malformed_recovery;
+          Alcotest.test_case "deadline" `Quick test_loop_deadline;
+          Alcotest.test_case "default deadline" `Quick test_loop_default_deadline;
+          Alcotest.test_case "overloaded" `Quick test_loop_overloaded;
+          Alcotest.test_case "eof drains batch" `Quick test_loop_eof_drains;
+          Alcotest.test_case "stop flag" `Quick test_loop_stop_flag;
+          Alcotest.test_case "batch = sequential" `Quick test_batch_matches_sequential;
+          Alcotest.test_case "report matches engine" `Quick test_report_matches_engine;
+          Alcotest.test_case "serve counters" `Quick test_serve_counters;
+        ] );
+    ]
