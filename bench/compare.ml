@@ -3,6 +3,7 @@
 
      dune exec bench/compare.exe -- bench/baseline/BENCH_engine.json BENCH_engine.json
      dune exec bench/compare.exe -- --strict --time-threshold 0.5 OLD NEW
+     dune exec bench/compare.exe -- --strict --only E18 OLD NEW
 
    Checks, per experiment id:
      - wall time: NEW more than (1 + threshold) x OLD seconds is a
@@ -63,6 +64,7 @@ let load path =
 let () =
   let strict = ref false in
   let threshold = ref 0.25 in
+  let only = ref [] in
   let paths = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -74,6 +76,9 @@ let () =
       | Some t when t >= 0.0 -> threshold := t
       | _ -> die "--time-threshold: expected a non-negative number, got %S" v);
       parse_args rest
+    | "--only" :: ids :: rest ->
+      only := !only @ String.split_on_char ',' ids;
+      parse_args rest
     | a :: _ when String.length a > 0 && a.[0] = '-' -> die "unknown option %s" a
     | p :: rest ->
       paths := p :: !paths;
@@ -84,9 +89,23 @@ let () =
     match List.rev !paths with
     | [ b; n ] -> (b, n)
     | _ ->
-      die "usage: compare [--strict] [--time-threshold T] BASELINE.json NEW.json"
+      die
+        "usage: compare [--strict] [--time-threshold T] [--only E1,E2] BASELINE.json NEW.json"
   in
-  let base = load base_path and fresh = load new_path in
+  (* --only narrows the comparison to the named experiment ids (repeatable,
+     comma-separable) — the CI gate on the plan-layer experiment uses this
+     to be strict about E18 without being strict about timing noise
+     elsewhere. *)
+  let restrict exps =
+    if !only = [] then exps else List.filter (fun (id, _) -> List.mem id !only) exps
+  in
+  let base = restrict (load base_path) and fresh = restrict (load new_path) in
+  (if !only <> [] then
+     List.iter
+       (fun id ->
+         if not (List.mem_assoc id base || List.mem_assoc id fresh) then
+           die "--only %s: no such experiment in either file" id)
+       !only);
   let findings = ref 0 in
   let report fmt =
     incr findings;

@@ -89,6 +89,15 @@ let fail_error e : 'a =
     (Engine_error.to_string e);
   exit (Engine_error.exit_code e)
 
+(* Library aborts (Closed_form / Tiling_plan refusing an oversized
+   shape, say) rendered through the typed-error map, so the CLI exits
+   with the same stable code ([shape_too_large], 11) the server would
+   put on the wire. *)
+let fail_typed_exn exn : 'a =
+  match Engine_error.of_exn exn with
+  | Some e -> fail_error e
+  | None -> raise exn
+
 let pp_bounds spec =
   String.concat " x " (List.map string_of_int (Array.to_list spec.Spec.bounds))
 
@@ -240,12 +249,109 @@ let closed_form_cmd =
           "optimal tile cardinality = M^f with beta_i = log_M L_i and@.f(beta) = %a@."
           Closed_form.pp cf;
         `Ok ()
-      | exception Invalid_argument msg -> fail "%s" msg)
+      | exception (Invalid_argument _ as exn) -> fail_typed_exn exn)
   in
   Cmd.v
     (Cmd.info "closed-form"
        ~doc:"Piecewise-linear closed form of the tile exponent (Section 7)")
     Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg $ trace_arg))
+
+(* A versioned plan bundle, the interchange format between [compile -o]
+   and [serve --plans]. *)
+let plans_doc plans =
+  Printf.sprintf "{\"v\":1,\"plans\":[%s]}"
+    (String.concat "," (List.map Tiling_plan.to_json plans))
+
+let load_plans file =
+  match Jsonlite.of_file file with
+  | Error msg -> Error (Printf.sprintf "--plans %s: %s" file msg)
+  | Ok json -> (
+    match Jsonlite.num_member "v" json with
+    | Some 1.0 -> (
+      match Jsonlite.list_member "plans" json with
+      | None -> Error (Printf.sprintf "--plans %s: expected a \"plans\" array" file)
+      | Some items ->
+        let rec go n = function
+          | [] -> Ok n
+          | item :: rest -> (
+            match Tiling_plan.of_json item with
+            | Error msg -> Error (Printf.sprintf "--plans %s: plan %d: %s" file n msg)
+            | Ok plan ->
+              Engine.install_plan plan;
+              go (n + 1) rest)
+        in
+        go 0 items)
+    | Some v -> Error (Printf.sprintf "--plans %s: unsupported version %g (expected 1)" file v)
+    | None -> Error (Printf.sprintf "--plans %s: expected {\"v\":1,\"plans\":[...]}" file))
+
+let compile_cmd =
+  let run kernel preset all out metrics trace =
+    with_obs metrics trace
+    @@ fun () ->
+    let specs =
+      if all then
+        if kernel <> None || preset <> None then
+          Error (`Usage "give --all alone, without --kernel/--preset")
+        else Ok (List.map snd preset_specs)
+      else Result.map (fun s -> [ s ]) (resolve_spec kernel preset)
+    in
+    match specs with
+    | Error (`Usage msg) -> fail "%s" msg
+    | Error (`Typed e) -> fail_error e
+    | Ok specs ->
+      (* Distinct presets can share a canonical shape (matvec and a
+         transposed matvec, say); one plan per shape is all a preload
+         needs, so deduplicate by plan key. *)
+      let seen = Hashtbl.create 16 in
+      let plans =
+        List.filter_map
+          (fun spec ->
+            match Engine.plan_of spec with
+            | Error e -> fail_error e
+            | Ok plan ->
+              let k = Tiling_plan.key plan in
+              if Hashtbl.mem seen k then None
+              else begin
+                Hashtbl.add seen k ();
+                Some plan
+              end)
+          specs
+      in
+      let doc = plans_doc plans in
+      (match out with
+      | None -> print_endline doc
+      | Some file ->
+        let oc = open_out file in
+        output_string oc doc;
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "compile: %d plan%s -> %s\n%!" (List.length plans)
+          (if List.length plans = 1 then "" else "s")
+          file);
+      `Ok ()
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Compile a plan for every stock preset (deduplicated by kernel shape).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the plan bundle to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile the per-shape tiling plan (Section 7 dual-vertex tables) for a \
+          kernel — or every preset — as a versioned JSON bundle that $(b,serve \
+          --plans) preloads; answering any (bounds, M) request from a plan needs \
+          no LP solves")
+    Term.(
+      ret (const run $ kernel_arg $ preset_arg $ all_arg $ out_arg $ metrics_arg $ trace_arg))
 
 let schedule_conv =
   Arg.enum
@@ -478,10 +584,21 @@ let profile_cmd =
        $ jobs_arg $ trace_arg))
 
 let serve_cmd =
-  let run socket queue jobs deadline_ms metrics trace =
+  let run socket queue jobs deadline_ms plans metrics trace =
     if queue < 1 then fail "queue capacity must be at least 1"
     else if deadline_ms < 0 then fail "--deadline-ms must be non-negative"
     else begin
+      (* The daemon defers plan compilation to batch boundaries: a new
+         shape is answered on the LP path first, its plan compiles after
+         the responses flush (Serve's warm-up contract). Preloaded plans
+         skip even that first LP round. *)
+      Engine.set_plan_mode Engine.Plan_deferred;
+      (match plans with
+      | None -> ()
+      | Some file -> (
+        match load_plans file with
+        | Ok n -> Printf.eprintf "serve: plans: %d preloaded\n%!" n
+        | Error msg -> fail_error (Engine_error.Invalid_request msg)));
       if trace <> None then begin
         Obs.Trace.enable ();
         Obs.Trace.set_lane_name "main"
@@ -577,6 +694,16 @@ let serve_cmd =
             "Default per-request budget applied when a request carries no \
              $(b,deadline_ms) field; 0 means no default deadline.")
   in
+  let plans_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plans" ] ~docv:"FILE"
+          ~doc:
+            "Preload a plan bundle written by $(b,tilings compile -o) (schema \
+             {\"v\":1,\"plans\":[...]}), so requests for those kernel shapes \
+             are plan-served from the very first batch, with no LP warm-up.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -585,8 +712,8 @@ let serve_cmd =
           requests into one parallel sweep over a warm memo cache")
     Term.(
       ret
-        (const run $ socket_arg $ queue_arg $ jobs_arg $ deadline_arg $ metrics_arg
-       $ trace_arg))
+        (const run $ socket_arg $ queue_arg $ jobs_arg $ deadline_arg $ plans_arg
+       $ metrics_arg $ trace_arg))
 
 let partition_cmd =
   let run kernel preset procs metrics trace =
@@ -707,7 +834,7 @@ let regions_cmd =
           (fun r -> Format.printf "%a@.@." (Closed_form.pp_region ~loops:spec.Spec.loops) r)
           (Closed_form.regions cf);
         `Ok ()
-      | exception Invalid_argument msg -> fail "%s" msg)
+      | exception (Invalid_argument _ as exn) -> fail_typed_exn exn)
   in
   Cmd.v
     (Cmd.info "regions"
@@ -738,6 +865,7 @@ let () =
             lower_bound_cmd;
             tile_cmd;
             closed_form_cmd;
+            compile_cmd;
             regions_cmd;
             simulate_cmd;
             sweep_cmd;

@@ -37,3 +37,11 @@ let tile_shared = Pipeline.tile_shared
 let hierarchy = Pipeline.hierarchy
 let cache_stats = Pipeline.cache_stats
 let reset_caches = Pipeline.reset_caches
+
+type plan_mode = Pipeline.plan_mode = Plan_off | Plan_inline | Plan_deferred
+
+let set_plan_mode = Pipeline.set_plan_mode
+let plan_mode = Pipeline.plan_mode
+let plan_of = Pipeline.plan_of
+let install_plan = Pipeline.install_plan
+let compile_pending = Pipeline.compile_pending

@@ -74,3 +74,16 @@ val hierarchy :
 
 val cache_stats : unit -> int * int
 val reset_caches : unit -> unit
+
+(** {1 Tiling plans}
+
+    Re-exports of the {!Pipeline} plan layer: per-shape compiled answer
+    tables that remove simplex solves from repeat-shape workloads. *)
+
+type plan_mode = Pipeline.plan_mode = Plan_off | Plan_inline | Plan_deferred
+
+val set_plan_mode : plan_mode -> unit
+val plan_mode : unit -> plan_mode
+val plan_of : Spec.t -> (Tiling_plan.t, Engine_error.t) result
+val install_plan : Tiling_plan.t -> unit
+val compile_pending : ?jobs:int -> unit -> int

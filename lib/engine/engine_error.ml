@@ -6,6 +6,7 @@ type t =
   | Kernel_too_large of { iterations : string; limit : int }
   | Deadline_exceeded of { stage : string }
   | Overloaded of { capacity : int }
+  | Shape_too_large of { detail : string }
   | Internal of string
 
 exception Error of t
@@ -20,6 +21,7 @@ let code = function
   | Kernel_too_large _ -> "kernel_too_large"
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Overloaded _ -> "overloaded"
+  | Shape_too_large _ -> "shape_too_large"
   | Internal _ -> "internal"
 
 let exit_code = function
@@ -31,6 +33,7 @@ let exit_code = function
   | Overloaded _ -> 7
   | Invalid_request _ -> 8
   | Internal _ -> 10
+  | Shape_too_large _ -> 11
 
 let to_string = function
   | Parse_error { line; col; message } ->
@@ -50,10 +53,23 @@ let to_string = function
   | Overloaded { capacity } ->
     Printf.sprintf "server overloaded: admission queue full (capacity %d); retry later"
       capacity
+  | Shape_too_large { detail } ->
+    Printf.sprintf "shape too large for closed-form/plan compilation: %s" detail
   | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+(* Closed_form.compute and Tiling_plan.compile both refuse oversized
+   shapes with an Invalid_argument whose message carries this marker;
+   anything else invalid about a spec stays Invalid_spec. *)
+let shape_marker = "shape too large"
+
+let contains_marker msg =
+  let lm = String.length shape_marker and l = String.length msg in
+  let rec go i = i + lm <= l && (String.sub msg i lm = shape_marker || go (i + 1)) in
+  go 0
 
 let of_exn = function
   | Error t -> Some t
+  | Invalid_argument msg when contains_marker msg -> Some (Shape_too_large { detail = msg })
   | Invalid_argument msg -> Some (Invalid_spec msg)
   | Failure msg -> Some (Internal msg)
   | _ -> None

@@ -32,6 +32,11 @@ type t =
       (** the request's deadline passed before/while running [stage] *)
   | Overloaded of { capacity : int }
       (** admission queue full: the request was rejected, not queued *)
+  | Shape_too_large of { detail : string }
+      (** {!Closed_form.compute} or {!Tiling_plan.compile} refused the
+          shape: its vertex-enumeration candidate count exceeds the
+          budget. Analysis requests for such shapes still succeed via
+          the direct LP path; only explicit compilation fails. *)
   | Internal of string  (** an invariant violation surfaced as [Failure] *)
 
 exception Error of t
@@ -42,19 +47,21 @@ val raise_error : t -> 'a
 val code : t -> string
 (** Stable wire identifier: ["parse_error"], ["invalid_spec"],
     ["invalid_request"], ["cache_too_small"], ["kernel_too_large"],
-    ["deadline_exceeded"], ["overloaded"], ["internal"]. *)
+    ["deadline_exceeded"], ["overloaded"], ["shape_too_large"],
+    ["internal"]. *)
 
 val exit_code : t -> int
 (** Distinct CLI exit codes, disjoint from 0 (success), 1 (generic) and
     cmdliner's 124/125: parse_error 2, invalid_spec 3, cache_too_small 4,
     kernel_too_large 5, deadline_exceeded 6, overloaded 7,
-    invalid_request 8, internal 10. *)
+    invalid_request 8, internal 10, shape_too_large 11. *)
 
 val to_string : t -> string
 (** Human-readable one-line message (no trailing newline). *)
 
 val of_exn : exn -> t option
 (** Classify an exception raised by the analysis stack:
-    [Error t] itself, [Invalid_argument] (-> [Invalid_spec]) and
-    [Failure] (-> [Internal]). [None] for anything else — asynchronous
-    exceptions must not be swallowed. *)
+    [Error t] itself, [Invalid_argument] (-> [Shape_too_large] when the
+    message carries the enumerators' ["shape too large"] marker,
+    [Invalid_spec] otherwise) and [Failure] (-> [Internal]). [None] for
+    anything else — asynchronous exceptions must not be swallowed. *)

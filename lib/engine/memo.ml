@@ -76,6 +76,8 @@ let key_of_spec (spec : Spec.t) =
   Buffer.add_string buf (String.concat "|" rows);
   Buffer.contents buf
 
+let key_of_shape = Tiling_plan.shape_key
+
 let key_of_spec_beta spec ~beta =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (key_of_spec spec);

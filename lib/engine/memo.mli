@@ -44,5 +44,11 @@ val key_of_spec : Spec.t -> string
 (** Canonical rendering of bounds + sorted (support, mode) rows; loop and
     array names do not appear. *)
 
+val key_of_shape : Spec.t -> string
+(** {!key_of_spec} without the bounds prefix ({!Tiling_plan.shape_key}):
+    the key of the kernel's {e shape} alone. Everything the tiling plan
+    serves depends only on this, so plans for [matmul] at 512-cubed and
+    4096-cubed are one cache entry. *)
+
 val key_of_spec_beta : Spec.t -> beta:Rat.t array -> string
 (** {!key_of_spec} extended with the exact rational [beta] vector. *)

@@ -79,9 +79,58 @@ val sim_iteration_limit : int
 (** Iteration-count ceiling above which simulation requests are refused
     ([2 * 10^7] — the cache simulator touches every iteration). *)
 
+(** {1 The tiling-plan fast path}
+
+    A compiled {!Tiling_plan.t} answers every [(beta, m)] request for
+    its kernel {e shape} with pure rational arithmetic — zero simplex
+    solves. The pipeline keeps a shape-keyed plan cache (Obs counters
+    [memo.plan.hits]/[memo.plan.misses]) in front of the
+    [(spec, beta)]-keyed LP memo; both the plan path and the LP fallback
+    return the lexicographically maximal optimum
+    ({!Tiling.solve_lp_lexmax}), so reports are byte-identical whichever
+    path served them. Compilation of one shape is timed under
+    [plan.compile]. *)
+
+type plan_mode =
+  | Plan_off  (** never consult or build plans; every request solves the LP *)
+  | Plan_inline
+      (** the default: a plan miss answers via the LP, then compiles and
+          installs the shape's plan before returning, so every later
+          size of that shape is plan-served *)
+  | Plan_deferred
+      (** a plan miss answers via the LP and only {e queues} the shape;
+          {!compile_pending} builds queued plans later (serve drains the
+          queue on the Pool at batch boundaries, keeping compilation out
+          of request latency) *)
+
+val set_plan_mode : plan_mode -> unit
+val plan_mode : unit -> plan_mode
+
+val plan_of : Spec.t -> (Tiling_plan.t, Engine_error.t) result
+(** The shape's plan, compiling and installing it on first use
+    regardless of mode. [Error (Shape_too_large _)] when the shape
+    exceeds the enumeration budget (the failure is negative-cached:
+    analysis requests for the shape keep working on the LP path). *)
+
+val install_plan : Tiling_plan.t -> unit
+(** Seed the plan cache (e.g. from a [--plans] file at serve startup).
+    First writer wins; installing never evicts. *)
+
+val compile_pending : ?jobs:int -> unit -> int
+(** Compile every shape queued under [Plan_deferred] in parallel on the
+    {!Pool} and install the results; returns how many shapes were
+    processed. Safe to call concurrently with request traffic. *)
+
+val pending_count : unit -> int
+(** Queued-but-uncompiled shapes (diagnostics). *)
+
 (** {1 Memoized stages, usable a la carte} *)
 
 val solve_lp : Spec.t -> beta:Rat.t array -> Tiling.lp_solution
+(** The canonical (lex-max) optimum for this [(spec, beta)]: plan-served
+    when the shape's plan is installed, LP otherwise (per
+    {!plan_mode}). *)
+
 val lower_bound : Spec.t -> m:int -> Lower_bound.bound
 val tile : Spec.t -> m:int -> int array
 (** Integer tile under the paper's per-array-M model (memoized). *)

@@ -4,6 +4,35 @@ let solve_lp spec ~beta =
   let sol = Simplex.solve_exn (Hbl_lp.tiling spec ~beta) in
   { lambda = sol.Simplex.primal; value = sol.Simplex.objective; dual = sol.Simplex.dual }
 
+(* The optimal face of LP (5.1) is rarely a point, and which of its
+   vertices the simplex lands on depends on pivot order — too fragile a
+   contract for caches that must serve byte-identical answers. The
+   lexicographically maximal optimum is unique: fix the value, then
+   maximize lambda_0, freeze it, maximize lambda_1, and so on. The last
+   coordinate needs no solve — the value equation pins it. *)
+let solve_lp_lexmax spec ~beta =
+  let base = Hbl_lp.tiling spec ~beta in
+  let sol0 = Simplex.solve_exn base in
+  let v = sol0.Simplex.objective in
+  let d = Spec.num_loops spec in
+  let lambda = Array.make d Rat.zero in
+  let base_constrs = Array.to_list (Lp.constraints base) in
+  let sum_row = Lp.constr ~name:"lex_total" (Array.make d Rat.one) Lp.Eq v in
+  for k = 0 to d - 2 do
+    let fixed =
+      List.init k (fun i ->
+        let coeffs = Array.make d Rat.zero in
+        coeffs.(i) <- Rat.one;
+        Lp.constr ~name:(Printf.sprintf "lex_fix_%d" i) coeffs Lp.Eq lambda.(i))
+    in
+    let obj = Array.make d Rat.zero in
+    obj.(k) <- Rat.one;
+    let lp = Lp.make Lp.Maximize obj (base_constrs @ (sum_row :: fixed)) in
+    lambda.(k) <- (Simplex.solve_exn lp).Simplex.objective
+  done;
+  lambda.(d - 1) <- Array.fold_left Rat.sub v (Array.sub lambda 0 (d - 1));
+  { lambda; value = v; dual = sol0.Simplex.dual }
+
 let volume b = Array.fold_left ( * ) 1 b
 
 let footprint spec b j =

@@ -14,6 +14,16 @@ type lp_solution = {
 }
 
 val solve_lp : Spec.t -> beta:Rat.t array -> lp_solution
+(** Whichever optimal vertex the simplex pivots to — fine when only the
+    objective matters. *)
+
+val solve_lp_lexmax : Spec.t -> beta:Rat.t array -> lp_solution
+(** The {e lexicographically maximal} optimal solution: among all optima
+    of (5.1), the one maximizing [lambda_0], then [lambda_1], ... —
+    unique, hence safe to compare bit-for-bit across solver paths. This
+    is the engine's canonical answer ({!Tiling_plan} reproduces it
+    without any simplex solves). Costs [d] simplex solves; [dual] is the
+    multiplier vector of the initial value-finding solve. *)
 
 val of_lambda : Spec.t -> m:int -> Rat.t array -> int array
 (** Integer tile from a (feasible) continuous LP solution: round

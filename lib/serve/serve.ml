@@ -19,6 +19,7 @@ let c_overloaded = Obs.counter "serve.rejected_overloaded"
 let c_connections = Obs.counter "serve.connections"
 let c_batch_max = Obs.counter "serve.batch_size_max"
 let c_queue_max = Obs.counter "serve.queue_depth_max"
+let c_plan_compiles = Obs.counter "serve.plan_compiles"
 let t_batch = Obs.timer "serve.batch"
 let t_request = Obs.timer "serve.request"
 
@@ -60,22 +61,30 @@ let process cfg ~emit admitted rejected =
     Obs.time t_request @@ fun () ->
     match item with
     | Error { Serve_protocol.err_id; err } -> (err_id, Error err)
-    | Ok (req, deadline) ->
-      let presq =
-        Pipeline.request ~sims:req.Serve_protocol.sims ~shared:req.Serve_protocol.shared
-          req.Serve_protocol.spec ~m:req.Serve_protocol.m
-      in
-      ( req.Serve_protocol.id,
-        Result.map
-          (fun rep -> Report.to_json ~timings:req.Serve_protocol.timings rep)
-          (Pipeline.run_checked ?deadline presq) )
+    | Ok (req, deadline) -> (
+      match req.Serve_protocol.op with
+      | Serve_protocol.Compile ->
+        ( req.Serve_protocol.id,
+          Result.map
+            (fun plan -> `Plan (Tiling_plan.to_json plan))
+            (Pipeline.plan_of req.Serve_protocol.spec) )
+      | Serve_protocol.Analyze ->
+        let presq =
+          Pipeline.request ~sims:req.Serve_protocol.sims ~shared:req.Serve_protocol.shared
+            req.Serve_protocol.spec ~m:req.Serve_protocol.m
+        in
+        ( req.Serve_protocol.id,
+          Result.map
+            (fun rep -> `Report (Report.to_json ~timings:req.Serve_protocol.timings rep))
+            (Pipeline.run_checked ?deadline presq) ))
   in
   let outcomes = Pool.map_list ~jobs:cfg.jobs run_one decoded in
   List.iter
     (fun (id, res) ->
       let line =
         match res with
-        | Ok report_json -> Serve_protocol.ok_response ~id ~report_json
+        | Ok (`Report report_json) -> Serve_protocol.ok_response ~id ~report_json
+        | Ok (`Plan plan_json) -> Serve_protocol.plan_response ~id ~plan_json
         | Error err ->
           count_error err;
           Serve_protocol.error_response ~id err
@@ -89,7 +98,13 @@ let process cfg ~emit admitted rejected =
       count_error err;
       Obs.incr c_responses;
       emit (Serve_protocol.error_response ~id:(Serve_protocol.peek_id line) err))
-    rejected
+    rejected;
+  (* Shapes this batch met for the first time (Plan_deferred mode) were
+     answered on the LP path; compile their plans now, on the pool,
+     after every response line is already out — the batch never waits on
+     plan compilation, the next one starts warm. *)
+  let compiled = Pipeline.compile_pending ~jobs:cfg.jobs () in
+  if compiled > 0 then Obs.incr ~by:compiled c_plan_compiles
 
 let serve ?(stop = fun () -> false) cfg ~next ~emit =
   let rec loop () =

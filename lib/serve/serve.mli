@@ -25,11 +25,19 @@
       no request is half-answered.
     - {b Isolation}: a malformed or failing request yields an error
       response; the loop keeps serving.
+    - {b Plan warm-up}: the daemon runs the pipeline in
+      [Plan_deferred] mode (set by the CLI): the first batch touching a
+      new kernel shape is answered on the LP path, then — after its
+      responses are flushed — the shape's {!Tiling_plan} compiles on the
+      pool and installs, so subsequent batches are plan-served with zero
+      simplex solves. [--plans FILE] preloads compiled plans at startup
+      and skips even the first LP round for those shapes.
 
     Observability ([serve.*], via {!Obs}): counters [serve.requests],
     [serve.responses], [serve.batches], [serve.errors],
     [serve.parse_errors], [serve.deadline_exceeded],
-    [serve.rejected_overloaded], [serve.connections], high-watermarks
+    [serve.rejected_overloaded], [serve.connections],
+    [serve.plan_compiles], high-watermarks
     [serve.batch_size_max] / [serve.queue_depth_max] / [serve.pool_jobs],
     and timers (with latency histograms) [serve.batch] /
     [serve.request]. Each batch is a [serve.batch] trace span with one

@@ -1,5 +1,8 @@
+type op = Analyze | Compile
+
 type request = {
   id : string option;
+  op : op;
   spec : Spec.t;
   m : int;
   sims : Pipeline.sim_request list;
@@ -35,6 +38,10 @@ let jid = function None -> "null" | Some s -> jstr s
 let ok_response ~id ~report_json =
   Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true,\"report\":%s}" Report.schema_version
     (jid id) report_json
+
+let plan_response ~id ~plan_json =
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true,\"plan\":%s}" Report.schema_version
+    (jid id) plan_json
 
 let error_response ~id err =
   let position =
@@ -139,10 +146,19 @@ let decode line =
             | Ok s -> s
             | Error msg -> raise (Reject (Engine_error.Invalid_spec msg)))
       in
+      let op =
+        match Jsonlite.str_member "op" json with
+        | None | Some "analyze" -> Analyze
+        | Some "compile" -> Compile
+        | Some other -> reject "unknown op %S (analyze, compile)" other
+      in
       let m =
         match int_field json "m" with
         | Some m -> m
-        | None -> reject "\"m\" (fast-memory words) is required"
+        | None -> (
+          match op with
+          | Compile -> 0  (* a plan is size-independent; "m" is not needed *)
+          | Analyze -> reject "\"m\" (fast-memory words) is required")
       in
       let schedules =
         List.map
@@ -177,6 +193,7 @@ let decode line =
       Ok
         {
           id;
+          op;
           spec;
           m;
           sims;

@@ -21,21 +21,34 @@
     run are the cross product [schedules x policies], exactly like
     [tilings sweep].
 
-    Response lines (see {!ok_response} / {!error_response}):
+    An optional ["op"] field selects the request kind: ["analyze"] (the
+    default, everything above) or ["compile"], which needs only
+    ["kernel"] and returns the kernel shape's compiled tiling plan
+    ({!Tiling_plan.to_json}) instead of a report — the same object
+    [tilings compile] prints, so a client can harvest plans from one
+    replica and preload another via [--plans].
+
+    Response lines (see {!ok_response} / {!plan_response} /
+    {!error_response}):
     {v
       {"v":1,"id":"r42","ok":true,"report":{...Report.to_json...}}
+      {"v":1,"id":"c1","ok":true,"plan":{...Tiling_plan.to_json...}}
       {"v":1,"id":"r42","ok":false,
        "error":{"code":"deadline_exceeded","message":"..."}}
     v}
     The embedded ["report"] object is byte-identical to what the
     one-shot [tilings sweep] emits for the same request. Error ["code"]s
     are {!Engine_error.code} values; [parse_error]s carry ["line"] and
-    ["col"] fields too. *)
+    ["col"] fields too; an oversized ["compile"] fails with
+    [shape_too_large]. *)
+
+type op = Analyze | Compile
 
 type request = {
   id : string option;
+  op : op;
   spec : Spec.t;
-  m : int;
+  m : int;  (** 0 when [op = Compile] and no ["m"] was sent *)
   sims : Pipeline.sim_request list;
   shared : bool;
   deadline_s : float option;  (** relative budget in seconds, [>= 0] *)
@@ -62,5 +75,9 @@ val peek_id : string -> string option
 val ok_response : id:string option -> report_json:string -> string
 (** [report_json] must be a pre-rendered JSON object
     ({!Report.to_json}). *)
+
+val plan_response : id:string option -> plan_json:string -> string
+(** Success envelope for [op = "compile"]; [plan_json] is
+    {!Tiling_plan.to_json} output. *)
 
 val error_response : id:string option -> Engine_error.t -> string

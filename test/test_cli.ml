@@ -49,6 +49,41 @@ let test_tile () =
 let test_closed_form () =
   check_ok "closed-form" "closed-form -p nbody" [ "min("; "M^f" ]
 
+(* 6 arrays x 20 loops: past the plan/closed-form enumeration budget *)
+let big_dsl =
+  "'a=2,b=2,c=2,d=2,e=2,f=2,g=2,h=2,i=2,j=2,k=2,l=2,m=2,n=2,o=2,p=2,q=2,r=2,s=2,t=2 : \
+   Z[b,c,d,e,f,g,h,i,j,k,l,m,n,o,p,q,r,s,t] += A[a,c,d,e,f,g,h,i,j,k,l,m,n,o,p,q,r,s,t] * \
+   B[a,b,d,e,f,g,h,i,j,k,l,m,n,o,p,q,r,s,t] * C[a,b,c,e,f,g,h,i,j,k,l,m,n,o,p,q,r,s,t] * \
+   D[a,b,c,d,f,g,h,i,j,k,l,m,n,o,p,q,r,s,t] * E[a,b,c,d,e,g,h,i,j,k,l,m,n,o,p,q,r,s,t]'"
+
+let test_compile () =
+  check_ok "compile preset" "compile -p matmul"
+    [ "{\"v\":1,\"plans\":["; "\"shape\":\"d=3;"; "\"levels\":[" ];
+  check_ok "compile dsl" "compile -k 'i = 16, j = 16 : A[i] += B[i,j]'"
+    [ "\"shape\":\"d=2;" ];
+  let tmp = Filename.temp_file "cli_plans" ".json" in
+  check_ok "compile all to file" (Printf.sprintf "compile --all -o %s" tmp) [ "plans ->" ];
+  let ic = open_in tmp in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  if not (Astring.String.is_prefix ~affix:"{\"v\":1,\"plans\":[" contents) then
+    Alcotest.failf "plan bundle envelope wrong: %s" (String.sub contents 0 40);
+  check_fails "compile all + preset" "compile --all -p matmul" "alone";
+  (* the oversized refusal carries the typed code and its own exit status *)
+  let code, out = run (Printf.sprintf "compile -k %s" big_dsl) in
+  if code <> 11 then Alcotest.failf "oversized compile: expected exit 11, got %d\n%s" code out;
+  if not (Astring.String.is_infix ~affix:"shape_too_large" out) then
+    Alcotest.failf "oversized compile: missing typed code\n%s" out
+
+let test_closed_form_too_large () =
+  (* the one-shot closed-form path routes the same refusal through the
+     typed error map instead of a generic usage error *)
+  let code, out = run (Printf.sprintf "closed-form -k %s" big_dsl) in
+  if code <> 11 then Alcotest.failf "closed-form: expected exit 11, got %d\n%s" code out;
+  if not (Astring.String.is_infix ~affix:"shape_too_large" out) then
+    Alcotest.failf "closed-form: missing typed code\n%s" out
+
 let test_regions () = check_ok "regions" "regions -p nbody" [ "is optimal where"; "witness" ]
 
 let test_simulate () =
@@ -198,21 +233,37 @@ let test_serve_matches_sweep () =
     Alcotest.(check string) "byte-identical report" expected line
   | out -> Alcotest.failf "expected 1 response, got %d" (List.length out)
 
+let read_lines file =
+  let ic = open_in file in
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
 let test_serve_golden () =
-  let read_lines file =
-    let ic = open_in file in
-    let out = ref [] in
-    (try
-       while true do
-         out := input_line ic :: !out
-       done
-     with End_of_file -> ());
-    close_in ic;
-    List.rev !out
-  in
   let out = run_serve "" (read_lines "golden/serve_requests.ndjson") in
   Alcotest.(check (list string))
     "transcript byte-identical" (read_lines "golden/serve_transcript.ndjson") out
+
+let test_serve_plans () =
+  (* plans harvested by `compile` preload another daemon; plan-served
+     responses must be byte-identical to the LP-served golden transcript
+     (the repeat-shape acceptance gate, end to end) *)
+  let tmp = Filename.temp_file "cli_plans" ".json" in
+  let code, out = run (Printf.sprintf "compile --all -o %s" tmp) in
+  if code <> 0 then Alcotest.failf "compile --all: exit %d\n%s" code out;
+  let preloaded =
+    run_serve (Printf.sprintf "--plans %s" tmp) (read_lines "golden/serve_requests.ndjson")
+  in
+  Sys.remove tmp;
+  Alcotest.(check (list string)) "plans-preloaded transcript byte-identical"
+    (read_lines "golden/serve_transcript.ndjson")
+    preloaded;
+  check_fails "missing plans file" "serve --plans /nonexistent/plans.json" "--plans"
 
 let test_serve_metrics () =
   (* serve --metrics prints the serve.* section to stderr after drain *)
@@ -253,6 +304,8 @@ let () =
           Alcotest.test_case "lower-bound" `Quick test_lower_bound;
           Alcotest.test_case "tile" `Quick test_tile;
           Alcotest.test_case "closed-form" `Quick test_closed_form;
+          Alcotest.test_case "closed-form too large" `Quick test_closed_form_too_large;
+          Alcotest.test_case "compile" `Quick test_compile;
           Alcotest.test_case "regions" `Quick test_regions;
           Alcotest.test_case "simulate" `Quick test_simulate;
           Alcotest.test_case "hierarchy" `Quick test_hierarchy;
@@ -270,6 +323,7 @@ let () =
           Alcotest.test_case "pipe 120 requests" `Quick test_serve_pipe;
           Alcotest.test_case "matches sweep" `Quick test_serve_matches_sweep;
           Alcotest.test_case "golden transcript" `Quick test_serve_golden;
+          Alcotest.test_case "plans preloaded" `Quick test_serve_plans;
           Alcotest.test_case "metrics" `Quick test_serve_metrics;
         ] );
     ]

@@ -68,8 +68,11 @@ let test_memoized_stages_agree () =
        (Tiling.solve_lp spec ~beta).Tiling.value);
   Alcotest.(check (array int)) "tile_shared = Tiling.optimal_shared"
     (Tiling.optimal_shared spec ~m) (Engine.tile_shared spec ~m);
-  Alcotest.(check (array int)) "tile = Tiling.of_lambda"
-    (Tiling.of_lambda spec ~m (Tiling.solve_lp spec ~beta).Tiling.lambda)
+  (* The engine canonicalizes to the lex-max optimum (so the plan fast
+     path and the LP path agree bit-for-bit); of_lambda of that lambda
+     is the pinned tile contract. *)
+  Alcotest.(check (array int)) "tile = Tiling.of_lambda (lex-max)"
+    (Tiling.of_lambda spec ~m (Tiling.solve_lp_lexmax spec ~beta).Tiling.lambda)
     (Engine.tile spec ~m)
 
 (* ------------------------------------------------------------------ *)

@@ -261,7 +261,7 @@ let test_engine_instrumentation () =
     List.fold_left
       (fun acc name -> acc + cv ("memo." ^ name ^ "." ^ suffix))
       0
-      [ "lp"; "analysis"; "shared"; "nested" ]
+      [ "lp"; "analysis"; "shared"; "nested"; "plan" ]
   in
   Alcotest.(check int) "memo hits mirrored" hits (sum "hits");
   Alcotest.(check int) "memo misses mirrored" misses (sum "misses");

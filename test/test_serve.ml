@@ -102,6 +102,25 @@ let test_decode_errors () =
         Alcotest.(check bool) "line set" true (line >= 1)
       | e -> Alcotest.failf "wanted parse_error, got %s" (Engine_error.code e))
 
+let test_decode_compile_op () =
+  (* op:"compile" needs only the kernel; m defaults to 0 (a plan is
+     size-independent) *)
+  (match Serve_protocol.decode {|{"id":"c1","op":"compile","kernel":"matmul"}|} with
+  | Error _ -> Alcotest.fail "compile request rejected"
+  | Ok req ->
+    Alcotest.(check bool) "op decoded" true (req.Serve_protocol.op = Serve_protocol.Compile);
+    Alcotest.(check int) "m defaulted" 0 req.Serve_protocol.m);
+  (match Serve_protocol.decode {|{"op":"analyze","kernel":"matmul","m":64}|} with
+  | Error _ -> Alcotest.fail "explicit analyze rejected"
+  | Ok req ->
+    Alcotest.(check bool) "analyze" true (req.Serve_protocol.op = Serve_protocol.Analyze));
+  expect_error "unknown op" {|{"op":"frobnicate","kernel":"matmul","m":64}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  (* analyze still requires m even when op is implicit *)
+  expect_error "compile does not waive analyze's m" {|{"op":"analyze","kernel":"matmul"}|}
+    (fun _ err ->
+      Alcotest.(check string) "code" "invalid_request" (Engine_error.code err))
+
 let test_peek_id () =
   Alcotest.(check (option string)) "valid" (Some "a")
     (Serve_protocol.peek_id {|{"id":"a","kernel":"nosuch","m":1}|});
@@ -287,6 +306,49 @@ let test_report_matches_engine () =
       line
   | _ -> Alcotest.failf "expected 1 response, got %d" (List.length out)
 
+let test_loop_compile_op () =
+  (* a compile request rides in a normal batch and returns the plan
+     envelope; the plan is byte-identical to Tiling_plan.to_json *)
+  let expected = Tiling_plan.to_json (Tiling_plan.compile (spec_of "matmul")) in
+  let out =
+    run_loop
+      [
+        Serve.Line {|{"id":"c1","op":"compile","kernel":"matmul"}|};
+        Line (req 1);
+        Eof;
+      ]
+  in
+  match out with
+  | [ plan_line; analyze_line ] ->
+    Alcotest.(check string) "plan envelope"
+      (Serve_protocol.plan_response ~id:(Some "c1") ~plan_json:expected)
+      plan_line;
+    Alcotest.(check bool) "analyze unaffected" true (resp_ok analyze_line)
+  | _ -> Alcotest.failf "expected 2 responses, got %d" (List.length out)
+
+let test_loop_deferred_warmup () =
+  (* the daemon's contract: under Plan_deferred a batch's new shapes
+     compile after its responses are flushed, so the next batch is
+     plan-served with zero LP misses *)
+  let mode0 = Engine.plan_mode () in
+  Engine.set_plan_mode Engine.Plan_deferred;
+  Fun.protect ~finally:(fun () ->
+      Engine.set_plan_mode mode0;
+      Engine.reset_caches ())
+  @@ fun () ->
+  Engine.reset_caches ();
+  let c_lp = Obs.counter "memo.lp.misses" in
+  let first = run_loop [ Serve.Line (req 0); Eof ] in
+  Alcotest.(check int) "first batch answered" 1 (List.length first);
+  Alcotest.(check int) "its shapes compiled at the batch boundary" 0
+    (Pipeline.pending_count ());
+  let m0 = Obs.value c_lp in
+  let second =
+    run_loop [ Serve.Line {|{"id":"warm","kernel":"matvec","m":4096}|}; Eof ]
+  in
+  Alcotest.(check int) "second batch answered" 1 (List.length second);
+  Alcotest.(check int) "unseen M plan-served: zero LP misses" 0 (Obs.value c_lp - m0)
+
 let test_serve_counters () =
   Obs.reset ();
   let cv name =
@@ -314,6 +376,7 @@ let () =
           Alcotest.test_case "decode full" `Quick test_decode_full;
           Alcotest.test_case "decode dsl" `Quick test_decode_dsl;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "decode compile op" `Quick test_decode_compile_op;
           Alcotest.test_case "peek id" `Quick test_peek_id;
           Alcotest.test_case "response shapes" `Quick test_response_shapes;
         ] );
@@ -333,6 +396,8 @@ let () =
           Alcotest.test_case "eof drains batch" `Quick test_loop_eof_drains;
           Alcotest.test_case "stop flag" `Quick test_loop_stop_flag;
           Alcotest.test_case "batch = sequential" `Quick test_batch_matches_sequential;
+          Alcotest.test_case "compile op" `Quick test_loop_compile_op;
+          Alcotest.test_case "deferred warm-up" `Quick test_loop_deferred_warmup;
           Alcotest.test_case "report matches engine" `Quick test_report_matches_engine;
           Alcotest.test_case "serve counters" `Quick test_serve_counters;
         ] );
