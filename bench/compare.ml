@@ -14,6 +14,14 @@
        simulator, so any drift means the model or the tiling changed;
      - presence: experiments that appear on only one side are reported.
 
+   --gate-timers NAME1,NAME2 additionally compares the named aggregate
+   obs timers (obs.timers.<name>.seconds) between the two files: a timer
+   missing on either side, or slower than (1 + threshold) x baseline, is
+   a finding. This is the hot-path performance gate — the shared-tile
+   search and the cache-simulator executor are gated this way so a
+   regression in either fails CI even when no single experiment's wall
+   time trips the per-experiment check.
+
    Exit status is 0 unless --strict is given, in which case any finding
    makes it 1. *)
 
@@ -26,7 +34,7 @@ let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
    jsonlite-only dependency footprint). *)
 let schema_version = 1.0
 
-let load path =
+let load_json path =
   match Jsonlite.of_file path with
   | Error msg -> die "%s: %s" path msg
   | Ok json ->
@@ -34,7 +42,16 @@ let load path =
     | Some v when v = schema_version -> ()
     | Some v -> die "%s: unsupported schema version %g (want %g)" path v schema_version
     | None -> die "%s: missing \"v\" schema-version field" path);
-    let exps =
+    json
+
+(* obs.timers.<name>.seconds, or None when absent. *)
+let timer_seconds json name =
+  Option.bind (Jsonlite.member "obs" json) (fun obs ->
+    Option.bind (Jsonlite.member "timers" obs) (fun timers ->
+      Option.bind (Jsonlite.member name timers) (Jsonlite.num_member "seconds")))
+
+let experiments_of path json =
+  let exps =
       match Jsonlite.list_member "experiments" json with
       | Some l -> l
       | None -> die "%s: no \"experiments\" array" path
@@ -65,6 +82,7 @@ let () =
   let strict = ref false in
   let threshold = ref 0.25 in
   let only = ref [] in
+  let gate_timers = ref [] in
   let paths = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -79,6 +97,9 @@ let () =
     | "--only" :: ids :: rest ->
       only := !only @ String.split_on_char ',' ids;
       parse_args rest
+    | "--gate-timers" :: names :: rest ->
+      gate_timers := !gate_timers @ String.split_on_char ',' names;
+      parse_args rest
     | a :: _ when String.length a > 0 && a.[0] = '-' -> die "unknown option %s" a
     | p :: rest ->
       paths := p :: !paths;
@@ -90,7 +111,8 @@ let () =
     | [ b; n ] -> (b, n)
     | _ ->
       die
-        "usage: compare [--strict] [--time-threshold T] [--only E1,E2] BASELINE.json NEW.json"
+        "usage: compare [--strict] [--time-threshold T] [--only E1,E2] [--gate-timers \
+         T1,T2] BASELINE.json NEW.json"
   in
   (* --only narrows the comparison to the named experiment ids (repeatable,
      comma-separable) — the CI gate on the plan-layer experiment uses this
@@ -99,7 +121,9 @@ let () =
   let restrict exps =
     if !only = [] then exps else List.filter (fun (id, _) -> List.mem id !only) exps
   in
-  let base = restrict (load base_path) and fresh = restrict (load new_path) in
+  let base_json = load_json base_path and new_json = load_json new_path in
+  let base = restrict (experiments_of base_path base_json)
+  and fresh = restrict (experiments_of new_path new_json) in
   (if !only <> [] then
      List.iter
        (fun id ->
@@ -142,6 +166,21 @@ let () =
       if not (List.mem_assoc id base) then
         report "NEW          %-4s not in baseline (%s)\n" id n.title)
     fresh;
+  List.iter
+    (fun name ->
+      match (timer_seconds base_json name, timer_seconds new_json name) with
+      | None, _ -> report "TIMER MISSING  %S not in baseline %s\n" name base_path
+      | _, None -> report "TIMER MISSING  %S not in %s\n" name new_path
+      | Some b, Some n ->
+        if n > (1.0 +. !threshold) *. b then
+          report "TIMER REGRESSION %S: %.3fs -> %.3fs (%+.0f%%, threshold +%.0f%%)\n" name b
+            n
+            (100.0 *. ((n /. b) -. 1.0))
+            (100.0 *. !threshold)
+        else
+          Printf.printf "gate ok: timer %S %.3fs -> %.3fs (%+.0f%%)\n" name b n
+            (100.0 *. ((n /. b) -. 1.0)))
+    !gate_timers;
   let total = List.length fresh in
   if !findings = 0 then
     Printf.printf "compare: OK — %d experiments match %s (times within +%.0f%%)\n" total

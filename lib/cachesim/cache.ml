@@ -2,24 +2,46 @@ type stats = { accesses : int; hits : int; misses : int; evictions : int; writeb
 
 let words_moved ~line_words s = (s.misses + s.writebacks) * line_words
 
-(* Intrusive doubly-linked list node; the list order encodes recency (LRU)
-   or insertion order (FIFO): head = next victim, tail = most recent. *)
-type node = {
-  line : int;
-  mutable dirty : bool;
-  mutable prev : node option;
-  mutable next : node option;
-}
+(* Data-oriented layout: the simulator state is a handful of flat int
+   arrays indexed by slot, instead of the previous heap-allocated
+   intrusive list nodes behind a Hashtbl. One word-touch used to cost a
+   Hashtbl probe (hashing, bucket chase) plus pointer-chasing through
+   option-wrapped nodes; now it is an open-addressed probe into an int
+   array and three int stores for the LRU splice — no allocation on the
+   access path at all, and the working state fits in a few cache lines
+   of the *host* machine.
 
+   - [lines.(s)] is the line tag resident in slot [s]; [nxt]/[prv] link
+     the slots in recency (LRU) or insertion (FIFO) order, head = next
+     victim, tail = most recent, [-1] as the null slot.
+   - [dirty] packs one bit per slot, 32 per word ([lsr 5] / [land 31]).
+   - [tbl] maps line -> slot by open addressing with linear probing
+     ([-1] = empty); its size is a power of two at least twice the slot
+     allocation, so load factor stays below 1/2. Deletion uses
+     backward-shift (no tombstones, probe chains stay contiguous).
+   - Slot storage grows lazily from a small initial allocation up to
+     [cap_lines]: a capacity-2^40 cache costs a few hundred words until
+     it actually holds lines. Slots are reused in place: the victim of
+     an eviction hands its slot straight to the incoming line, and
+     [flush] resets the fill watermark to zero. Stale dirty bits from a
+     previous occupant are harmless — insertion always sets or clears
+     the bit explicitly. *)
 type t = {
   policy : Policy.t;
   on_evict : (line:int -> dirty:bool -> unit) option;
   line_words : int;
   cap_lines : int;
-  table : (int, node) Hashtbl.t;
-  mutable head : node option;
-  mutable tail : node option;
+  mutable lines : int array;
+  mutable nxt : int array;
+  mutable prv : int array;
+  mutable dirty : int array;
+  mutable alloc : int;  (* slots allocated *)
+  mutable fill : int;  (* fresh-slot watermark: slots >= fill never used *)
+  mutable head : int;
+  mutable tail : int;
   mutable size : int;
+  mutable tbl : int array;
+  mutable mask : int;
   mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
@@ -27,20 +49,34 @@ type t = {
   mutable writebacks : int;
 }
 
+let table_size alloc =
+  let rec go s = if s >= 2 * alloc then s else go (s * 2) in
+  go 16
+
 let create ?(line_words = 1) ?on_evict ~policy ~capacity () =
   if line_words < 1 then invalid_arg "Cache.create: line_words must be positive";
   if capacity < line_words then invalid_arg "Cache.create: capacity below one line";
   if policy = Policy.Opt then
     invalid_arg "Cache.create: OPT needs the full trace; use Trace.simulate";
+  let cap_lines = capacity / line_words in
+  let alloc = Stdlib.min cap_lines 256 in
+  let ts = table_size alloc in
   {
     policy;
     on_evict;
     line_words;
-    cap_lines = capacity / line_words;
-    table = Hashtbl.create 1024;
-    head = None;
-    tail = None;
+    cap_lines;
+    lines = Array.make alloc (-1);
+    nxt = Array.make alloc (-1);
+    prv = Array.make alloc (-1);
+    dirty = Array.make ((alloc + 31) / 32) 0;
+    alloc;
+    fill = 0;
+    head = -1;
+    tail = -1;
     size = 0;
+    tbl = Array.make ts (-1);
+    mask = ts - 1;
     accesses = 0;
     hits = 0;
     misses = 0;
@@ -48,66 +84,164 @@ let create ?(line_words = 1) ?on_evict ~policy ~capacity () =
     writebacks = 0;
   }
 
-let unlink t node =
-  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
-  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
+(* Multiplicative hash; the constant is an odd 62-bit mixer (Lemire's
+   splitmix-derived one truncated to fit OCaml's 63-bit int). Product
+   wraparound on negative tags is fine — only the mixed high bits are
+   kept. *)
+let hash t line = ((line * 0x2545F4914F6CDD1D) lsr 24) land t.mask
 
-let push_tail t node =
-  node.prev <- t.tail;
-  node.next <- None;
-  (match t.tail with Some old -> old.next <- Some node | None -> t.head <- Some node);
-  t.tail <- Some node
+let dirty_get t s = t.dirty.(s lsr 5) land (1 lsl (s land 31)) <> 0
+let dirty_set t s = t.dirty.(s lsr 5) <- t.dirty.(s lsr 5) lor (1 lsl (s land 31))
+let dirty_clear t s = t.dirty.(s lsr 5) <- t.dirty.(s lsr 5) land lnot (1 lsl (s land 31))
 
+(* -1 when the line is not resident. *)
+let find_slot t line =
+  let j = ref (hash t line) in
+  let s = ref t.tbl.(!j) in
+  while !s <> -1 && t.lines.(!s) <> line do
+    j := (!j + 1) land t.mask;
+    s := t.tbl.(!j)
+  done;
+  !s
+
+let tbl_add t line slot =
+  let j = ref (hash t line) in
+  while t.tbl.(!j) <> -1 do
+    j := (!j + 1) land t.mask
+  done;
+  t.tbl.(!j) <- slot
+
+(* Backward-shift deletion: walk the probe chain after the hole and pull
+   back every entry whose home position precedes the hole (cyclically),
+   so lookups never need tombstones. *)
+let tbl_remove t line =
+  let mask = t.mask in
+  let j = ref (hash t line) in
+  while t.tbl.(!j) = -1 || t.lines.(t.tbl.(!j)) <> line do
+    j := (!j + 1) land mask
+  done;
+  t.tbl.(!j) <- -1;
+  let hole = ref !j in
+  let k = ref ((!j + 1) land mask) in
+  while t.tbl.(!k) <> -1 do
+    let home = hash t t.lines.(t.tbl.(!k)) in
+    if (!k - home) land mask >= (!k - !hole) land mask then begin
+      t.tbl.(!hole) <- t.tbl.(!k);
+      t.tbl.(!k) <- -1;
+      hole := !k
+    end;
+    k := (!k + 1) land mask
+  done
+
+let unlink t s =
+  let p = t.prv.(s) and n = t.nxt.(s) in
+  if p = -1 then t.head <- n else t.nxt.(p) <- n;
+  if n = -1 then t.tail <- p else t.prv.(n) <- p
+
+let push_tail t s =
+  t.prv.(s) <- t.tail;
+  t.nxt.(s) <- -1;
+  if t.tail = -1 then t.head <- s else t.nxt.(t.tail) <- s;
+  t.tail <- s
+
+let grow t =
+  let na = Stdlib.min t.cap_lines (t.alloc * 2) in
+  let extend a pad = Array.init na (fun i -> if i < t.alloc then a.(i) else pad) in
+  t.lines <- extend t.lines (-1);
+  t.nxt <- extend t.nxt (-1);
+  t.prv <- extend t.prv (-1);
+  let nd = Array.make ((na + 31) / 32) 0 in
+  Array.blit t.dirty 0 nd 0 (Array.length t.dirty);
+  t.dirty <- nd;
+  t.alloc <- na;
+  let ts = table_size na in
+  t.tbl <- Array.make ts (-1);
+  t.mask <- ts - 1;
+  let s = ref t.head in
+  while !s <> -1 do
+    tbl_add t t.lines.(!s) !s;
+    s := t.nxt.(!s)
+  done
+
+(* Evict the head (LRU victim / FIFO oldest) and return its slot for
+   immediate reuse by the incoming line. *)
 let evict_head t =
-  match t.head with
-  | None -> ()
-  | Some victim ->
-    unlink t victim;
-    Hashtbl.remove t.table victim.line;
-    t.size <- t.size - 1;
-    t.evictions <- t.evictions + 1;
-    if victim.dirty then t.writebacks <- t.writebacks + 1;
-    match t.on_evict with
-    | Some f -> f ~line:victim.line ~dirty:victim.dirty
-    | None -> ()
+  let s = t.head in
+  unlink t s;
+  tbl_remove t t.lines.(s);
+  t.size <- t.size - 1;
+  t.evictions <- t.evictions + 1;
+  let d = dirty_get t s in
+  if d then t.writebacks <- t.writebacks + 1;
+  (match t.on_evict with Some f -> f ~line:t.lines.(s) ~dirty:d | None -> ());
+  s
 
-let access t ~write addr =
-  t.accesses <- t.accesses + 1;
-  let line = addr / t.line_words in
-  match Hashtbl.find_opt t.table line with
-  | Some node ->
-    t.hits <- t.hits + 1;
-    if write then node.dirty <- true;
-    if t.policy = Policy.Lru then begin
-      (* Move to most-recent position; FIFO leaves insertion order. *)
-      unlink t node;
-      push_tail t node
+(* Floor division so negative addresses map to distinct lines. Truncating
+   [addr / line_words] folded e.g. words -3..3 onto lines -1, 0 for
+   line_words = 4: line -1 held seven words and hit/miss counts near the
+   origin were wrong for any trace with negative addresses. *)
+let line_of t addr =
+  if addr >= 0 then addr / t.line_words else -1 - ((-1 - addr) / t.line_words)
+
+(* [count] same-line touches in one step. Statistically exact, not an
+   approximation: after the first touch the line is resident (and MRU
+   under LRU), so touches 2..count are guaranteed hits whatever the
+   policy, and a single splice leaves the recency order exactly as
+   [count] singleton accesses would. *)
+let access_run t ~write ~count addr =
+  if count > 0 then begin
+    t.accesses <- t.accesses + count;
+    let line = line_of t addr in
+    let s = find_slot t line in
+    if s >= 0 then begin
+      t.hits <- t.hits + count;
+      if write then dirty_set t s;
+      if t.policy = Policy.Lru && s <> t.tail then begin
+        unlink t s;
+        push_tail t s
+      end
     end
-  | None ->
-    t.misses <- t.misses + 1;
-    if t.size >= t.cap_lines then evict_head t;
-    let node = { line; dirty = write; prev = None; next = None } in
-    Hashtbl.add t.table line node;
-    push_tail t node;
-    t.size <- t.size + 1
+    else begin
+      t.misses <- t.misses + 1;
+      t.hits <- t.hits + (count - 1);
+      let slot =
+        if t.size >= t.cap_lines then evict_head t
+        else begin
+          if t.fill >= t.alloc then grow t;
+          let s = t.fill in
+          t.fill <- t.fill + 1;
+          s
+        end
+      in
+      t.lines.(slot) <- line;
+      if write then dirty_set t slot else dirty_clear t slot;
+      tbl_add t line slot;
+      push_tail t slot;
+      t.size <- t.size + 1
+    end
+  end
+
+let access t ~write addr = access_run t ~write ~count:1 addr
 
 let flush t =
-  let rec drain () =
-    match t.head with
-    | None -> ()
-    | Some node ->
-      unlink t node;
-      Hashtbl.remove t.table node.line;
-      t.size <- t.size - 1;
-      if node.dirty then t.writebacks <- t.writebacks + 1;
-      (match t.on_evict with
-      | Some f -> f ~line:node.line ~dirty:node.dirty
-      | None -> ());
-      drain ()
-  in
-  drain ()
+  (* Drain in recency order (head first), matching the eviction order the
+     old implementation used, so on_evict forwarding is unchanged. Lines
+     leaving on a flush are evictions too — the previous implementation
+     counted only the writebacks, so [evictions] under-reported by
+     exactly the resident line count at every flush. *)
+  let s = ref t.head in
+  while !s <> -1 do
+    let d = dirty_get t !s in
+    t.evictions <- t.evictions + 1;
+    if d then t.writebacks <- t.writebacks + 1;
+    (match t.on_evict with Some f -> f ~line:t.lines.(!s) ~dirty:d | None -> ());
+    s := t.nxt.(!s)
+  done;
+  Array.fill t.tbl 0 (Array.length t.tbl) (-1);
+  t.head <- -1;
+  t.tail <- -1;
+  t.size <- 0;
+  t.fill <- 0
 
 let stats t =
   {
@@ -119,7 +253,7 @@ let stats t =
   }
 
 let capacity_lines t = t.cap_lines
-let resident t addr = Hashtbl.mem t.table (addr / t.line_words)
+let resident t addr = find_slot t (line_of t addr) >= 0
 
 (* Aggregate-at-the-end instrumentation: Cache.access is the hottest loop
    in the repository (one call per touched word), so per-access Obs

@@ -38,12 +38,25 @@ val create :
     dividing into capacity at least once, or [policy = Opt]. *)
 
 val access : t -> write:bool -> int -> unit
-(** Touch one word at the given address. *)
+(** Touch one word at the given address. Negative addresses are valid;
+    line mapping uses floor division so every line spans exactly
+    [line_words] words. *)
+
+val access_run : t -> write:bool -> count:int -> int -> unit
+(** [access_run t ~write ~count addr] — [count] consecutive touches of
+    words on the {e line} containing [addr], in one step. Statistically
+    exact, not approximate: after the first touch the line is resident
+    (and most-recent under LRU), so the remaining [count - 1] touches are
+    guaranteed hits under any policy, and one recency splice equals
+    [count] singleton splices. [write] must be true iff {e any} of the
+    batched touches writes (write-allocate makes the line dirty either
+    way). [count = 0] is a no-op. This is the fast path the loop executor
+    uses: it turns per-word simulation into per-line-run simulation. *)
 
 val flush : t -> unit
-(** Write back all dirty lines (counted in [writebacks]) and empty the
-    cache. Call once at the end of a computation so output traffic is
-    accounted. *)
+(** Evict every resident line: counted in [evictions], dirty ones also in
+    [writebacks], and [on_evict] fires for each. Call once at the end of
+    a computation so output traffic is accounted. *)
 
 val stats : t -> stats
 val capacity_lines : t -> int

@@ -47,6 +47,31 @@ let access t ~write addr =
   in
   go 0
 
+(* Batched same-line run. L1 absorbs the whole run (Cache.access_run);
+   deeper levels see exactly what per-word replay would have shown them:
+   one access carrying the run's *first* write flag, and only when L1 was
+   not already resident — touches 2..count hit L1 and never descend. L1's
+   eviction (which forwards a dirty victim to L2) happens inside
+   access_run before the descent, preserving the per-word ordering. *)
+let access_run t ~first_write ~any_write ~count addr =
+  if count > 0 then begin
+    let n = Array.length t.caches in
+    let c0 = t.caches.(0) in
+    let was_resident = Cache.resident c0 addr in
+    Cache.access_run c0 ~write:any_write ~count addr;
+    if not was_resident then begin
+      let rec go k =
+        if k < n then begin
+          let c = t.caches.(k) in
+          let was = Cache.resident c addr in
+          Cache.access c ~write:first_write addr;
+          if not was then go (k + 1)
+        end
+      in
+      go 1
+    end
+  end
+
 let flush t = Array.iter Cache.flush t.caches
 
 let stats t = Array.map Cache.stats t.caches

@@ -23,6 +23,16 @@ val levels : t -> int
 
 val access : t -> write:bool -> int -> unit
 
+val access_run : t -> first_write:bool -> any_write:bool -> count:int -> int -> unit
+(** [access_run t ~first_write ~any_write ~count addr] — [count]
+    consecutive touches of the line containing [addr], batched. Exactly
+    equivalent to replaying the run word by word: the first level absorbs
+    the whole run ({!Cache.access_run} with [any_write]); deeper levels
+    are visited only when the first level was not already resident, and
+    then see a single access carrying [first_write] — the run's touches
+    after the first hit the first level and never reach them.
+    [count = 0] is a no-op. *)
+
 val flush : t -> unit
 (** Flush every level, innermost first, cascading dirty write-backs. *)
 

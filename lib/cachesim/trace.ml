@@ -68,6 +68,12 @@ end
 
 type opt_line = { mutable next : int; mutable dirty : bool }
 
+(* Floor division, matching Cache's line mapping: negative addresses get
+   full [line_words]-word lines instead of the truncated-division
+   artifact that folded words around the origin onto two lines. *)
+let line_of ~line_words addr =
+  if addr >= 0 then addr / line_words else -1 - ((-1 - addr) / line_words)
+
 let simulate_opt ~line_words ~cap_lines (trace : t) : Cache.stats =
   let n = Array.length trace in
   (* next_use.(i): index of the next access to the same line after i, or
@@ -75,7 +81,7 @@ let simulate_opt ~line_words ~cap_lines (trace : t) : Cache.stats =
   let next_use = Array.make n max_int in
   let last_seen = Hashtbl.create 1024 in
   for i = n - 1 downto 0 do
-    let line = trace.(i).addr / line_words in
+    let line = line_of ~line_words trace.(i).addr in
     (match Hashtbl.find_opt last_seen line with
     | Some j -> next_use.(i) <- j
     | None -> ());
@@ -101,7 +107,7 @@ let simulate_opt ~line_words ~cap_lines (trace : t) : Cache.stats =
   in
   for i = 0 to n - 1 do
     let a = trace.(i) in
-    let line = a.addr / line_words in
+    let line = line_of ~line_words a.addr in
     match Hashtbl.find_opt cached line with
     | Some ol ->
       incr hits;
@@ -114,8 +120,13 @@ let simulate_opt ~line_words ~cap_lines (trace : t) : Cache.stats =
       Hashtbl.add cached line { next = next_use.(i); dirty = a.write };
       Heap.push heap { Heap.key = next_use.(i); line }
   done;
-  (* Final flush: write back the remaining dirty lines. *)
-  Hashtbl.iter (fun _ ol -> if ol.dirty then incr writebacks) cached;
+  (* Final flush: every remaining line leaves the cache (an eviction,
+     mirroring Cache.flush), and dirty ones are written back. *)
+  Hashtbl.iter
+    (fun _ ol ->
+      incr evictions;
+      if ol.dirty then incr writebacks)
+    cached;
   {
     Cache.accesses = n;
     hits = !hits;

@@ -78,6 +78,8 @@ let key_of_spec (spec : Spec.t) =
 
 let key_of_shape = Tiling_plan.shape_key
 
+let key_of_basis base_key ~k = Printf.sprintf "%s;k=%d" base_key k
+
 let key_of_spec_beta spec ~beta =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (key_of_spec spec);

@@ -52,3 +52,9 @@ val key_of_shape : Spec.t -> string
 
 val key_of_spec_beta : Spec.t -> beta:Rat.t array -> string
 (** {!key_of_spec} extended with the exact rational [beta] vector. *)
+
+val key_of_basis : string -> k:int -> string
+(** [key_of_basis base ~k] — key for the memoized optimal simplex basis
+    of the [k]-th lexmax sub-solve of the problem keyed by [base]
+    (normally a {!key_of_spec_beta}). Backs {!Tiling.basis_hooks}: a hit
+    replaces a simplex solve with a single exact certification. *)

@@ -38,6 +38,13 @@ let lp_cache : Tiling.lp_solution Memo.t = Memo.create ~name:"lp" ()
 let analysis_cache : analysis Memo.t = Memo.create ~name:"analysis" ()
 let shared_cache : int array Memo.t = Memo.create ~name:"shared" ()
 
+(* Optimal simplex bases from earlier lexmax sub-solves, keyed by
+   (spec, beta, k). A hit lets Tiling.solve_lp_lexmax replace a simplex
+   solve with one exact certification (Simplex.certify); a stale or
+   wrong basis just fails certification and falls through, so this cache
+   can never change an answer — only its cost. *)
+let basis_cache : int array Memo.t = Memo.create ~name:"basis" ()
+
 let t_lp = Obs.timer "pipeline.solve_lp"
 let t_lower = Obs.timer "pipeline.lower_bound"
 let t_tile = Obs.timer "pipeline.tile"
@@ -126,8 +133,15 @@ let plan_of spec =
   | None -> of_entry (compile_and_install spec)
 
 let lp_lexmax spec ~beta =
-  Memo.find_or_add lp_cache (Memo.key_of_spec_beta spec ~beta) (fun () ->
-    Tiling.solve_lp_lexmax spec ~beta)
+  let key = Memo.key_of_spec_beta spec ~beta in
+  Memo.find_or_add lp_cache key (fun () ->
+    let hooks =
+      {
+        Tiling.lookup = (fun k -> Memo.find_opt basis_cache (Memo.key_of_basis key ~k));
+        store = (fun k basis -> Memo.add basis_cache (Memo.key_of_basis key ~k) basis);
+      }
+    in
+    Tiling.solve_lp_lexmax ~hooks spec ~beta)
 
 let plan_lp_solution plan spec ~beta =
   let lambda, value = Tiling_plan.answer plan ~beta in
@@ -380,6 +394,7 @@ let reset_caches () =
   Memo.clear shared_cache;
   Memo.clear nested_cache;
   Memo.clear plan_cache;
+  Memo.clear basis_cache;
   Mutex.lock pending_lock;
   Hashtbl.reset pending_shapes;
   Mutex.unlock pending_lock

@@ -17,13 +17,34 @@ val solve_lp : Spec.t -> beta:Rat.t array -> lp_solution
 (** Whichever optimal vertex the simplex pivots to — fine when only the
     objective matters. *)
 
-val solve_lp_lexmax : Spec.t -> beta:Rat.t array -> lp_solution
+type basis_hooks = {
+  lookup : int -> int array option;
+      (** [lookup k] — a previously stored optimal basis for the [k]-th
+          lexmax sub-solve of this shape, or [None] *)
+  store : int -> int array -> unit;
+      (** [store k basis] — remember the optimal basis of sub-solve [k] *)
+}
+(** Warm-start cache interface for {!solve_lp_lexmax}. The engine backs
+    this with a {!Memo} table keyed by shape; a hit turns a simplex solve
+    into a single {!Simplex.certify} check. *)
+
+val solve_lp_lexmax : ?hooks:basis_hooks -> Spec.t -> beta:Rat.t array -> lp_solution
 (** The {e lexicographically maximal} optimal solution: among all optima
     of (5.1), the one maximizing [lambda_0], then [lambda_1], ... —
     unique, hence safe to compare bit-for-bit across solver paths. This
     is the engine's canonical answer ({!Tiling_plan} reproduces it
-    without any simplex solves). Costs [d] simplex solves; [dual] is the
-    multiplier vector of the initial value-finding solve. *)
+    without any simplex solves). Costs [d + 1] simplex solves; [dual] is
+    the multiplier vector of the initial value-finding solve.
+
+    The [d] per-[k] sub-solves consume only their (unique) optimal
+    objective value, so they may be answered by any certified optimal
+    basis: with [hooks] a remembered basis is tried first, then a
+    floating-point pre-screen ({!Simplex_float.solve}) whose final basis
+    is confirmed exactly by {!Simplex.certify}, and only if both fail
+    does the exact solver run from scratch. The initial solve always runs
+    exactly because its [dual] vector is consumed and dual multipliers at
+    degenerate optima are not unique. Results are bit-identical with and
+    without [hooks]. *)
 
 val of_lambda : Spec.t -> m:int -> Rat.t array -> int array
 (** Integer tile from a (feasible) continuous LP solution: round
@@ -40,9 +61,19 @@ val optimal_shared : Spec.t -> m:int -> int array
 (** Like {!optimal}, but for a single cache of [m] words shared by all
     arrays: the {e total} footprint of the result is at most [m]. The
     paper's model charges each array up to [M] words separately;
-    executing on one physical cache needs this variant. Internally the
-    per-array budget is scaled down iteratively until the grown tile's
-    total footprint fits. *)
+    executing on one physical cache needs this variant. Internally an LP
+    seed (the per-array budget scaled down iteratively until the grown
+    tile's total footprint fits) sets the incumbent for a
+    branch-and-bound sweep over power-of-two tile grids, pruned by a
+    footprint floor and by an admissible traffic lower bound; a local
+    refinement pass follows. Emits [tiling.search.*] observability
+    counters. *)
+
+val optimal_shared_reference : Spec.t -> m:int -> int array
+(** The executable specification of {!optimal_shared}: the original
+    unpruned exhaustive sweep with the tile-grid-walk traffic objective.
+    Exponentially slower on large shapes; exists so the property tests
+    can assert the pruned search returns byte-identical tiles. *)
 
 val nested : Spec.t -> ms:int array -> int array list
 (** Tiles for a multi-level memory hierarchy with capacities [ms]
@@ -83,8 +114,16 @@ val analytic_traffic_retained : Spec.t -> int array -> traffic
     tile order {!Schedules.Tiled} uses) that touch the {e same} block of
     an array are charged only once — the block stays resident, which is
     what an LRU cache that fits the whole working set actually does.
-    Computed by walking the tile grid and counting block changes; this is
-    the objective {!optimal_shared} minimizes. Falls back to
-    {!analytic_traffic} when the tile grid exceeds [2*10^6] tiles. *)
+    Computed in closed form from the carry structure of the tile odometer
+    (array [j]'s block changes exactly when the carry reaches its
+    innermost multi-tile support dimension); this is the objective
+    {!optimal_shared} minimizes. Falls back to {!analytic_traffic} when
+    the tile grid exceeds [2*10^6] tiles. *)
+
+val analytic_traffic_retained_walk : Spec.t -> int array -> traffic
+(** The original O(num_tiles) implementation of
+    {!analytic_traffic_retained}: walk the tile grid and count block
+    changes. Kept as the executable specification the closed form is
+    property-tested against. Same [2*10^6]-tile fallback. *)
 
 val pp : Spec.t -> Format.formatter -> int array -> unit

@@ -52,14 +52,63 @@ type hierarchy_result = {
    fat span per simulation under the pool.task lanes. *)
 let t_run = Obs.timer "executor.run"
 let t_run_hierarchy = Obs.timer "executor.run_hierarchy"
+let c_batched_runs = Obs.counter "cachesim.batched_runs"
+
+(* Merge strictly consecutive same-line emissions into batched line runs
+   and hand each run to [sink] once. An Update's read+write pair always
+   merges; unit-stride innermost loops merge [line_words] points' worth
+   of touches per array. Only *adjacent* emissions merge — any
+   intervening touch of another line ends the run — so the batched
+   replay is access-for-access equivalent to the per-word one (the
+   cache/hierarchy [access_run] primitives make the same guarantee).
+   The run count is aggregated into [cachesim.batched_runs] once per
+   simulation, keeping the Obs discipline of this hot path. *)
+let with_run_merging ~line_words sink f =
+  let line_of addr =
+    if addr >= 0 then addr / line_words else -1 - ((-1 - addr) / line_words)
+  in
+  let runs = ref 0 in
+  let pend_line = ref 0
+  and pend_addr = ref 0
+  and pend_first = ref false
+  and pend_any = ref false
+  and pend_count = ref 0 in
+  let flush_pend () =
+    if !pend_count > 0 then begin
+      incr runs;
+      sink ~first_write:!pend_first ~any_write:!pend_any ~count:!pend_count !pend_addr;
+      pend_count := 0
+    end
+  in
+  let emit addr write =
+    let line = line_of addr in
+    if !pend_count > 0 && line = !pend_line then begin
+      pend_count := !pend_count + 1;
+      pend_any := !pend_any || write
+    end
+    else begin
+      flush_pend ();
+      pend_line := line;
+      pend_addr := addr;
+      pend_first := write;
+      pend_any := write;
+      pend_count := 1
+    end
+  in
+  f emit;
+  flush_pend ();
+  Obs.incr ~by:!runs c_batched_runs
 
 let run_hierarchy ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacities =
   Obs.Trace.with_span "executor.run_hierarchy" (fun () ->
   Obs.time t_run_hierarchy (fun () ->
   let h = Hierarchy.create ~line_words ~policy ~capacities () in
   let layout = Layout.make spec in
-  Schedules.iterate spec schedule (fun point ->
-    touch layout spec point (fun addr write -> Hierarchy.access h ~write addr));
+  with_run_merging ~line_words
+    (fun ~first_write ~any_write ~count addr ->
+      Hierarchy.access_run h ~first_write ~any_write ~count addr)
+    (fun emit ->
+      Schedules.iterate spec schedule (fun point -> touch layout spec point emit));
   Hierarchy.flush h;
   Hierarchy.record_obs h;
   {
@@ -83,8 +132,11 @@ let run ?(line_words = 1) ?(policy = Policy.Lru) spec ~schedule ~capacity =
     | Policy.Lru | Policy.Fifo ->
       let layout = Layout.make spec in
       let cache = Cache.create ~line_words ~policy ~capacity () in
-      Schedules.iterate spec schedule (fun point ->
-        touch layout spec point (fun addr write -> Cache.access cache ~write addr));
+      with_run_merging ~line_words
+        (fun ~first_write:_ ~any_write ~count addr ->
+          Cache.access_run cache ~write:any_write ~count addr)
+        (fun emit ->
+          Schedules.iterate spec schedule (fun point -> touch layout spec point emit));
       Cache.flush cache;
       Cache.stats cache
   in

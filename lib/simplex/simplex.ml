@@ -4,7 +4,14 @@
    dense tableau is the right tradeoff: simple, exact, and obviously
    correct. *)
 
-type solution = { objective : Rat.t; primal : Rat.t array; dual : Rat.t array; pivots : int }
+type solution = {
+  objective : Rat.t;
+  primal : Rat.t array;
+  dual : Rat.t array;
+  pivots : int;
+  basis : int array;
+}
+
 type result = Optimal of solution | Unbounded of { direction : Rat.t array } | Infeasible
 
 type col_kind = Structural of int | Slack of int | Surplus of int | Artificial of int
@@ -119,7 +126,20 @@ let objective_value st costs =
 
 let t_solve = Obs.timer "simplex.solve"
 
-let solve_tableau (lp : Lp.t) : result =
+(* Initial tableau plus the metadata needed to read a solution back out:
+   rhs-sign flips and, per row, the column whose reduced cost carries that
+   row's dual multiplier. Shared by [solve_tableau] and [certify], which
+   must agree on the column layout bit for bit (it is also the layout
+   [Simplex_float] mirrors, so a float basis indexes directly into it). *)
+type prepared = {
+  st : state;
+  flips : Rat.t array;
+  dual_col : int array;
+  dual_sign : Rat.t array;
+  n_art : int;
+}
+
+let prepare (lp : Lp.t) : prepared =
   let m = Lp.num_constraints lp in
   let n = Lp.num_vars lp in
   let constrs = Lp.constraints lp in
@@ -210,6 +230,43 @@ let solve_tableau (lp : Lp.t) : result =
       bland_ties = 0;
     }
   in
+  { st; flips; dual_col; dual_sign; n_art = !n_art }
+
+(* Phase-2 cost row: the user's objective on structural columns,
+   normalized to a minimization. *)
+let phase2_costs (lp : Lp.t) st =
+  let minimize = Lp.direction lp = Lp.Minimize in
+  Array.init st.ncols (fun j ->
+    match st.kinds.(j) with
+    | Structural v ->
+      let c = (Lp.objective lp).(v) in
+      if minimize then c else Rat.neg c
+    | _ -> Rat.zero)
+
+(* Read the optimal solution out of a tableau whose reduced-cost row holds
+   the phase-2 costs for the current basis. *)
+let extract_solution (lp : Lp.t) { st; flips; dual_col; dual_sign; _ } costs =
+  let minimize = Lp.direction lp = Lp.Minimize in
+  let primal = Array.make st.n Rat.zero in
+  for r = 0 to st.m - 1 do
+    match st.kinds.(st.basis.(r)) with
+    | Structural v -> primal.(v) <- st.tab.(r).(st.ncols)
+    | _ -> ()
+  done;
+  let obj_min = objective_value st costs in
+  let objective = if minimize then obj_min else Rat.neg obj_min in
+  let dual =
+    Array.init st.m (fun i ->
+      let y_min = Rat.mul dual_sign.(i) st.red.(dual_col.(i)) in
+      let y_dirfixed = if minimize then y_min else Rat.neg y_min in
+      Rat.mul flips.(i) y_dirfixed)
+  in
+  { objective; primal; dual; pivots = st.pivot_count; basis = Array.copy st.basis }
+
+let solve_tableau (lp : Lp.t) : result =
+  let ({ st; n_art; _ } as p) = prepare lp in
+  let m = st.m in
+  let ncols = st.ncols in
   let record result =
     Obs.incr c_solves;
     Obs.incr ~by:st.pivot_count c_pivots;
@@ -223,7 +280,7 @@ let solve_tableau (lp : Lp.t) : result =
     Array.init ncols (fun j -> match st.kinds.(j) with Artificial _ -> Rat.one | _ -> Rat.zero)
   in
   let infeasible =
-    if !n_art = 0 then false
+    if n_art = 0 then false
     else begin
       load_costs st phase1_costs;
       match run_phase st with
@@ -256,20 +313,12 @@ let solve_tableau (lp : Lp.t) : result =
       | _ -> ())
     done;
     (* ---- Phase 2: optimize the user's objective (as a minimization). ---- *)
-    let minimize = Lp.direction lp = Lp.Minimize in
-    let phase2_costs =
-      Array.init ncols (fun j ->
-        match st.kinds.(j) with
-        | Structural v ->
-          let c = (Lp.objective lp).(v) in
-          if minimize then c else Rat.neg c
-        | _ -> Rat.zero)
-    in
-    load_costs st phase2_costs;
+    let costs = phase2_costs lp st in
+    load_costs st costs;
     match run_phase st with
     | Phase_unbounded c ->
       (* Build the improving ray in structural-variable space. *)
-      let dir = Array.make n Rat.zero in
+      let dir = Array.make st.n Rat.zero in
       (match st.kinds.(c) with Structural v -> dir.(v) <- Rat.one | _ -> ());
       for r = 0 to m - 1 do
         match st.kinds.(st.basis.(r)) with
@@ -277,22 +326,7 @@ let solve_tableau (lp : Lp.t) : result =
         | _ -> ()
       done;
       record (Unbounded { direction = dir })
-    | Phase_optimal ->
-      let primal = Array.make n Rat.zero in
-      for r = 0 to m - 1 do
-        match st.kinds.(st.basis.(r)) with
-        | Structural v -> primal.(v) <- st.tab.(r).(st.ncols)
-        | _ -> ()
-      done;
-      let obj_min = objective_value st phase2_costs in
-      let objective = if minimize then obj_min else Rat.neg obj_min in
-      let dual =
-        Array.init m (fun i ->
-          let y_min = Rat.mul dual_sign.(i) st.red.(dual_col.(i)) in
-          let y_dirfixed = if minimize then y_min else Rat.neg y_min in
-          Rat.mul flips.(i) y_dirfixed)
-      in
-      record (Optimal { objective; primal; dual; pivots = st.pivot_count })
+    | Phase_optimal -> record (Optimal (extract_solution lp p costs))
   end
 
 (* Every exact solve is timed (the histogram prices the exact-arithmetic
@@ -306,6 +340,75 @@ let solve_exn lp =
   | Optimal s -> s
   | Unbounded _ -> failwith "Simplex.solve_exn: unbounded"
   | Infeasible -> failwith "Simplex.solve_exn: infeasible"
+
+(* Exact optimality certificate for a candidate basis (e.g. the one the
+   float solver landed on, or a memoized basis from an earlier solve of
+   the same shape). Gauss-Jordan-eliminate the basis columns, then check
+   primal feasibility (non-negative basic values) and dual feasibility
+   (non-negative reduced costs on every real column). Both checks passing
+   proves the basis optimal, so the extracted solution is exact — no
+   simplex pivoting ran. Any failure (singular, artificial in the basis,
+   an infeasibility) returns [None]; callers fall back to [solve]. *)
+let certify (lp : Lp.t) ~basis : solution option =
+  let ({ st; _ } as p) = prepare lp in
+  let plausible =
+    Array.length basis = st.m
+    && Array.for_all
+         (fun c ->
+           c >= 0 && c < st.ncols
+           && match st.kinds.(c) with Artificial _ -> false | _ -> true)
+         basis
+    &&
+    let seen = Array.make st.ncols false in
+    Array.for_all
+      (fun c ->
+        if seen.(c) then false
+        else begin
+          seen.(c) <- true;
+          true
+        end)
+      basis
+  in
+  if not plausible then None
+  else begin
+    (* Pivot each basis column into some not-yet-used row; failure to find
+       a nonzero entry means the columns are linearly dependent. *)
+    let used = Array.make st.m false in
+    let singular = ref false in
+    Array.iter
+      (fun c ->
+        if not !singular then begin
+          let r = ref (-1) in
+          for i = 0 to st.m - 1 do
+            if !r < 0 && (not used.(i)) && not (Rat.is_zero st.tab.(i).(c)) then r := i
+          done;
+          if !r < 0 then singular := true
+          else begin
+            used.(!r) <- true;
+            pivot st !r c
+          end
+        end)
+      basis;
+    if !singular then None
+    else begin
+      let primal_feasible = ref true in
+      for r = 0 to st.m - 1 do
+        if Rat.sign st.tab.(r).(st.ncols) < 0 then primal_feasible := false
+      done;
+      if not !primal_feasible then None
+      else begin
+        let costs = phase2_costs lp st in
+        load_costs st costs;
+        let dual_feasible = ref true in
+        for j = 0 to st.ncols - 1 do
+          match st.kinds.(j) with
+          | Artificial _ -> ()
+          | _ -> if Rat.sign st.red.(j) < 0 then dual_feasible := false
+        done;
+        if not !dual_feasible then None else Some (extract_solution lp p costs)
+      end
+    end
+  end
 
 let dual_objective lp y =
   let constrs = Lp.constraints lp in

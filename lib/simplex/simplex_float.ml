@@ -2,7 +2,7 @@
    Simplex.ml; comparisons go through an epsilon tolerance, which is
    precisely the weakness this module exists to exhibit. *)
 
-type solution = { objective : float; primal : float array }
+type solution = { objective : float; primal : float array; basis : int array }
 type result = Optimal of solution | Unbounded | Infeasible
 
 type col_kind = Structural of int | Slack | Artificial
@@ -211,5 +211,6 @@ let solve ?(eps = 1e-9) (lp : Lp.t) : result =
         | _ -> ()
       done;
       let obj = objective_value st phase2 in
-      Optimal { objective = (if minimize then obj else -.obj); primal }
+      Optimal
+        { objective = (if minimize then obj else -.obj); primal; basis = Array.copy st.basis }
   end

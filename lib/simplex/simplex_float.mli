@@ -12,7 +12,14 @@
     Do not use this for the paper's machinery; it is deliberately the
     naive choice. *)
 
-type solution = { objective : float; primal : float array }
+type solution = {
+  objective : float;
+  primal : float array;
+  basis : int array;
+      (** the final basis, in {!module:Simplex}'s column layout (the two
+          solvers build identical tableaus), so it can be handed to
+          {!Simplex.certify} for exact confirmation *)
+}
 
 type result = Optimal of solution | Unbounded | Infeasible
 

@@ -15,7 +15,9 @@ let test_cold_misses () =
   let s = stats_of Policy.Lru 4 [ 0; 1; 2; 3 ] in
   Alcotest.(check int) "misses" 4 s.Cache.misses;
   Alcotest.(check int) "hits" 0 s.Cache.hits;
-  Alcotest.(check int) "no evictions" 0 s.Cache.evictions
+  (* no capacity evictions during the run; the end-of-trace flush then
+     evicts all four resident lines *)
+  Alcotest.(check int) "flush evictions" 4 s.Cache.evictions
 
 let test_hits_when_fits () =
   let s = stats_of Policy.Lru 4 [ 0; 1; 2; 3; 0; 1; 2; 3; 3; 2 ] in
@@ -62,7 +64,8 @@ let test_flush_writes_dirty () =
 let test_clean_eviction_no_writeback () =
   let s = stats_of Policy.Lru 1 [ 0; 1; 2 ] in
   Alcotest.(check int) "no writebacks" 0 s.Cache.writebacks;
-  Alcotest.(check int) "evictions" 2 s.Cache.evictions
+  (* two capacity evictions plus the final flush of line 2 *)
+  Alcotest.(check int) "evictions" 3 s.Cache.evictions
 
 let test_rewrite_dirty_once () =
   (* Writing the same line twice then evicting = one writeback. *)
@@ -199,8 +202,10 @@ let props =
           [ Policy.Lru; Policy.Fifo; Policy.Opt ]);
     QCheck.Test.make ~name:"big cache: exactly one miss per distinct line" ~count:200 arb_trace
       (fun t ->
+        (* no capacity evictions, so every resident line leaves at the
+           flush: evictions = distinct lines = misses *)
         let s = Trace.simulate ~policy:Policy.Lru ~capacity:1024 t in
-        s.Cache.misses = Trace.words_touched t && s.Cache.evictions = 0);
+        s.Cache.misses = Trace.words_touched t && s.Cache.evictions = Trace.words_touched t);
     QCheck.Test.make ~name:"OPT matches brute force (tiny)" ~count:60
       (QCheck.pair
          (QCheck.make
@@ -214,6 +219,185 @@ let props =
         = brute_force_min_misses cap t);
   ]
 
+
+(* ------------------------------------------------------------------ *)
+(* Negative addresses and line mapping                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_negative_address_lines () =
+  (* Floor-division line mapping: with line_words = 4, words -4..-1 are
+     one line and 0..3 another. Truncating division used to fold words
+     -3..3 onto just two lines, one of them seven words wide. *)
+  let c = Cache.create ~line_words:4 ~policy:Policy.Lru ~capacity:64 () in
+  Cache.access c ~write:false (-1);
+  Alcotest.(check bool) "-4 same line" true (Cache.resident c (-4));
+  Alcotest.(check bool) "-5 other line" false (Cache.resident c (-5));
+  Alcotest.(check bool) "0 other line" false (Cache.resident c 0);
+  Cache.access c ~write:false (-2);
+  Cache.access c ~write:false 1;
+  let s = Cache.stats c in
+  (* -1/-2 share a line; 1 is a distinct line (not folded onto it) *)
+  Alcotest.(check int) "two lines, two misses" 2 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits
+
+let test_negative_address_opt_matches_lru_mapping () =
+  (* OPT uses the same floor line mapping as the online caches: a
+     single-line working set of negative words stays one line. *)
+  let t = reads [ -1; -2; -3; -4; -1 ] in
+  let s = Trace.simulate ~line_words:4 ~policy:Policy.Opt ~capacity:8 t in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "four hits" 4 s.Cache.hits
+
+(* ------------------------------------------------------------------ *)
+(* Naive reference model and batched-run equivalence                  *)
+(* ------------------------------------------------------------------ *)
+
+let line_of ~line_words addr =
+  if addr >= 0 then addr / line_words else -1 - ((-1 - addr) / line_words)
+
+(* Obviously-correct list-based model: the resident set is an assoc list
+   (line, dirty), most recent (LRU) / newest (FIFO) first, victim last.
+   The flat-array simulator must match it field for field. *)
+let naive_simulate ~line_words ~policy ~capacity (t : Trace.t) : Cache.stats =
+  let cap_lines = capacity / line_words in
+  let lst = ref [] in
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 and writebacks = ref 0 in
+  Array.iter
+    (fun (a : Trace.access) ->
+      let line = line_of ~line_words a.Trace.addr in
+      match List.assoc_opt line !lst with
+      | Some d ->
+        incr hits;
+        let d = d || a.Trace.write in
+        if policy = Policy.Lru then lst := (line, d) :: List.remove_assoc line !lst
+        else lst := List.map (fun (l, dd) -> if l = line then (l, d) else (l, dd)) !lst
+      | None ->
+        incr misses;
+        if List.length !lst >= cap_lines then begin
+          match List.rev !lst with
+          | (vl, vd) :: _ ->
+            incr evictions;
+            if vd then incr writebacks;
+            lst := List.remove_assoc vl !lst
+          | [] -> assert false
+        end;
+        lst := (line, a.Trace.write) :: !lst)
+    t;
+  List.iter
+    (fun (_, d) ->
+      incr evictions;
+      if d then incr writebacks)
+    !lst;
+  {
+    Cache.accesses = Array.length t;
+    hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
+    writebacks = !writebacks;
+  }
+
+(* Replay a trace through access_run, merging maximal runs of
+   consecutive same-line accesses exactly as the executor does. *)
+let simulate_batched ~line_words ~policy ~capacity (t : Trace.t) : Cache.stats =
+  let c = Cache.create ~line_words ~policy ~capacity () in
+  let n = Array.length t in
+  let i = ref 0 in
+  while !i < n do
+    let line = line_of ~line_words t.(!i).Trace.addr in
+    let j = ref !i and any_write = ref false in
+    while !j < n && line_of ~line_words t.(!j).Trace.addr = line do
+      any_write := !any_write || t.(!j).Trace.write;
+      incr j
+    done;
+    Cache.access_run c ~write:!any_write ~count:(!j - !i) t.(!i).Trace.addr;
+    i := !j
+  done;
+  Cache.flush c;
+  Cache.stats c
+
+let simulate_hierarchy_per_word ~line_words ~capacities (t : Trace.t) =
+  let h = Hierarchy.create ~line_words ~capacities () in
+  Array.iter (fun (a : Trace.access) -> Hierarchy.access h ~write:a.Trace.write a.Trace.addr) t;
+  Hierarchy.flush h;
+  Hierarchy.stats h
+
+let simulate_hierarchy_batched ~line_words ~capacities (t : Trace.t) =
+  let h = Hierarchy.create ~line_words ~capacities () in
+  let n = Array.length t in
+  let i = ref 0 in
+  while !i < n do
+    let line = line_of ~line_words t.(!i).Trace.addr in
+    let j = ref !i and any_write = ref false in
+    while !j < n && line_of ~line_words t.(!j).Trace.addr = line do
+      any_write := !any_write || t.(!j).Trace.write;
+      incr j
+    done;
+    Hierarchy.access_run h ~first_write:t.(!i).Trace.write ~any_write:!any_write
+      ~count:(!j - !i) t.(!i).Trace.addr;
+    i := !j
+  done;
+  Hierarchy.flush h;
+  Hierarchy.stats h
+
+let stats_equal (a : Cache.stats) (b : Cache.stats) =
+  a.Cache.accesses = b.Cache.accesses && a.Cache.hits = b.Cache.hits
+  && a.Cache.misses = b.Cache.misses && a.Cache.evictions = b.Cache.evictions
+  && a.Cache.writebacks = b.Cache.writebacks
+
+(* Traces with negative addresses too, so the floor line mapping is
+   exercised on both sides of the origin. *)
+let gen_trace_signed =
+  QCheck.Gen.(
+    list_size (int_range 1 200) (pair (int_range (-20) 20) bool) >>= fun l ->
+    return (Array.of_list (List.map (fun (a, w) -> { Trace.addr = a; write = w }) l)))
+
+let arb_trace_signed =
+  QCheck.make
+    ~print:(fun t ->
+      String.concat ","
+        (Array.to_list
+           (Array.map
+              (fun a -> Printf.sprintf "%s%d" (if a.Trace.write then "w" else "r") a.Trace.addr)
+              t)))
+    gen_trace_signed
+
+let batched_props =
+  [
+    QCheck.Test.make ~name:"flat cache = naive reference model" ~count:300
+      (QCheck.triple arb_trace_signed (QCheck.int_range 1 8) (QCheck.int_range 1 4))
+      (fun (t, cap_lines, line_words) ->
+        List.for_all
+          (fun policy ->
+            let capacity = cap_lines * line_words in
+            stats_equal
+              (Trace.simulate ~line_words ~policy ~capacity t)
+              (naive_simulate ~line_words ~policy ~capacity t))
+          [ Policy.Lru; Policy.Fifo ]);
+    QCheck.Test.make ~name:"access_run = word-by-word" ~count:300
+      (QCheck.triple arb_trace_signed (QCheck.int_range 1 8) (QCheck.oneofl [ 1; 4; 8 ]))
+      (fun (t, cap_lines, line_words) ->
+        List.for_all
+          (fun policy ->
+            let capacity = cap_lines * line_words in
+            stats_equal
+              (Trace.simulate ~line_words ~policy ~capacity t)
+              (simulate_batched ~line_words ~policy ~capacity t))
+          [ Policy.Lru; Policy.Fifo ]);
+    QCheck.Test.make ~name:"hierarchy access_run = word-by-word" ~count:200
+      (QCheck.triple arb_trace_signed (QCheck.int_range 1 6) (QCheck.oneofl [ 1; 4 ]))
+      (fun (t, cap_lines, line_words) ->
+        let capacities = [| cap_lines * line_words; 4 * cap_lines * line_words |] in
+        let a = simulate_hierarchy_per_word ~line_words ~capacities t in
+        let b = simulate_hierarchy_batched ~line_words ~capacities t in
+        Array.for_all2 stats_equal a b);
+    QCheck.Test.make ~name:"after flush: evictions = misses at every level" ~count:200
+      (QCheck.pair arb_trace_signed (QCheck.int_range 1 6))
+      (fun (t, cap) ->
+        (* every line that was ever allocated (a miss) eventually leaves,
+           by capacity eviction or by the flush — at each level *)
+        let s = simulate_hierarchy_per_word ~line_words:1 ~capacities:[| cap; 4 * cap |] t in
+        Array.for_all (fun (l : Cache.stats) -> l.Cache.evictions = l.Cache.misses) s);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Hierarchy                                                          *)
@@ -333,6 +517,9 @@ let () =
           Alcotest.test_case "create validation" `Quick test_create_validation;
           Alcotest.test_case "words_touched" `Quick test_words_touched;
           Alcotest.test_case "OPT = brute force" `Quick test_opt_matches_brute_force;
+          Alcotest.test_case "negative address lines" `Quick test_negative_address_lines;
+          Alcotest.test_case "negative address OPT" `Quick
+            test_negative_address_opt_matches_lru_mapping;
         ] );
       ( "hierarchy",
         [
@@ -344,5 +531,6 @@ let () =
           Alcotest.test_case "fifo + lines" `Quick test_hierarchy_fifo_and_lines;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
+      ("batched-properties", List.map QCheck_alcotest.to_alcotest batched_props);
       ("hierarchy-properties", List.map QCheck_alcotest.to_alcotest hierarchy_props);
     ]

@@ -484,6 +484,141 @@ let test_optimal_shared_validation () =
     (Invalid_argument "Tiling.optimal_shared: cache smaller than one word per array") (fun () ->
     ignore (Tiling.optimal_shared mm ~m:2))
 
+(* Small specs (2-3 loops, modest bounds) where the reference search's
+   per-candidate tile-grid walk is affordable, for byte-identity checks
+   of the pruned search and the closed-form retained model. *)
+let gen_small_spec =
+  QCheck.Gen.(
+    int_range 2 3 >>= fun d ->
+    int_range 2 3 >>= fun n ->
+    let gen_support = list_size (int_range 1 d) (int_range 0 (d - 1)) in
+    list_size (return n) gen_support >>= fun supports ->
+    let supports = Array.of_list supports in
+    let supports =
+      Array.mapi
+        (fun j s -> (List.init d (fun i -> i) |> List.filter (fun i -> i mod n = j)) @ s)
+        supports
+    in
+    array_size (return d) (int_range 1 24) >>= fun bounds ->
+    let arrays =
+      Array.mapi
+        (fun j s ->
+          Spec.array_ref
+            ~mode:(if j = 0 then Spec.Update else Spec.Read)
+            (Printf.sprintf "A%d" j) s)
+        supports
+    in
+    let loops = Array.init d (fun i -> Printf.sprintf "x%d" (i + 1)) in
+    match Spec.create ~name:"small" ~loops ~bounds ~arrays with
+    | Ok s -> return s
+    | Error e -> failwith (Spec.string_of_error e))
+
+let arb_small_spec = QCheck.make ~print:print_spec gen_small_spec
+
+let gen_tile_for spec =
+  QCheck.Gen.(
+    let d = Spec.num_loops spec in
+    array_size (return d) (float_range 0.0 1.0) >>= fun fs ->
+    return
+      (Array.init d (fun i ->
+         let l = spec.Spec.bounds.(i) in
+         Stdlib.max 1 (Stdlib.min l (1 + int_of_float (fs.(i) *. float_of_int l))))))
+
+let arb_small_spec_tile =
+  QCheck.make
+    ~print:(fun (s, b) ->
+      Printf.sprintf "%s\ntile=[%s]" (print_spec s)
+        (String.concat ";" (List.map string_of_int (Array.to_list b))))
+    QCheck.Gen.(gen_small_spec >>= fun s -> gen_tile_for s >>= fun b -> return (s, b))
+
+let shared_props =
+  [
+    (* The closed-form retained model must reproduce the tile-grid walk
+       bit for bit: both compute exact integer word counts below 2^53,
+       so even the float accumulation agrees exactly. *)
+    QCheck.Test.make ~name:"closed-form retained traffic = grid walk" ~count:300
+      arb_small_spec_tile (fun (spec, b) ->
+        let cf = Tiling.analytic_traffic_retained spec b in
+        let walk = Tiling.analytic_traffic_retained_walk spec b in
+        cf.Tiling.reads = walk.Tiling.reads && cf.Tiling.writes = walk.Tiling.writes);
+    (* The pruned branch-and-bound with the closed-form objective must
+       return byte-identical tiles to the original exhaustive search
+       with the walk objective. *)
+    QCheck.Test.make ~name:"pruned optimal_shared = reference search" ~count:120
+      (QCheck.pair arb_small_spec (QCheck.int_range 8 512))
+      (fun (spec, m) ->
+        QCheck.assume (m >= Spec.num_arrays spec);
+        Tiling.optimal_shared spec ~m = Tiling.optimal_shared_reference spec ~m);
+  ]
+
+(* Regression: bounds near max_int. The power-of-two ladder used to loop
+   forever (v * 2 wraps negative before v >= l can hold), the tile-count
+   product wrapped negative which defeated the walk's cap check, and the
+   4*fp <= 3*m headroom test wrapped. All must now terminate and return
+   finite, sane answers. *)
+let test_huge_bounds_terminate () =
+  let huge = (max_int / 2) + 11 in
+  let arrays =
+    [|
+      Spec.array_ref ~mode:Spec.Update "C" [ 0; 1 ];
+      Spec.array_ref ~mode:Spec.Read "A" [ 0; 2 ];
+      Spec.array_ref ~mode:Spec.Read "B" [ 2; 1 ];
+    |]
+  in
+  let spec =
+    match
+      Spec.create ~name:"huge" ~loops:[| "i"; "j"; "k" |] ~bounds:[| huge; huge; huge |] ~arrays
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Spec.string_of_error e)
+  in
+  let m = 4096 in
+  let tile = Tiling.optimal_shared spec ~m in
+  Alcotest.(check bool) "total footprint fits" true (Tiling.total_footprint spec tile <= m);
+  Alcotest.(check bool) "tile within bounds" true
+    (Array.for_all2 (fun b l -> 1 <= b && b <= l) tile spec.Spec.bounds);
+  let check_traffic name (tr : Tiling.traffic) =
+    Alcotest.(check bool)
+      (name ^ " finite & positive")
+      true
+      (Float.is_finite tr.Tiling.reads && Float.is_finite tr.Tiling.writes
+     && tr.Tiling.reads > 0.0 && tr.Tiling.writes > 0.0)
+  in
+  check_traffic "analytic" (Tiling.analytic_traffic spec tile);
+  check_traffic "retained" (Tiling.analytic_traffic_retained spec tile);
+  Alcotest.(check bool) "num_tiles saturates positive" true (Tiling.num_tiles spec tile > 0)
+
+(* The warm-start hooks can only change the cost of solve_lp_lexmax,
+   never its answer: with a hooks-backed cache serving every repeat, the
+   solutions must be identical field for field. *)
+let test_lexmax_hooks_identity () =
+  let tbl : (int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let hooks =
+    {
+      Tiling.lookup = (fun k -> Hashtbl.find_opt tbl k);
+      store = (fun k b -> Hashtbl.replace tbl k b);
+    }
+  in
+  List.iter
+    (fun (_, spec) ->
+      let beta = Lower_bound.beta_of_bounds ~m:256 spec.Spec.bounds in
+      let cold = Tiling.solve_lp_lexmax spec ~beta in
+      let warm1 = Tiling.solve_lp_lexmax ~hooks spec ~beta in
+      (* second warm run is served from the stored bases *)
+      let warm2 = Tiling.solve_lp_lexmax ~hooks spec ~beta in
+      List.iter
+        (fun (sol : Tiling.lp_solution) ->
+          check_r "value" cold.Tiling.value sol.Tiling.value;
+          Array.iteri
+            (fun i v -> check_r (Printf.sprintf "lambda %d" i) cold.Tiling.lambda.(i) v)
+            sol.Tiling.lambda;
+          Array.iteri
+            (fun i v -> check_r (Printf.sprintf "dual %d" i) cold.Tiling.dual.(i) v)
+            sol.Tiling.dual)
+        [ warm1; warm2 ];
+      Hashtbl.reset tbl)
+    (Kernels.all ())
+
 
 let test_theorem2_q_validation () =
   Alcotest.check_raises "bad q index" (Invalid_argument "Hbl_lp.theorem2_q: index out of range")
@@ -735,6 +870,9 @@ let () =
           Alcotest.test_case "fits total budget" `Quick test_optimal_shared_fits_total;
           Alcotest.test_case "no worse than scaled" `Quick test_optimal_shared_no_worse_than_scaled;
           Alcotest.test_case "validation" `Quick test_optimal_shared_validation;
+          Alcotest.test_case "huge bounds terminate" `Quick test_huge_bounds_terminate;
+          Alcotest.test_case "lexmax hooks identity" `Quick test_lexmax_hooks_identity;
         ] );
+      ("shared-tile properties", List.map QCheck_alcotest.to_alcotest shared_props);
       ("properties", List.map QCheck_alcotest.to_alcotest props);
     ]

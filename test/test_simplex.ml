@@ -230,6 +230,47 @@ let test_float_cannot_certify_exact_ties () =
   | _ -> Alcotest.fail "expected Optimal"
 
 (* ------------------------------------------------------------------ *)
+(* Basis certification                                                *)
+(* ------------------------------------------------------------------ *)
+
+let textbook_lp () =
+  Lp.make Lp.Maximize [| r 3; r 5 |]
+    [
+      Lp.constr [| r 1; r 0 |] Lp.Le (r 4);
+      Lp.constr [| r 0; r 2 |] Lp.Le (r 12);
+      Lp.constr [| r 3; r 2 |] Lp.Le (r 18);
+    ]
+
+let test_certify_roundtrip () =
+  let lp = textbook_lp () in
+  let s = solve_opt lp in
+  match Simplex.certify lp ~basis:s.Simplex.basis with
+  | None -> Alcotest.fail "the solver's own optimal basis must certify"
+  | Some c ->
+    Alcotest.check rat "objective" s.Simplex.objective c.Simplex.objective;
+    Array.iteri
+      (fun i v -> Alcotest.check rat (Printf.sprintf "primal %d" i) v c.Simplex.primal.(i))
+      s.Simplex.primal;
+    Array.iteri
+      (fun i v -> Alcotest.check rat (Printf.sprintf "dual %d" i) v c.Simplex.dual.(i))
+      s.Simplex.dual
+
+let test_certify_rejects_bad_bases () =
+  let lp = textbook_lp () in
+  let none name basis =
+    match Simplex.certify lp ~basis with
+    | None -> ()
+    | Some _ -> Alcotest.failf "%s: expected None" name
+  in
+  none "wrong length" [| 0; 1 |];
+  none "column out of range" [| 0; 1; 99 |];
+  none "negative column" [| -1; 1; 2 |];
+  none "duplicate columns" [| 2; 2; 3 |];
+  (* all-slack basis: primal feasible (the origin) but not optimal for
+     max 3x + 5y, so dual feasibility must fail *)
+  none "feasible but suboptimal" [| 2; 3; 4 |]
+
+(* ------------------------------------------------------------------ *)
 (* Random-LP duality properties                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -305,6 +346,31 @@ let props =
           (not (Lp.satisfies lp x))
           || Rat.compare (Lp.eval_objective lp x) s.Simplex.objective <= 0
         | _ -> false);
+    QCheck.Test.make ~name:"certify round-trips the solver's own basis" ~count:300
+      arb_bounded_lp (fun lp ->
+        (* Le-only problems have no artificials, so the final basis is
+           always certifiable; the certified solution must be identical
+           in every field. *)
+        match Simplex.solve lp with
+        | Simplex.Optimal s -> (
+          match Simplex.certify lp ~basis:s.Simplex.basis with
+          | Some c ->
+            Rat.equal c.Simplex.objective s.Simplex.objective
+            && Array.for_all2 Rat.equal c.Simplex.primal s.Simplex.primal
+            && Array.for_all2 Rat.equal c.Simplex.dual s.Simplex.dual
+          | None -> false)
+        | _ -> false);
+    QCheck.Test.make ~name:"certified float basis gives the exact optimum" ~count:300
+      arb_bounded_lp (fun lp ->
+        match (Simplex.solve lp, Simplex_float.solve lp) with
+        | Simplex.Optimal e, Simplex_float.Optimal f -> (
+          (* Certification may refuse a mis-pivoted float basis (the
+             exact-fallback path exists for that); when it accepts, the
+             answer must be the exact optimum. *)
+          match Simplex.certify lp ~basis:f.Simplex_float.basis with
+          | Some c -> Rat.equal c.Simplex.objective e.Simplex.objective
+          | None -> true)
+        | _ -> true);
   ]
 
 
@@ -396,6 +462,11 @@ let () =
           Alcotest.test_case "textbook" `Quick test_float_agrees_on_textbook;
           Alcotest.test_case "matches exact" `Quick test_float_outcomes_match_exact;
           Alcotest.test_case "exact ties" `Quick test_float_cannot_certify_exact_ties;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "round-trip" `Quick test_certify_roundtrip;
+          Alcotest.test_case "rejects bad bases" `Quick test_certify_rejects_bad_bases;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
       ("ge-form properties", List.map QCheck_alcotest.to_alcotest ge_props);
