@@ -23,7 +23,14 @@
    time trips the per-experiment check.
 
    Exit status is 0 unless --strict is given, in which case any finding
-   makes it 1. *)
+   makes it 1.
+
+   Field tolerance: comparison reads only "v", "experiments", and (under
+   --gate-timers) obs.timers.<name>.seconds. Everything else in the
+   envelope is deliberately ignored so the bench JSON can grow without
+   breaking old baselines — in particular the "ts" write timestamp and
+   the obs "gauges" section (point-in-time levels, meaningless to diff
+   across runs) added with the telemetry exporter. *)
 
 type experiment = { title : string; seconds : float; words : (string * float) list }
 

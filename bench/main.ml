@@ -45,7 +45,9 @@ let json_escape s =
   String.concat ""
     (List.map
        (function
-         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+         | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
 (* [s0] is the snapshot taken before any experiment ran: the obs section
@@ -55,7 +57,10 @@ let json_escape s =
 let write_json ~s0 path =
   let oc = open_out path in
   let hits, misses = Engine.cache_stats () in
-  Printf.fprintf oc "{\"v\":%d,\"engine_cache\":{" Report.schema_version;
+  (* "ts" (write time, unix seconds) is informational: compare.exe
+     ignores it, like every other field it does not recognize. *)
+  Printf.fprintf oc "{\"v\":%d,\"ts\":%.6f,\"engine_cache\":{" Report.schema_version
+    (Unix.gettimeofday ());
   Printf.fprintf oc "\"hits\":%d,\"misses\":%d}," hits misses;
   Printf.fprintf oc "\"obs\":%s,\"experiments\":["
     (Obs.to_json (Obs.diff s0 (Obs.snapshot ())));
@@ -873,20 +878,23 @@ let tables ~s0 () =
     ];
   write_json ~s0 "BENCH_engine.json"
 
-(* Usage: bench/main.exe [tables|micro] [--metrics] [--trace FILE] *)
+(* Usage: bench/main.exe [tables|micro] [--metrics] [--trace FILE]
+                         [--telemetry FILE] *)
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let metrics = List.mem "--metrics" args in
-  let rec trace_of = function
-    | "--trace" :: file :: _ -> Some file
-    | _ :: rest -> trace_of rest
+  let rec keyed flag = function
+    | f :: file :: _ when f = flag -> Some file
+    | _ :: rest -> keyed flag rest
     | [] -> None
   in
-  let trace = trace_of args in
+  let trace = keyed "--trace" args in
+  let telemetry = keyed "--telemetry" args in
   let rec strip = function
     | [] -> []
     | "--metrics" :: rest -> strip rest
     | "--trace" :: _ :: rest -> strip rest
+    | "--telemetry" :: _ :: rest -> strip rest
     | a :: rest -> a :: strip rest
   in
   let what = match strip args with w :: _ -> w | [] -> "all" in
@@ -894,9 +902,20 @@ let () =
     Obs.Trace.enable ();
     Obs.Trace.set_lane_name "main"
   end;
+  let tel =
+    Option.map
+      (fun path ->
+        match Telemetry.start ~interval_s:1.0 path with
+        | Ok t -> t
+        | Error msg ->
+          Printf.eprintf "bench: --telemetry %s: %s\n%!" path msg;
+          exit 2)
+      telemetry
+  in
   let s0 = Obs.snapshot () in
   if what = "tables" || what = "all" then tables ~s0 ();
   if what = "micro" || what = "all" then microbenches ();
+  Option.iter Telemetry.stop tel;
   Option.iter
     (fun file ->
       Obs.Trace.disable ();

@@ -177,6 +177,38 @@ let with_obs metrics trace body =
   | _ -> ());
   result
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Export periodic metric snapshots while running: append JSONL \
+           time-series records ({\"ts\",\"seq\",\"obs\"}) to $(docv), or — \
+           when $(docv) ends in $(b,.om) — atomically rewrite it as an \
+           OpenMetrics/Prometheus text exposition each tick. One snapshot \
+           is always taken at start and one at exit. $(b,tilings top) \
+           tails the JSONL form live.")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "telemetry-interval" ] ~docv:"SECONDS"
+        ~doc:"Ticker period for --telemetry (default 1s).")
+
+(* Runs the body with the periodic exporter ticking; the final snapshot
+   lands in [finally] so a clean run always closes its trail. A typed
+   engine failure exits the process directly (fail_error), leaving the
+   start-of-run snapshot as the trail's last record — acceptable for a
+   failed invocation. *)
+let with_telemetry telemetry interval body =
+  match telemetry with
+  | None -> body ()
+  | Some path -> (
+    match Telemetry.start ~interval_s:interval path with
+    | Error msg -> fail "--telemetry %s: %s" path msg
+    | Ok t -> Fun.protect ~finally:(fun () -> Telemetry.stop t) body)
+
 (* ------------------------------------------------------------------ *)
 (* Commands                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -458,8 +490,10 @@ let sweep_cmd =
        $ jobs_arg $ timings_arg $ metrics_arg $ trace_arg))
 
 let profile_cmd =
-  let run name m iters cold schedule policy jobs trace =
+  let run name m iters cold schedule policy jobs trace telemetry telemetry_interval =
     with_obs false trace
+    @@ fun () ->
+    with_telemetry telemetry telemetry_interval
     @@ fun () ->
     match resolve_named name with
     | Error msg -> fail "%s" msg
@@ -581,13 +615,28 @@ let profile_cmd =
     Term.(
       ret
         (const run $ name_arg $ mem_arg $ iters_arg $ cold_arg $ schedule_arg $ policy_arg
-       $ jobs_arg $ trace_arg))
+       $ jobs_arg $ trace_arg $ telemetry_arg $ telemetry_interval_arg))
 
 let serve_cmd =
-  let run socket queue jobs deadline_ms plans metrics trace =
+  let run socket queue jobs deadline_ms plans slow_ms log log_level telemetry
+      telemetry_interval metrics trace =
     if queue < 1 then fail "queue capacity must be at least 1"
     else if deadline_ms < 0 then fail "--deadline-ms must be non-negative"
+    else if (match slow_ms with Some s -> s < 0.0 | None -> false) then
+      fail "--slow-ms must be non-negative"
     else begin
+      (* Structured logging first, so startup events are captured too.
+         stdout is the protocol stream, so "-" means stderr here. *)
+      Obs.Log.set_level log_level;
+      (match log with
+      | None -> ()
+      | Some "-" -> Obs.Log.to_channel stderr
+      | Some file -> (
+        match Obs.Log.to_file file with
+        | Ok () -> ()
+        | Error msg ->
+          Printf.eprintf "tilings: --log %s: %s\n%!" file msg;
+          exit 124));
       (* The daemon defers plan compilation to batch boundaries: a new
          shape is answered on the LP path first, its plan compiles after
          the responses flush (Serve's warm-up contract). Preloaded plans
@@ -623,12 +672,22 @@ let serve_cmd =
           queue_capacity = queue;
           default_deadline_s =
             (if deadline_ms = 0 then None else Some (float_of_int deadline_ms /. 1000.0));
+          slow_s = Option.map (fun s -> s /. 1000.0) slow_ms;
         }
+      in
+      let mode =
+        match socket with None -> "pipe (stdin/stdout)" | Some p -> "socket " ^ p
       in
       Printf.eprintf "serve: pool: %d job%s (%s); queue capacity %d; mode: %s\n%!" jobs
         (if jobs = 1 then "" else "s")
-        jobs_source queue
-        (match socket with None -> "pipe (stdin/stdout)" | Some p -> "socket " ^ p);
+        jobs_source queue mode;
+      Obs.Log.info "serve.start"
+        [
+          ("jobs", `I jobs);
+          ("queue_capacity", `I queue);
+          ("mode", `S mode);
+          ("level", `S (Obs.Log.level_name (Obs.Log.current_level ())));
+        ];
       (* SIGTERM/SIGINT flip a flag: the in-flight batch completes and
          flushes before the loop exits (graceful drain). SIGPIPE is
          ignored so a vanished client surfaces as EPIPE, handled per
@@ -640,9 +699,26 @@ let serve_cmd =
       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
        with Invalid_argument _ | Sys_error _ -> ());
       let stop () = Atomic.get stopped in
+      let tel =
+        match telemetry with
+        | None -> None
+        | Some path -> (
+          match Telemetry.start ~interval_s:telemetry_interval path with
+          | Ok t -> Some t
+          | Error msg ->
+            Printf.eprintf "tilings: --telemetry %s: %s\n%!" path msg;
+            exit 124)
+      in
       (match socket with
       | None -> Serve.run_pipe ~stop cfg
       | Some path -> Serve.run_socket ~stop cfg ~path);
+      Obs.Log.info "serve.stop"
+        [
+          ("requests", `I (Obs.value (Obs.counter "serve.requests")));
+          ("responses", `I (Obs.value (Obs.counter "serve.responses")));
+        ];
+      Option.iter Telemetry.stop tel;
+      Obs.Log.disable ();
       (* Diagnostics go to stderr: stdout is the protocol stream. *)
       if metrics then Format.eprintf "%a@." Obs.pp (Obs.diff s0 (Obs.snapshot ()));
       Option.iter
@@ -704,6 +780,45 @@ let serve_cmd =
              {\"v\":1,\"plans\":[...]}), so requests for those kernel shapes \
              are plan-served from the very first batch, with no LP warm-up.")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log a $(b,serve.slow_request) warning (with the request's \
+             per-stage wall times) for every request taking at least $(docv) \
+             milliseconds. Requires a --log sink to be visible.")
+  in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Write structured JSONL log events (ts, level, event, correlation \
+             id, fields) to $(docv); $(b,-) means stderr (stdout carries the \
+             protocol stream). Request events carry the same id as the \
+             response line, minted $(b,srv-N) when the client sent none.")
+  in
+  let log_level_arg =
+    let level =
+      Arg.enum
+        [
+          ("debug", Obs.Log.Debug);
+          ("info", Obs.Log.Info);
+          ("warn", Obs.Log.Warn);
+          ("error", Obs.Log.Error);
+        ]
+    in
+    Arg.(
+      value & opt level Obs.Log.Info
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum level written to the --log sink: $(b,debug) (adds \
+             per-batch and per-pipeline-stage events), $(b,info), $(b,warn), \
+             $(b,error).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -713,6 +828,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ socket_arg $ queue_arg $ jobs_arg $ deadline_arg $ plans_arg
+       $ slow_ms_arg $ log_arg $ log_level_arg $ telemetry_arg $ telemetry_interval_arg
        $ metrics_arg $ trace_arg))
 
 let partition_cmd =
@@ -841,6 +957,111 @@ let regions_cmd =
        ~doc:"Critical regions of the piecewise-linear tile exponent (multiparametric view)")
     Term.(ret (const run $ kernel_arg $ preset_arg $ metrics_arg $ trace_arg))
 
+let top_cmd =
+  let run file interval once window =
+    if interval <= 0.0 then fail "--interval must be positive"
+    else if window < 2 then fail "--window must be at least 2"
+    else begin
+      (* Tail the JSONL trail by byte offset: each pass reads only what
+         the exporter appended since the last one, carrying any partial
+         final line to the next pass. A shrinking file (rotation,
+         truncation) restarts the tail from the top. *)
+      let samples = ref [] (* newest first, trimmed to the window *) in
+      let carry = Buffer.create 256 in
+      let offset = ref 0 in
+      let read_more () =
+        match open_in_bin file with
+        | exception Sys_error _ -> false
+        | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let len = in_channel_length ic in
+              if len < !offset then begin
+                offset := 0;
+                Buffer.clear carry
+              end;
+              if len > !offset then begin
+                seek_in ic !offset;
+                let fresh = really_input_string ic (len - !offset) in
+                offset := len;
+                Buffer.add_string carry fresh;
+                let data = Buffer.contents carry in
+                Buffer.clear carry;
+                let rec go = function
+                  | [] -> ()
+                  | [ partial ] -> Buffer.add_string carry partial
+                  | line :: rest ->
+                    (match Dashboard.parse_line line with
+                    | Ok s -> samples := s :: !samples
+                    | Error _ -> () (* torn or foreign line: skip *));
+                    go rest
+                in
+                go (String.split_on_char '\n' data);
+                samples := List.filteri (fun i _ -> i < window) !samples
+              end;
+              true)
+      in
+      let frame () = Dashboard.render (List.rev !samples) in
+      if once then
+        if not (read_more ()) then fail "cannot read %s" file
+        else begin
+          print_string (frame ());
+          `Ok ()
+        end
+      else begin
+        let stopped = Atomic.make false in
+        let on_stop = Sys.Signal_handle (fun _ -> Atomic.set stopped true) in
+        (try Sys.set_signal Sys.sigterm on_stop with Invalid_argument _ | Sys_error _ -> ());
+        (try Sys.set_signal Sys.sigint on_stop with Invalid_argument _ | Sys_error _ -> ());
+        while not (Atomic.get stopped) do
+          let readable = read_more () in
+          (* ANSI home + clear; plain enough for any terminal. *)
+          print_string "\027[H\027[2J";
+          print_string (frame ());
+          if not readable then Printf.printf "(waiting for %s)\n" file;
+          flush stdout;
+          if not (Atomic.get stopped) then Thread.delay interval
+        done;
+        `Ok ()
+      end
+    end
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Telemetry JSONL trail to tail — the file a running daemon is \
+             writing via $(b,serve --telemetry FILE).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period (default 1s).")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render a single frame from the current contents and exit \
+             (no screen clearing) — for scripts and CI.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Number of recent samples kept for sparklines (default 60).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a telemetry trail: counters as rates, \
+          gauges with sparklines, timer p50/p99 columns, refreshed in place")
+    Term.(ret (const run $ file_arg $ interval_arg $ once_arg $ window_arg))
+
 let presets_cmd =
   let run metrics trace =
     with_obs metrics trace
@@ -875,4 +1096,5 @@ let () =
             partition_cmd;
             codegen_cmd;
             presets_cmd;
+            top_cmd;
           ]))

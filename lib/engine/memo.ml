@@ -5,6 +5,7 @@ type 'a t = {
   mutable misses : int;
   obs_hits : Obs.counter option;
   obs_misses : Obs.counter option;
+  obs_entries : Obs.gauge option;
 }
 
 let create ?name () =
@@ -15,6 +16,7 @@ let create ?name () =
     misses = 0;
     obs_hits = Option.map (fun n -> Obs.counter ("memo." ^ n ^ ".hits")) name;
     obs_misses = Option.map (fun n -> Obs.counter ("memo." ^ n ^ ".misses")) name;
+    obs_entries = Option.map (fun n -> Obs.gauge ("memo." ^ n ^ ".entries")) name;
   }
 
 let with_lock t f =
@@ -34,7 +36,11 @@ let find_opt t key =
       None)
 
 let add t key v =
-  with_lock t (fun () -> if not (Hashtbl.mem t.table key) then Hashtbl.add t.table key v)
+  with_lock t (fun () ->
+    if not (Hashtbl.mem t.table key) then begin
+      Hashtbl.add t.table key v;
+      Option.iter (fun g -> Obs.set_gauge g (Hashtbl.length t.table)) t.obs_entries
+    end)
 
 let find_or_add t key compute =
   match find_opt t key with
@@ -53,7 +59,8 @@ let clear t =
   with_lock t (fun () ->
     Hashtbl.reset t.table;
     t.hits <- 0;
-    t.misses <- 0)
+    t.misses <- 0;
+    Option.iter (fun g -> Obs.set_gauge g 0) t.obs_entries)
 
 let string_of_mode = function Spec.Read -> "r" | Spec.Write -> "w" | Spec.Update -> "u"
 

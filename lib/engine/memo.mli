@@ -20,10 +20,11 @@ type 'a t
 
 val create : ?name:string -> unit -> 'a t
 (** A named table additionally mirrors its hit/miss counts into the
-    global {!Obs} counters [memo.<name>.hits] / [memo.<name>.misses], so
-    snapshots show per-cache effectiveness. {!clear} resets only the
-    per-table counters; the [Obs] mirrors are monotonic and reset with
-    {!Obs.reset}. *)
+    global {!Obs} counters [memo.<name>.hits] / [memo.<name>.misses] and
+    its live entry count into the gauge [memo.<name>.entries], so
+    snapshots show per-cache effectiveness and footprint. {!clear}
+    resets the per-table counters and zeroes the entries gauge; the
+    hit/miss mirrors are monotonic and reset with {!Obs.reset}. *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add t key compute] returns the cached value for [key],

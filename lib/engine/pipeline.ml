@@ -293,6 +293,20 @@ let run_internal ?deadline req =
           simulate spec ~m s)
         req.rsims)
   in
+  (* Stage-level debug event; the ambient correlation id (set by serve
+     around each request) attributes it to the request that ran us. The
+     is_enabled guard keeps field construction off the default path. *)
+  if Obs.Log.is_enabled Obs.Log.Debug then
+    Obs.Log.debug "pipeline.request"
+      [
+        ("kernel", `S spec.Spec.name);
+        ("m", `I m);
+        ("sims", `I (List.length req.rsims));
+        ("from_cache", `B from_cache);
+        ("analysis_ms", `F (1e3 *. d_analysis));
+        ("shared_tile_ms", `F (1e3 *. d_shared));
+        ("simulate_ms", `F (1e3 *. d_simulate));
+      ];
   {
     Report.spec;
     m;

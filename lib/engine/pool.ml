@@ -13,6 +13,13 @@ let t_idle = Obs.timer "pool.worker_idle"
 let t_queue = Obs.timer "pool.queue_wait"
 let t_task = Obs.timer "pool.task"
 
+(* Domains of the current map not running a task right now: set to the
+   pool width when a parallel map starts, decremented around each claimed
+   task, back to 0 once the map joins. A window min of 0 with a busy
+   queue means the pool is saturated; a min above 0 means tasks are too
+   coarse to fill it (the starvation signal from ROADMAP item 3). *)
+let g_idle = Obs.gauge "pool.idle_domains"
+
 let validate_jobs s =
   match int_of_string_opt (String.trim s) with Some n when n >= 1 -> Some n | _ -> None
 
@@ -67,11 +74,13 @@ let map ?jobs f xs =
         if i >= n then continue := false
         else begin
           incr mine;
+          Obs.add_gauge g_idle (-1);
           results.(i) <-
             Some
               (match run_task ~submitted f xs.(i) i with
               | v -> Ok v
-              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()));
+          Obs.add_gauge g_idle 1
         end
       done;
       busy.(w) <- Unix.gettimeofday () -. w0;
@@ -80,9 +89,11 @@ let map ?jobs f xs =
     in
     let t0 = Unix.gettimeofday () in
     Obs.incr ~by:(jobs - 1) c_domains;
+    Obs.set_gauge g_idle jobs;
     let domains = Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1))) in
     worker 0;
     Array.iter Domain.join domains;
+    Obs.set_gauge g_idle 0;
     let wall = Unix.gettimeofday () -. t0 in
     Obs.add_seconds t_wall wall;
     (* Idle capacity of this map: jobs * wall minus the time the workers

@@ -1,0 +1,201 @@
+(* Rendering for `tilings top`: parse the telemetry JSONL trail into
+   samples and draw a plain-text frame — counters as rates, gauges with
+   sparklines over the recent window, timers with p50/p99 columns. The
+   CLI owns the terminal loop (tailing, ANSI clear, interval); this
+   module is pure so tests can feed it canned samples and diff
+   strings. *)
+
+type dist_row = {
+  calls : int;
+  total_s : float;
+  p50_s : float;
+  p99_s : float;
+  max_s : float;
+}
+
+type sample = {
+  ts : float;
+  seq : int;
+  counters : (string * float) list;
+  gauges : (string * (float * float * float)) list; (* value, min, max *)
+  timers : (string * dist_row) list;
+  hists : (string * dist_row) list;
+}
+
+let num ~default name j =
+  Option.value ~default (Jsonlite.num_member name j)
+
+let parse_dist ~count_field j =
+  {
+    calls = int_of_float (num ~default:0.0 count_field j);
+    total_s = num ~default:0.0 "seconds" j;
+    p50_s = num ~default:0.0 "p50_s" j;
+    p99_s = num ~default:0.0 "p99_s" j;
+    max_s = num ~default:0.0 "max_s" j;
+  }
+
+let obj_members name j =
+  match Option.bind (Jsonlite.member name j) Jsonlite.to_obj with
+  | Some kvs -> kvs
+  | None -> []
+
+let parse_line line =
+  match Jsonlite.parse line with
+  | Error msg -> Error msg
+  | Ok j -> (
+    match (Jsonlite.num_member "ts" j, Jsonlite.member "obs" j) with
+    | None, _ -> Error "missing \"ts\""
+    | _, None -> Error "missing \"obs\""
+    | Some ts, Some obs ->
+      Ok
+        {
+          ts;
+          seq = int_of_float (num ~default:0.0 "seq" j);
+          counters =
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (Jsonlite.to_num v))
+              (obj_members "counters" obs);
+          gauges =
+            List.map
+              (fun (k, v) ->
+                ( k,
+                  ( num ~default:0.0 "value" v,
+                    num ~default:0.0 "min" v,
+                    num ~default:0.0 "max" v ) ))
+              (obj_members "gauges" obs);
+          timers =
+            List.map
+              (fun (k, v) -> (k, parse_dist ~count_field:"calls" v))
+              (obj_members "timers" obs);
+          hists =
+            List.map
+              (fun (k, v) -> (k, parse_dist ~count_field:"count" v))
+              (obj_members "histograms" obs);
+        })
+
+(* ------------------------------------------------------------------ *)
+(* Sparklines                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spark_levels = [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}";
+                      "\u{2585}"; "\u{2586}"; "\u{2587}"; "\u{2588}" |]
+
+(* One glyph per value, scaled to the series' own min..max; a flat
+   series renders as a low bar so idle gauges read as a quiet floor. *)
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left Float.min infinity values in
+    let hi = List.fold_left Float.max neg_infinity values in
+    let buf = Buffer.create (3 * List.length values) in
+    List.iter
+      (fun v ->
+        let idx =
+          if hi <= lo then 0
+          else
+            let r = (v -. lo) /. (hi -. lo) in
+            max 0 (min 7 (int_of_float (r *. 7.99)))
+        in
+        Buffer.add_string buf spark_levels.(idx))
+      values;
+    Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Frame rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let spark_width = 24
+
+(* Rate of change between the last two samples; counters are cumulative
+   in the trail, so this is the only derivative worth showing. *)
+let rate_of ~prev ~last name get =
+  match prev with
+  | None -> None
+  | Some p ->
+    let dt = last.ts -. p.ts in
+    if dt <= 0.0 then None
+    else
+      Option.bind (get last name) (fun nv ->
+        Option.map (fun pv -> (nv -. pv) /. dt) (get p name))
+
+let counter_of s name = List.assoc_opt name s.counters
+let gauge_of s name = Option.map (fun (v, _, _) -> v) (List.assoc_opt name s.gauges)
+let timer_calls s name = Option.map (fun t -> float_of_int t.calls) (List.assoc_opt name s.timers)
+
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let fmt_rate = function
+  | None -> "-"
+  | Some r when Float.abs r >= 1000.0 -> Printf.sprintf "%.0f/s" r
+  | Some r when Float.abs r >= 10.0 -> Printf.sprintf "%.1f/s" r
+  | Some r -> Printf.sprintf "%.2f/s" r
+
+let render samples =
+  match List.rev samples with
+  | [] -> "telemetry: no samples yet\n"
+  | last :: older ->
+    let prev = match older with p :: _ -> Some p | [] -> None in
+    let window = last_n spark_width samples in
+    let b = Buffer.create 2048 in
+    let span =
+      match samples with
+      | first :: _ -> last.ts -. first.ts
+      | [] -> 0.0
+    in
+    Buffer.add_string b
+      (Printf.sprintf "telemetry  %d sample%s  window %.1fs  seq %d\n"
+         (List.length samples)
+         (if List.length samples = 1 then "" else "s")
+         span last.seq);
+    if last.counters <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "\n%-36s %14s %10s\n" "counters" "total" "rate");
+      List.iter
+        (fun (name, v) ->
+          let rate = rate_of ~prev ~last name counter_of in
+          Buffer.add_string b
+            (Printf.sprintf "  %-34s %14s %10s\n" name
+               (Obs.group_int (int_of_float v))
+               (fmt_rate rate)))
+        last.counters
+    end;
+    if last.gauges <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "\n%-36s %8s %8s %8s  %s\n" "gauges" "value" "min" "max" "history");
+      List.iter
+        (fun (name, (v, lo, hi)) ->
+          let history =
+            List.filter_map (fun s -> gauge_of s name) window
+          in
+          Buffer.add_string b
+            (Printf.sprintf "  %-34s %8s %8s %8s  %s\n" name
+               (Obs.group_int (int_of_float v))
+               (Obs.group_int (int_of_float lo))
+               (Obs.group_int (int_of_float hi))
+               (sparkline history)))
+        last.gauges
+    end;
+    let dist_section label rows rate_get =
+      if rows <> [] then begin
+        Buffer.add_string b
+          (Printf.sprintf "\n%-36s %10s %9s %9s %9s %9s\n" label "calls" "rate" "p50" "p99"
+             "max");
+        List.iter
+          (fun (name, t) ->
+            let rate = rate_of ~prev ~last name rate_get in
+            Buffer.add_string b
+              (Printf.sprintf "  %-34s %10s %9s %9s %9s %9s\n" name
+                 (Obs.group_int t.calls) (fmt_rate rate)
+                 (Obs.pp_dur_ns (t.p50_s *. 1e9))
+                 (Obs.pp_dur_ns (t.p99_s *. 1e9))
+                 (Obs.pp_dur_ns (t.max_s *. 1e9))))
+          rows
+      end
+    in
+    dist_section "timers" last.timers timer_calls;
+    dist_section "histograms" last.hists (fun s name ->
+      Option.map (fun t -> float_of_int t.calls) (List.assoc_opt name s.hists));
+    Buffer.contents b

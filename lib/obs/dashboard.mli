@@ -1,0 +1,38 @@
+(** Frame rendering for [tilings top]: parses the telemetry JSONL trail
+    (see {!Telemetry}) into samples and draws a plain-text dashboard —
+    counters converted to rates between the last two samples, gauges
+    with min/max and a sparkline over the recent window, timers and
+    histograms with p50/p99/max columns. Pure string-in/string-out so
+    tests can feed canned samples; the CLI owns tailing, the refresh
+    loop and ANSI screen clearing. *)
+
+type dist_row = {
+  calls : int;
+  total_s : float;
+  p50_s : float;
+  p99_s : float;
+  max_s : float;
+}
+
+type sample = {
+  ts : float;  (** unix seconds of the exporter tick *)
+  seq : int;
+  counters : (string * float) list;
+  gauges : (string * (float * float * float)) list;  (** value, min, max *)
+  timers : (string * dist_row) list;
+  hists : (string * dist_row) list;
+}
+
+val parse_line : string -> (sample, string) result
+(** Parse one telemetry JSONL record. Unknown fields are ignored, so
+    newer producers stay readable. *)
+
+val sparkline : float list -> string
+(** One block glyph per value ([▁]..[█]), scaled to the series' own
+    range; a flat series renders as the lowest bar. *)
+
+val render : sample list -> string
+(** Render a frame from samples ordered oldest first. Counter/timer
+    rates need at least two samples; with fewer the rate column shows
+    ["-"]. Percentile columns reflect the trail's cumulative
+    distributions (the exporter snapshots totals, not deltas). *)

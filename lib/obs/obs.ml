@@ -40,11 +40,23 @@ let rec atomic_max cell v =
   let cur = Atomic.get cell in
   if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
 
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+(* Saturating accumulate: the sum cell pegs at [max_int] instead of
+   wrapping negative when fed huge samples (e.g. repeated observations
+   near [max_int] ns). Monotone, so a CAS loop suffices. *)
+let rec atomic_add_sat cell v =
+  let cur = Atomic.get cell in
+  let sum = if v > 0 && cur > max_int - v then max_int else cur + v in
+  if sum <> cur && not (Atomic.compare_and_set cell cur sum) then atomic_add_sat cell v
+
 let hist_observe_ns h ns =
   let ns = max 0 ns in
   ignore (Atomic.fetch_and_add h.hbuckets.(bucket_of_ns ns) 1);
   ignore (Atomic.fetch_and_add h.hcount 1);
-  ignore (Atomic.fetch_and_add h.hsum ns);
+  atomic_add_sat h.hsum ns;
   atomic_max h.hmax ns
 
 let hist_reset h =
@@ -59,15 +71,23 @@ let hist_reset h =
 
 type counter = { cell : int Atomic.t }
 
+(* A gauge is a level, not a flow: it goes up and down (queue depth,
+   in-flight requests, cache entries, idle domains). Besides the current
+   value it tracks min/max watermarks since the last {!rewind_gauges},
+   so a periodic exporter can report the excursion within each interval
+   even when the instantaneous value at tick time looks calm. *)
+type gauge = { gcur : int Atomic.t; gwmin : int Atomic.t; gwmax : int Atomic.t }
+
 (* A timer is a histogram of nanosecond durations; total seconds and the
    call count are the histogram's sum and count, so every timer gets
    percentiles for free. 63-bit nanoseconds overflow after ~292 years of
-   accumulated time. *)
+   accumulated time (the sum saturates at [max_int] rather than wrap). *)
 type timer = { th : hist }
 type histogram = { hh : hist }
 
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 64
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
@@ -88,6 +108,36 @@ let counter name = find_or_register counters name (fun () -> { cell = Atomic.mak
 let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
 let record_max c v = atomic_max c.cell v
 let value c = Atomic.get c.cell
+
+let gauge name =
+  find_or_register gauges name (fun () ->
+    { gcur = Atomic.make 0; gwmin = Atomic.make 0; gwmax = Atomic.make 0 })
+
+let gauge_watermarks g v =
+  atomic_min g.gwmin v;
+  atomic_max g.gwmax v
+
+let set_gauge g v =
+  Atomic.set g.gcur v;
+  gauge_watermarks g v
+
+let add_gauge g by =
+  let v = Atomic.fetch_and_add g.gcur by + by in
+  gauge_watermarks g v
+
+let gauge_value g = Atomic.get g.gcur
+
+(* Start a fresh min/max window on every gauge: both watermarks collapse
+   to the current value. The telemetry exporter calls this after each
+   snapshot so each exported interval carries its own excursion. *)
+let rewind_gauges () =
+  with_lock (fun () ->
+    Hashtbl.iter
+      (fun _ g ->
+        let v = Atomic.get g.gcur in
+        Atomic.set g.gwmin v;
+        Atomic.set g.gwmax v)
+      gauges)
 
 let timer name = find_or_register timers name (fun () -> { th = make_hist () })
 let histogram name = find_or_register histograms name (fun () -> { hh = make_hist () })
@@ -117,9 +167,11 @@ type hist_snap = {
 }
 
 type timer_stat = { tcalls : int; tseconds : float; tdist : hist_snap }
+type gauge_stat = { gvalue : int; gmin : int; gmax : int }
 
 type snapshot = {
   scounters : (string * int) list;
+  sgauges : (string * gauge_stat) list;
   stimers : (string * timer_stat) list;
   shists : (string * hist_snap) list;
 }
@@ -206,6 +258,11 @@ module Trace = struct
 
   let dls_ring : ring option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
+  (* Ring wrap-around overwrites the oldest span silently; surface each
+     overwrite as a counter so drops are visible in --metrics and the
+     telemetry stream, not only in the Chrome export's missing spans. *)
+  let dropped_counter = counter "obs.trace.dropped"
+
   let make_ring () =
     let tid = Atomic.fetch_and_add next_tid 1 in
     let r =
@@ -282,6 +339,7 @@ module Trace = struct
         }
       in
       let cap = Array.length r.buf in
+      if r.widx >= cap then incr dropped_counter;
       r.buf.(r.widx mod cap) <- e;
       r.widx <- r.widx + 1
     end
@@ -298,6 +356,7 @@ module Trace = struct
         r.stack <- [])
       !rings;
     Mutex.unlock rings_lock;
+    Atomic.set dropped_counter.cell 0;
     Atomic.set next_sid 1;
     Atomic.set epoch_ns (if Atomic.get enabled then now_ns () else 0)
 
@@ -345,7 +404,7 @@ module Trace = struct
         match c with
         | '"' -> Buffer.add_string buf "\\\""
         | '\\' -> Buffer.add_string buf "\\\\"
-        | c when Char.code c < 0x20 ->
+        | c when Char.code c < 0x20 || Char.code c = 0x7f ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
         | c -> Buffer.add_char buf c)
       s;
@@ -408,6 +467,21 @@ let snapshot () =
       scounters =
         Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) counters []
         |> List.sort by_name;
+      sgauges =
+        Hashtbl.fold
+          (fun name g acc ->
+            let v = Atomic.get g.gcur in
+            (* Clamp so a watermark read torn against a concurrent update
+               never inverts the invariant gmin <= gvalue <= gmax. *)
+            ( name,
+              {
+                gvalue = v;
+                gmin = min v (Atomic.get g.gwmin);
+                gmax = max v (Atomic.get g.gwmax);
+              } )
+            :: acc)
+          gauges []
+        |> List.sort by_name;
       stimers =
         Hashtbl.fold
           (fun name t acc -> (name, timer_stat_of_snap (snap_hist t.th)) :: acc)
@@ -421,6 +495,12 @@ let snapshot () =
 let reset () =
   with_lock (fun () ->
     Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+    Hashtbl.iter
+      (fun _ g ->
+        Atomic.set g.gcur 0;
+        Atomic.set g.gwmin 0;
+        Atomic.set g.gwmax 0)
+      gauges;
     Hashtbl.iter (fun _ t -> hist_reset t.th) timers;
     Hashtbl.iter (fun _ h -> hist_reset h.hh) histograms);
   Trace.reset ()
@@ -454,6 +534,9 @@ let diff a b =
         (fun (name, v) ->
           (name, sub v (Option.value ~default:0 (List.assoc_opt name a.scounters))))
         b.scounters;
+    (* Gauges are levels, not flows: a windowed delta has no meaning, so
+       the diff keeps [b]'s value and watermarks verbatim. *)
+    sgauges = b.sgauges;
     stimers =
       List.map
         (fun (name, t) ->
@@ -522,6 +605,15 @@ let pp fmt s =
       (fun (name, v) -> Format.fprintf fmt "@,  %-34s %14s" name (group_int v))
       s.scounters
   end;
+  if s.sgauges <> [] then begin
+    sep ();
+    Format.fprintf fmt "%-36s %12s %9s %9s" "gauges:" "value" "min" "max";
+    List.iter
+      (fun (name, g) ->
+        Format.fprintf fmt "@,  %-34s %12s %9s %9s" name (group_int g.gvalue)
+          (group_int g.gmin) (group_int g.gmax))
+      s.sgauges
+  end;
   if s.stimers <> [] then begin
     sep ();
     pp_dist_header fmt "timers:";
@@ -558,6 +650,14 @@ let to_json s =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
     s.scounters;
+  Buffer.add_string buf "},\"gauges\":{";
+  List.iteri
+    (fun i (name, g) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"value\":%d,\"min\":%d,\"max\":%d}" (json_escape name)
+           g.gvalue g.gmin g.gmax))
+    s.sgauges;
   Buffer.add_string buf "},\"timers\":{";
   List.iteri
     (fun i (name, t) ->
@@ -576,3 +676,145 @@ let to_json s =
     s.shists;
   Buffer.add_string buf "}}";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Structured logging                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Log = struct
+  (* Leveled JSONL event log. Disabled (no sink) by default: an emit
+     then costs one atomic load and one branch, so call sites can log
+     unconditionally. Lines are formatted entirely outside the sink
+     mutex; the lock covers only the final write, so worker domains
+     never serialize on string formatting. *)
+
+  type level = Debug | Info | Warn | Error
+
+  let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+  let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+  let level_of_string s =
+    match String.lowercase_ascii s with
+    | "debug" -> Some Debug
+    | "info" -> Some Info
+    | "warn" | "warning" -> Some Warn
+    | "error" -> Some Error
+    | _ -> None
+
+  type field = string * [ `S of string | `I of int | `F of float | `B of bool ]
+
+  (* [min_rank] is read on every emit; the sink pointer is only mutated
+     under [sink_lock] but read without it (a torn read is impossible for
+     an immutable record pointer in OCaml). *)
+  let min_rank = Atomic.make (rank Info)
+  let sink_lock = Mutex.create ()
+  let sink : (string -> unit) option ref = ref None
+  let owned_chan : out_channel option ref = ref None
+  let lines_counter = counter "obs.log.lines"
+
+  let set_level l = Atomic.set min_rank (rank l)
+
+  let current_level () =
+    match Atomic.get min_rank with
+    | 0 -> Debug
+    | 1 -> Info
+    | 2 -> Warn
+    | _ -> Error
+
+  let close_owned () =
+    match !owned_chan with
+    | Some oc ->
+      owned_chan := None;
+      (try close_out oc with Sys_error _ -> ())
+    | None -> ()
+
+  let disable () =
+    Mutex.lock sink_lock;
+    sink := None;
+    close_owned ();
+    Mutex.unlock sink_lock
+
+  let to_channel oc =
+    Mutex.lock sink_lock;
+    close_owned ();
+    sink := Some (fun line ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc);
+    Mutex.unlock sink_lock
+
+  let to_file path =
+    match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+    | exception Sys_error msg -> Result.error msg
+    | oc ->
+      Mutex.lock sink_lock;
+      close_owned ();
+      owned_chan := Some oc;
+      sink := Some (fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc);
+      Mutex.unlock sink_lock;
+      Result.ok ()
+
+  let is_enabled l = !sink <> None && rank l >= Atomic.get min_rank
+
+  (* Per-domain ambient correlation id: serve mints one per request and
+     wraps the pipeline call, so any log line emitted underneath carries
+     the request's id without threading it through every signature. *)
+  let dls_corr : string option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+  let corr () = !(Domain.DLS.get dls_corr)
+
+  let with_corr id f =
+    let slot = Domain.DLS.get dls_corr in
+    let saved = !slot in
+    slot := Some id;
+    Fun.protect ~finally:(fun () -> slot := saved) f
+
+  let add_field buf (k, v) =
+    Buffer.add_string buf ",\"";
+    Buffer.add_string buf (json_escape k);
+    Buffer.add_string buf "\":";
+    match v with
+    | `S s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape s);
+      Buffer.add_char buf '"'
+    | `I i -> Buffer.add_string buf (string_of_int i)
+    | `F f ->
+      (* %g would lose precision on big counters; %.6f covers ms-resolution
+         timings and jsonlite parses it back exactly enough. *)
+      Buffer.add_string buf (Printf.sprintf "%.6f" f)
+    | `B b -> Buffer.add_string buf (if b then "true" else "false")
+
+  let format_line ~ts ~level ~event ~corr fields =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf (Printf.sprintf "{\"ts\":%.6f,\"level\":\"%s\",\"event\":\"%s\"" ts
+       (level_name level) (json_escape event));
+    (match corr with
+    | Some id ->
+      Buffer.add_string buf ",\"corr\":\"";
+      Buffer.add_string buf (json_escape id);
+      Buffer.add_char buf '"'
+    | None -> ());
+    List.iter (add_field buf) fields;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  let log level event fields =
+    if is_enabled level then begin
+      let line =
+        format_line ~ts:(Unix.gettimeofday ()) ~level ~event ~corr:(corr ()) fields
+      in
+      incr lines_counter;
+      Mutex.lock sink_lock;
+      (match !sink with Some write -> (try write line with Sys_error _ -> ()) | None -> ());
+      Mutex.unlock sink_lock
+    end
+
+  let debug event fields = log Debug event fields
+  let info event fields = log Info event fields
+  let warn event fields = log Warn event fields
+  let error event fields = log Error event fields
+end

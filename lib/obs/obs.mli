@@ -38,6 +38,36 @@ val record_max : counter -> int -> unit
 
 val value : counter -> int
 
+(** {1 Gauges}
+
+    Levels rather than flows: a gauge goes up and down (queue depth,
+    in-flight requests, memo-cache entries, idle pool domains). Each
+    gauge tracks its current value plus min/max watermarks since the
+    last {!rewind_gauges}, so a periodic exporter can report the full
+    excursion inside each interval even when the value at tick time is
+    calm. All operations are lock-free atomics; under concurrent
+    updates the watermarks may miss a transient peak between the
+    value update and the watermark fold, never by more than one
+    in-flight update per contender. *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Find or register the gauge with this name. Initial value 0. *)
+
+val set_gauge : gauge -> int -> unit
+(** Set the current value (and fold it into the window watermarks). *)
+
+val add_gauge : gauge -> int -> unit
+(** Add a (possibly negative) delta to the current value. *)
+
+val gauge_value : gauge -> int
+
+val rewind_gauges : unit -> unit
+(** Start a fresh watermark window on every registered gauge: min and
+    max collapse to the current value. Called by the telemetry exporter
+    after each snapshot. *)
+
 (** {1 Timers} *)
 
 type timer
@@ -92,8 +122,15 @@ type timer_stat = {
   tdist : hist_snap;  (** the timer's latency distribution *)
 }
 
+type gauge_stat = {
+  gvalue : int;  (** current value at snapshot time *)
+  gmin : int;  (** lowest value since the last {!rewind_gauges} *)
+  gmax : int;  (** highest value since the last {!rewind_gauges} *)
+}
+
 type snapshot = {
   scounters : (string * int) list;  (** sorted by name *)
+  sgauges : (string * gauge_stat) list;  (** sorted by name *)
   stimers : (string * timer_stat) list;  (** sorted by name *)
   shists : (string * hist_snap) list;  (** standalone histograms, sorted *)
 }
@@ -106,12 +143,14 @@ val snapshot : unit -> snapshot
 val diff : snapshot -> snapshot -> snapshot
 (** [diff before after] is the work between the two snapshots: counters,
     timer/histogram counts, sums and buckets subtract elementwise,
-    saturating at 0 (so a high-watermark gauge or an interleaved
+    saturating at 0 (so a high-watermark counter or an interleaved
     {!reset} degrades to the [after] value rather than going negative).
     Distribution maxima are not recoverable from bucket deltas, so the
-    diff keeps [after]'s max — an upper bound on the window max. This is
-    what [sweep --metrics] and the bench emit, so their ["obs"] sections
-    are per-invocation, not process-lifetime totals. *)
+    diff keeps [after]'s max — an upper bound on the window max. Gauges
+    are levels, not flows: the diff keeps [after]'s gauge stats
+    verbatim. This is what [sweep --metrics] and the bench emit, so
+    their ["obs"] sections are per-invocation, not process-lifetime
+    totals. *)
 
 val reset : unit -> unit
 (** Zero every registered counter, timer and histogram (buckets
@@ -138,11 +177,13 @@ val pp_dur_ns : float -> string
 val to_json : snapshot -> string
 (** One JSON object:
     [{"counters":{name:int,...},
+      "gauges":{name:{"value":int,"min":int,"max":int},...},
       "timers":{name:{"calls":int,"seconds":float,"mean_s":...,"p50_s":...,
                       "p90_s":...,"p99_s":...,"max_s":...},...},
       "histograms":{name:{"count":int,"mean_s":...,...},...}}].
-    This is the ["obs"] section the CLI and bench emit under
-    [--metrics]. *)
+    Metric names are JSON-escaped so any registered name parses back
+    identically through {!Jsonlite}. This is the ["obs"] section the
+    CLI and bench emit under [--metrics]. *)
 
 (** {1 Tracing}
 
@@ -205,7 +246,9 @@ module Trace : sig
   (** Total spans recorded since the last reset, dropped ones included. *)
 
   val dropped : unit -> int
-  (** Spans overwritten by ring wrap-around since the last reset. *)
+  (** Spans overwritten by ring wrap-around since the last reset. Each
+      overwrite also increments the ["obs.trace.dropped"] counter, so
+      drops show up in metric snapshots and the telemetry stream. *)
 
   val events : unit -> event list
   (** Retained events across all lanes, sorted by start time. Call after
@@ -224,4 +267,71 @@ module Trace : sig
 
   val write_file : string -> unit
   (** {!export_json} to a file (with a trailing newline). *)
+end
+
+(** {1 Structured logging}
+
+    Leveled JSONL event log with per-request correlation. Disabled (no
+    sink) by default, in which case an emit costs one pointer load and
+    one branch — call sites log unconditionally. Lines are formatted
+    outside the sink lock; only the final write is serialized, so
+    worker domains never contend on formatting.
+
+    Each line is one JSON object:
+    [{"ts":<unix seconds>,"level":"info","event":"serve.request",
+      "corr":"req-42",<fields>...}]
+    with ["corr"] present when an ambient correlation id is set via
+    {!Log.with_corr} (the serve layer wraps each request in one, so
+    pipeline-level events attribute themselves to the request that
+    caused them). *)
+
+module Log : sig
+  type level = Debug | Info | Warn | Error
+
+  val level_of_string : string -> level option
+  (** ["debug"], ["info"], ["warn"]/["warning"], ["error"]
+      (case-insensitive). *)
+
+  val level_name : level -> string
+
+  val set_level : level -> unit
+  (** Minimum level that reaches the sink (default [Info]). *)
+
+  val current_level : unit -> level
+
+  val to_channel : out_channel -> unit
+  (** Send log lines to [oc], flushed per line (tail-friendly). The
+      channel is not closed by {!disable}. *)
+
+  val to_file : string -> (unit, string) result
+  (** Append log lines to [path] (created if missing). The file is
+      owned: replaced sinks and {!disable} close it. *)
+
+  val disable : unit -> unit
+  (** Drop the sink; logging becomes a no-op again. *)
+
+  val is_enabled : level -> bool
+  (** True when a sink is set and [level] clears the threshold. Use to
+      guard expensive field computation; plain {!log} calls need no
+      guard. *)
+
+  type field = string * [ `S of string | `I of int | `F of float | `B of bool ]
+
+  val log : level -> string -> field list -> unit
+  (** [log level event fields] emits one JSONL line (no-op when the
+      level is below the threshold or no sink is set). [event] is a
+      dot-separated name like ["serve.request"]. *)
+
+  val debug : string -> field list -> unit
+  val info : string -> field list -> unit
+  val warn : string -> field list -> unit
+  val error : string -> field list -> unit
+
+  val with_corr : string -> (unit -> 'a) -> 'a
+  (** Run the thunk with [id] as the calling domain's ambient
+      correlation id: every line logged underneath (on this domain)
+      carries ["corr":id]. Nests; restored on exit and exception. *)
+
+  val corr : unit -> string option
+  (** The calling domain's current ambient correlation id. *)
 end

@@ -1,0 +1,198 @@
+(* Periodic metrics exporter: a ticker thread that snapshots the Obs
+   registry every interval and either appends JSONL time-series records
+   or rewrites an OpenMetrics text exposition, chosen by file suffix.
+
+   The exporter never touches the hot path: instrumented code keeps
+   writing atomics; the ticker runs on its own POSIX thread (not a
+   domain — it spends its life asleep, so it never competes with Pool
+   workers for cores), formats everything locally and does one
+   write+flush per tick. A tick is also taken synchronously at start
+   and at stop, so even a short-lived process leaves at least two
+   timestamped snapshots behind. *)
+
+type format = Jsonl | Openmetrics
+
+type t = {
+  path : string;
+  fmt : format;
+  interval_s : float;
+  stop_flag : bool Atomic.t;
+  seq : int Atomic.t;
+  oc : out_channel option; (* Jsonl sink, kept open in append mode *)
+  mutable thread : Thread.t option;
+}
+
+let format_of_path path = if Filename.check_suffix path ".om" then Openmetrics else Jsonl
+
+(* ------------------------------------------------------------------ *)
+(* JSONL rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_line ~ts ~seq snap =
+  Printf.sprintf "{\"ts\":%.6f,\"seq\":%d,\"obs\":%s}" ts seq (Obs.to_json snap)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics rendering                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exposition metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. Obs
+   names are dotted ("serve.queue_depth"), so every other byte maps to
+   '_'; the "tilings_" prefix guarantees a valid first character and
+   namespaces the process in a shared scrape. *)
+let sanitize_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "tilings_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* Distinct raw names may collide after sanitization ("a.b" and "a_b");
+   the exposition format forbids duplicate families, so later claimants
+   get a numeric suffix. Deterministic: snapshots are name-sorted. *)
+let claim seen base =
+  match Hashtbl.find_opt seen base with
+  | None ->
+    Hashtbl.add seen base 1;
+    base
+  | Some n ->
+    Hashtbl.replace seen base (n + 1);
+    Printf.sprintf "%s_%d" base (n + 1)
+
+let openmetrics snap =
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 64 in
+  let family name kind =
+    let f = claim seen (sanitize_name name) in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f kind);
+    f
+  in
+  List.iter
+    (fun (name, v) ->
+      let f = family name "counter" in
+      Buffer.add_string buf (Printf.sprintf "%s_total %d\n" f v))
+    snap.Obs.scounters;
+  List.iter
+    (fun (name, g) ->
+      let f = family name "gauge" in
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" f g.Obs.gvalue);
+      let fmin = family (name ^ ".min") "gauge" in
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" fmin g.Obs.gmin);
+      let fmax = family (name ^ ".max") "gauge" in
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" fmax g.Obs.gmax))
+    snap.Obs.sgauges;
+  let summary name ~count ~sum_s dist =
+    let f = family name "summary" in
+    List.iter
+      (fun (q, p) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"%s\"} %.9f\n" f q (Obs.percentile dist p /. 1e9)))
+      [ ("0.5", 50.0); ("0.9", 90.0); ("0.99", 99.0) ];
+    Buffer.add_string buf (Printf.sprintf "%s_sum %.9f\n" f sum_s);
+    Buffer.add_string buf (Printf.sprintf "%s_count %d\n" f count)
+  in
+  List.iter
+    (fun (name, t) -> summary name ~count:t.Obs.tcalls ~sum_s:t.Obs.tseconds t.Obs.tdist)
+    snap.Obs.stimers;
+  List.iter
+    (fun (name, d) ->
+      summary name ~count:d.Obs.dcount
+        ~sum_s:(float_of_int d.Obs.dsum_ns /. 1e9)
+        d)
+    snap.Obs.shists;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Ticker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Scrapers may read the .om file at any moment, so it is replaced
+   atomically: write a sibling temp file, then rename over. *)
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let tick t =
+  let ts = Unix.gettimeofday () in
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let snap = Obs.snapshot () in
+  (match (t.fmt, t.oc) with
+  | Jsonl, Some oc ->
+    output_string oc (json_line ~ts ~seq snap);
+    output_char oc '\n';
+    flush oc
+  | Jsonl, None -> ()
+  | Openmetrics, _ -> write_atomic t.path (openmetrics snap));
+  (* Each exported interval carries its own gauge excursion. *)
+  Obs.rewind_gauges ()
+
+let run t =
+  (* Sleep in small increments so stop is prompt even with long
+     intervals; drift is irrelevant at telemetry granularity. *)
+  let chunk = 0.05 in
+  let rec loop slept =
+    if not (Atomic.get t.stop_flag) then
+      if slept >= t.interval_s then begin
+        tick t;
+        loop 0.0
+      end
+      else begin
+        Thread.delay (Float.min chunk (t.interval_s -. slept));
+        loop (slept +. chunk)
+      end
+  in
+  loop 0.0
+
+let start ?(interval_s = 1.0) path =
+  let fmt = format_of_path path in
+  let oc =
+    match fmt with
+    | Openmetrics -> Ok None
+    | Jsonl -> (
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | oc -> Ok (Some oc)
+      | exception Sys_error msg -> Error msg)
+  in
+  match oc with
+  | Error msg -> Error msg
+  | Ok oc ->
+    let t =
+      {
+        path;
+        fmt;
+        interval_s = Float.max 0.01 interval_s;
+        stop_flag = Atomic.make false;
+        seq = Atomic.make 0;
+        oc;
+        thread = None;
+      }
+    in
+    (match tick t with
+    | () ->
+      t.thread <- Some (Thread.create run t);
+      Ok t
+    | exception Sys_error msg -> Error msg)
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.thread with
+  | Some th ->
+    t.thread <- None;
+    Thread.join th;
+    (* Final synchronous tick: the trail always ends with the complete
+       end-of-process state, and even an immediate start/stop pair
+       leaves >= 2 snapshots. *)
+    (try tick t with Sys_error _ -> ())
+  | None -> ());
+  match t.oc with Some oc -> (try close_out oc with Sys_error _ -> ()) | None -> ()
+
+let interval t = t.interval_s
+let path t = t.path

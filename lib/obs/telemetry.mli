@@ -1,0 +1,49 @@
+(** Periodic metrics exporter: a background ticker that snapshots the
+    {!Obs} registry every interval and writes a time-series trail,
+    either as appended JSONL records or as an OpenMetrics/Prometheus
+    text exposition (chosen by file suffix: [*.om] means OpenMetrics,
+    anything else JSONL).
+
+    JSONL mode appends one record per tick —
+    [{"ts":<unix seconds>,"seq":<n>,"obs":<Obs.to_json snapshot>}] —
+    so restarts and replicas writing to the same file leave one
+    contiguous, append-only metrics trail that [tilings top] can tail.
+    OpenMetrics mode atomically rewrites the file with the current
+    exposition each tick (temp file + rename), ready for a scraper.
+
+    The exporter runs on its own POSIX thread and never blocks
+    instrumented code: metric updates stay lock-free atomics, and all
+    formatting happens on the ticker thread. One tick is taken
+    synchronously at {!start} and one at {!stop}, so every run leaves
+    at least two timestamped snapshots. After each tick the gauge
+    watermark window is rewound ({!Obs.rewind_gauges}), so each
+    record's gauge min/max describe that interval alone. *)
+
+type t
+
+val start : ?interval_s:float -> string -> (t, string) result
+(** Open the sink, write the first snapshot, and spawn the ticker
+    (default interval 1s, clamped to >= 10ms). [Error msg] if the file
+    cannot be opened. *)
+
+val stop : t -> unit
+(** Stop the ticker (joins the thread), write one final snapshot, and
+    close the sink. Idempotent. *)
+
+val interval : t -> float
+val path : t -> string
+
+(** {1 Pure renderers} — exposed for tests and one-shot exports. *)
+
+val json_line : ts:float -> seq:int -> Obs.snapshot -> string
+(** One JSONL record (no trailing newline). *)
+
+val openmetrics : Obs.snapshot -> string
+(** Full OpenMetrics text exposition, [# EOF]-terminated. Counters
+    become [<name>_total] counter families, gauges three gauge families
+    ([<name>], [<name>_min], [<name>_max] over the current watermark
+    window), timers and histograms summary families with
+    p50/p90/p99 quantiles, [_sum] seconds and [_count]. Names are
+    sanitized to the exposition charset (prefixed [tilings_], invalid
+    bytes mapped to [_]) and deduplicated deterministically when
+    sanitization collides. *)

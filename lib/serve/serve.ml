@@ -4,10 +4,16 @@ type config = {
   jobs : int;
   queue_capacity : int;
   default_deadline_s : float option;
+  slow_s : float option;
 }
 
 let default_config () =
-  { jobs = Pool.default_jobs (); queue_capacity = 512; default_deadline_s = None }
+  {
+    jobs = Pool.default_jobs ();
+    queue_capacity = 512;
+    default_deadline_s = None;
+    slow_s = None;
+  }
 
 let c_requests = Obs.counter "serve.requests"
 let c_responses = Obs.counter "serve.responses"
@@ -23,6 +29,22 @@ let c_plan_compiles = Obs.counter "serve.plan_compiles"
 let t_batch = Obs.timer "serve.batch"
 let t_request = Obs.timer "serve.request"
 
+(* Live levels for the dashboard: how deep the current batch cycle is
+   (admitted + rejected lines being worked), and how many requests are
+   executing on pool domains right now. *)
+let g_queue = Obs.gauge "serve.queue_depth"
+let g_inflight = Obs.gauge "serve.inflight"
+
+(* Correlation ids minted for requests that arrive without one: "srv-N",
+   N process-wide in admission order (lines are decoded sequentially, so
+   the numbering is deterministic however batches split). The minted id
+   is echoed in the response and stamps every log line the request
+   produces, so a client that sent no id can still join its response to
+   the daemon's log. *)
+let next_mint = Atomic.make 1
+let mint () = Printf.sprintf "srv-%d" (Atomic.fetch_and_add next_mint 1)
+let ensure_id = function Some id -> id | None -> mint ()
+
 let count_error err =
   Obs.incr c_errors;
   match (err : Engine_error.t) with
@@ -37,50 +59,85 @@ let count_error err =
    rejections after (they arrived later by construction). *)
 let process cfg ~emit admitted rejected =
   Obs.incr c_batches;
-  Obs.incr ~by:(List.length admitted + List.length rejected) c_requests;
+  let depth = List.length admitted + List.length rejected in
+  Obs.incr ~by:depth c_requests;
   Obs.record_max c_batch_max (List.length admitted);
-  Obs.record_max c_queue_max (List.length admitted + List.length rejected);
+  Obs.record_max c_queue_max depth;
+  Obs.set_gauge g_queue depth;
   Obs.Trace.with_span "serve.batch" @@ fun () ->
+  let batch_t0 = Unix.gettimeofday () in
   Obs.time t_batch @@ fun () ->
-  let admitted_at = Unix.gettimeofday () in
+  let admitted_at = batch_t0 in
+  (* Decode sequentially in arrival order; this is also where requests
+     without an "id" get their minted correlation id, so the numbering
+     is deterministic however the stream splits into batches. *)
   let decoded =
     List.map
       (fun line ->
         match Serve_protocol.decode line with
-        | Error e -> Error e
+        | Error { Serve_protocol.err_id; err } -> (ensure_id err_id, Error err)
         | Ok req ->
           let budget =
             match req.Serve_protocol.deadline_s with
             | Some _ as b -> b
             | None -> cfg.default_deadline_s
           in
-          Ok (req, Option.map (fun b -> admitted_at +. b) budget))
+          (ensure_id req.Serve_protocol.id, Ok (req, Option.map (fun b -> admitted_at +. b) budget)))
       admitted
   in
-  let run_one item =
-    Obs.time t_request @@ fun () ->
-    match item with
-    | Error { Serve_protocol.err_id; err } -> (err_id, Error err)
-    | Ok (req, deadline) -> (
-      match req.Serve_protocol.op with
-      | Serve_protocol.Compile ->
-        ( req.Serve_protocol.id,
-          Result.map
-            (fun plan -> `Plan (Tiling_plan.to_json plan))
-            (Pipeline.plan_of req.Serve_protocol.spec) )
-      | Serve_protocol.Analyze ->
-        let presq =
-          Pipeline.request ~sims:req.Serve_protocol.sims ~shared:req.Serve_protocol.shared
-            req.Serve_protocol.spec ~m:req.Serve_protocol.m
-        in
-        ( req.Serve_protocol.id,
-          Result.map
-            (fun rep -> `Report (Report.to_json ~timings:req.Serve_protocol.timings rep))
-            (Pipeline.run_checked ?deadline presq) ))
+  let run_one (id, item) =
+    Obs.add_gauge g_inflight 1;
+    Fun.protect ~finally:(fun () -> Obs.add_gauge g_inflight (-1)) @@ fun () ->
+    Obs.Log.with_corr id @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    let res, op_name, timings =
+      Obs.time t_request @@ fun () ->
+      match item with
+      | Error err -> (Error err, "invalid", [])
+      | Ok (req, deadline) -> (
+        match req.Serve_protocol.op with
+        | Serve_protocol.Compile ->
+          ( Result.map
+              (fun plan -> `Plan (Tiling_plan.to_json plan))
+              (Pipeline.plan_of req.Serve_protocol.spec),
+            "compile",
+            [] )
+        | Serve_protocol.Analyze ->
+          let presq =
+            Pipeline.request ~sims:req.Serve_protocol.sims
+              ~shared:req.Serve_protocol.shared req.Serve_protocol.spec
+              ~m:req.Serve_protocol.m
+          in
+          let checked = Pipeline.run_checked ?deadline presq in
+          let timings =
+            match checked with Ok rep -> rep.Report.timings | Error _ -> []
+          in
+          ( Result.map
+              (fun rep -> `Report (Report.to_json ~timings:req.Serve_protocol.timings rep))
+              checked,
+            "analyze",
+            timings ))
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let status = match res with Ok _ -> "ok" | Error e -> Engine_error.code e in
+    Obs.Log.info "serve.request"
+      [ ("id", `S id); ("op", `S op_name); ("status", `S status); ("ms", `F (1e3 *. dt)) ];
+    (* The slow-request log carries the request's own per-stage wall
+       times (the same deltas a "timings":true client would receive), so
+       triage can tell an LP-bound request from a simulation-bound one
+       without re-running it. *)
+    (match cfg.slow_s with
+    | Some s when dt >= s ->
+      Obs.Log.warn "serve.slow_request"
+        (("id", `S id) :: ("op", `S op_name) :: ("ms", `F (1e3 *. dt))
+        :: List.map (fun (stage, d) -> (stage ^ "_ms", `F (1e3 *. d))) timings)
+    | _ -> ());
+    (id, res)
   in
   let outcomes = Pool.map_list ~jobs:cfg.jobs run_one decoded in
   List.iter
     (fun (id, res) ->
+      let id = Some id in
       let line =
         match res with
         | Ok (`Report report_json) -> Serve_protocol.ok_response ~id ~report_json
@@ -97,8 +154,18 @@ let process cfg ~emit admitted rejected =
       let err = Engine_error.Overloaded { capacity = cfg.queue_capacity } in
       count_error err;
       Obs.incr c_responses;
-      emit (Serve_protocol.error_response ~id:(Serve_protocol.peek_id line) err))
+      let id = ensure_id (Serve_protocol.peek_id line) in
+      Obs.Log.warn "serve.overloaded"
+        [ ("id", `S id); ("capacity", `I cfg.queue_capacity) ];
+      emit (Serve_protocol.error_response ~id:(Some id) err))
     rejected;
+  Obs.set_gauge g_queue 0;
+  Obs.Log.debug "serve.batch"
+    [
+      ("admitted", `I (List.length admitted));
+      ("rejected", `I (List.length rejected));
+      ("ms", `F (1e3 *. (Unix.gettimeofday () -. batch_t0)));
+    ];
   (* Shapes this batch met for the first time (Plan_deferred mode) were
      answered on the LP path; compile their plans now, on the pool,
      after every response line is already out — the batch never waits on

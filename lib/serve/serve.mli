@@ -33,15 +33,28 @@
       simplex solves. [--plans FILE] preloads compiled plans at startup
       and skips even the first LP round for those shapes.
 
+    - {b Correlation}: every response carries a non-null ["id"] —
+      the client's own when it sent one (echoed byte-for-byte), a
+      minted ["srv-N"] otherwise, numbered in admission order. The id
+      is also the ambient {!Obs.Log} correlation id while the request
+      runs, so [serve.request] / [pipeline.request] log lines join to
+      response lines exactly.
+
     Observability ([serve.*], via {!Obs}): counters [serve.requests],
     [serve.responses], [serve.batches], [serve.errors],
     [serve.parse_errors], [serve.deadline_exceeded],
     [serve.rejected_overloaded], [serve.connections],
     [serve.plan_compiles], high-watermarks
     [serve.batch_size_max] / [serve.queue_depth_max] / [serve.pool_jobs],
-    and timers (with latency histograms) [serve.batch] /
-    [serve.request]. Each batch is a [serve.batch] trace span with one
-    [serve.request] child per request. *)
+    gauges [serve.queue_depth] (depth of the batch cycle being worked,
+    0 between batches) and [serve.inflight] (requests executing on pool
+    domains right now), and timers (with latency histograms)
+    [serve.batch] / [serve.request]. Each batch is a [serve.batch]
+    trace span with one [serve.request] child per request. Structured
+    log events (when a {!Obs.Log} sink is set): [serve.request] (info,
+    per request: id/op/status/ms), [serve.slow_request] (warn, see
+    [slow_s]), [serve.overloaded] (warn, per rejection), [serve.batch]
+    (debug, per cycle). *)
 
 type event =
   | Line of string  (** one complete request line, newline stripped *)
@@ -55,11 +68,15 @@ type config = {
   queue_capacity : int;  (** max requests admitted per batch cycle *)
   default_deadline_s : float option;
       (** budget applied when a request carries no [deadline_ms] *)
+  slow_s : float option;
+      (** requests at least this slow additionally emit a
+          [serve.slow_request] warning with per-stage wall times
+          (the CLI's [--slow-ms]); [None] disables the slow log *)
 }
 
 val default_config : unit -> config
 (** [jobs = Pool.default_jobs ()], [queue_capacity = 512], no default
-    deadline. *)
+    deadline, no slow-request threshold. *)
 
 val serve :
   ?stop:(unit -> bool) -> config -> next:(block:bool -> event) ->

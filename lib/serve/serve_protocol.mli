@@ -8,7 +8,8 @@
     Request object:
     {v
       {"v": 1,                  // optional, must be 1 when present
-       "id": "r42",             // optional, echoed back verbatim
+       "id": "r42",             // optional, echoed back verbatim;
+                                // absent -> daemon mints "srv-N"
        "kernel": "matmul",      // preset | alias | unique prefix | DSL
        "m": 4096,               // required: fast-memory words
        "schedules": ["optimal", "classic", "untiled"],  // default []

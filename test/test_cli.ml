@@ -285,6 +285,69 @@ let test_serve_metrics () =
         Alcotest.failf "serve --metrics stderr missing %S\n%s" f err)
     [ "serve.requests"; "serve.responses"; "serve.batch"; "serve.pool_jobs"; "serve: pool:" ]
 
+let test_serve_telemetry_and_top () =
+  (* end-to-end: serve writes a telemetry trail and a request log; the
+     log ids match the response ids byte-for-byte; `top --once` renders
+     a frame from the trail *)
+  let trail = Filename.temp_file "cli_telemetry" ".jsonl" in
+  let log = Filename.temp_file "cli_servelog" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove trail; Sys.remove log) @@ fun () ->
+  let out =
+    run_serve
+      (Printf.sprintf "--telemetry %s --telemetry-interval 0.05 --log %s --slow-ms 0" trail log)
+      [ {|{"id":"t0","kernel":"matvec","m":64}|}; {|{"kernel":"mm","m":64}|} ]
+  in
+  Alcotest.(check int) "two responses" 2 (List.length out);
+  let snaps = List.filter (fun l -> l <> "") (read_lines trail) in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least two telemetry snapshots (got %d)" (List.length snaps))
+    true (List.length snaps >= 2);
+  List.iter
+    (fun l ->
+      match Jsonlite.parse l with
+      | Error msg -> Alcotest.failf "telemetry line unparseable (%s): %s" msg l
+      | Ok j ->
+        Alcotest.(check bool) "ts present" true (Jsonlite.num_member "ts" j <> None);
+        Alcotest.(check bool) "obs present" true (Jsonlite.member "obs" j <> None))
+    snaps;
+  (* request-correlated log: ids match responses byte-for-byte *)
+  let log_ids =
+    List.filter_map
+      (fun l ->
+        match Jsonlite.parse l with
+        | Ok j when Jsonlite.str_member "event" j = Some "serve.request" ->
+          Jsonlite.str_member "id" j
+        | _ -> None)
+      (read_lines log)
+  in
+  let resp_ids =
+    List.filter_map (fun l -> Jsonlite.str_member "id" (Result.get_ok (Jsonlite.parse l))) out
+  in
+  Alcotest.(check (list string)) "log ids = response ids" resp_ids log_ids;
+  Alcotest.(check bool) "minted id for the id-less request" true
+    (match resp_ids with [ _; m ] -> Astring.String.is_prefix ~affix:"srv-" m | _ -> false);
+  (* slow log fired (threshold 0) with per-stage wall times *)
+  Alcotest.(check bool) "slow-request log with stage deltas" true
+    (List.exists
+       (fun l -> Astring.String.is_infix ~affix:"serve.slow_request" l
+                 && Astring.String.is_infix ~affix:"analysis_ms" l)
+       (read_lines log));
+  (* the dashboard reads the same trail *)
+  check_ok "top --once" (Printf.sprintf "top %s --once" trail)
+    [ "telemetry"; "serve.requests"; "serve.queue_depth" ];
+  check_fails "top on a missing trail" "top /nonexistent/trail.jsonl --once" "cannot read"
+
+let test_profile_telemetry () =
+  let trail = Filename.temp_file "cli_prof" ".om" in
+  Fun.protect ~finally:(fun () -> Sys.remove trail) @@ fun () ->
+  check_ok "profile --telemetry"
+    (Printf.sprintf "profile matvec --iters 2 --telemetry %s" trail)
+    [ "profile: matvec" ];
+  let text = String.concat "\n" (read_lines trail) in
+  Alcotest.(check bool) "OpenMetrics exposition written" true
+    (Astring.String.is_infix ~affix:"# TYPE tilings_" text);
+  Alcotest.(check bool) "EOF terminator" true (Astring.String.is_suffix ~affix:"# EOF" text)
+
 let test_error_paths () =
   check_fails "no kernel" "analyze" "kernel is required";
   check_fails "both sources" "analyze -p matmul -k 'i = 2 : A[i] = B[i]'" "not both";
@@ -325,5 +388,7 @@ let () =
           Alcotest.test_case "golden transcript" `Quick test_serve_golden;
           Alcotest.test_case "plans preloaded" `Quick test_serve_plans;
           Alcotest.test_case "metrics" `Quick test_serve_metrics;
+          Alcotest.test_case "telemetry, log and top" `Quick test_serve_telemetry_and_top;
+          Alcotest.test_case "profile telemetry" `Quick test_profile_telemetry;
         ] );
     ]

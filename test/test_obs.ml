@@ -230,6 +230,241 @@ let test_json_histogram_fields () =
     Alcotest.(check bool) "histograms section carries the entry" true (hist <> None)
 
 (* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge_basics () =
+  Obs.reset ();
+  let g = Obs.gauge "t.g" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.gauge_value g);
+  Obs.set_gauge g 5;
+  Obs.add_gauge g 3;
+  Obs.add_gauge g (-6);
+  Alcotest.(check int) "level after set/add" 2 (Obs.gauge_value g);
+  Alcotest.(check bool) "same name, same cell" true (Obs.gauge "t.g" == g);
+  let st = List.assoc "t.g" (Obs.snapshot ()).Obs.sgauges in
+  Alcotest.(check int) "snapshot value" 2 st.Obs.gvalue;
+  Alcotest.(check int) "window min saw the start" 0 st.Obs.gmin;
+  Alcotest.(check int) "window max saw the peak" 8 st.Obs.gmax;
+  (* rewind collapses the window to the current level *)
+  Obs.rewind_gauges ();
+  let st = List.assoc "t.g" (Obs.snapshot ()).Obs.sgauges in
+  Alcotest.(check int) "rewound min" 2 st.Obs.gmin;
+  Alcotest.(check int) "rewound max" 2 st.Obs.gmax;
+  Obs.set_gauge g 7;
+  let st = List.assoc "t.g" (Obs.snapshot ()).Obs.sgauges in
+  Alcotest.(check int) "fresh window min" 2 st.Obs.gmin;
+  Alcotest.(check int) "fresh window max" 7 st.Obs.gmax;
+  (* the snapshot invariant holds by construction *)
+  Alcotest.(check bool) "min <= value <= max" true
+    (st.Obs.gmin <= st.Obs.gvalue && st.Obs.gvalue <= st.Obs.gmax);
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes gauges" 0 (Obs.gauge_value g)
+
+let test_gauge_diff_and_json () =
+  Obs.reset ();
+  let g = Obs.gauge "t.gd" in
+  Obs.set_gauge g 10;
+  let s0 = Obs.snapshot () in
+  Obs.set_gauge g 4;
+  (* levels, not flows: diff keeps after's stats verbatim *)
+  let d = Obs.diff s0 (Obs.snapshot ()) in
+  let st = List.assoc "t.gd" d.Obs.sgauges in
+  Alcotest.(check int) "diff keeps the level" 4 st.Obs.gvalue;
+  Alcotest.(check int) "diff keeps the max watermark" 10 st.Obs.gmax;
+  match Jsonlite.parse (Obs.to_json (Obs.snapshot ())) with
+  | Error msg -> Alcotest.failf "to_json unparseable: %s" msg
+  | Ok json ->
+    let gj =
+      Option.get (Jsonlite.member "t.gd" (Option.get (Jsonlite.member "gauges" json)))
+    in
+    Alcotest.(check (option (float 0.0))) "json value" (Some 4.0)
+      (Jsonlite.num_member "value" gj);
+    Alcotest.(check (option (float 0.0))) "json min" (Some 0.0)
+      (Jsonlite.num_member "min" gj);
+    Alcotest.(check (option (float 0.0))) "json max" (Some 10.0)
+      (Jsonlite.num_member "max" gj)
+
+let test_gauge_under_pool_concurrency () =
+  Obs.reset ();
+  let g = Obs.gauge "t.gconc" in
+  let n = 2000 in
+  ignore
+    (Pool.map ~jobs:4
+       (fun _ ->
+         Obs.add_gauge g 1;
+         Obs.add_gauge g (-1))
+       (Array.make n ()));
+  Alcotest.(check int) "balanced adds return to zero" 0 (Obs.gauge_value g);
+  let st = List.assoc "t.gconc" (Obs.snapshot ()).Obs.sgauges in
+  Alcotest.(check bool) "max watermark saw at least one up" true (st.Obs.gmax >= 1);
+  Alcotest.(check bool) "watermarks bracket the level" true
+    (st.Obs.gmin <= 0 && st.Obs.gmax >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Structured logging                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let read_lines file =
+  let ic = open_in file in
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+let test_log_jsonl_sink () =
+  Obs.reset ();
+  let path = Filename.temp_file "obs_log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Obs.Log.disable (); Sys.remove path) @@ fun () ->
+  (match Obs.Log.to_file path with
+  | Error msg -> Alcotest.failf "to_file: %s" msg
+  | Ok () -> ());
+  Obs.Log.set_level Obs.Log.Info;
+  Alcotest.(check bool) "info enabled" true (Obs.Log.is_enabled Obs.Log.Info);
+  Alcotest.(check bool) "debug filtered" false (Obs.Log.is_enabled Obs.Log.Debug);
+  Obs.Log.debug "t.invisible" [];
+  Obs.Log.info "t.event"
+    [ ("n", `I 42); ("f", `F 0.5); ("ok", `B true); ("s", `S "x\"y\\z") ];
+  Obs.Log.with_corr "req-1" (fun () ->
+      Alcotest.(check (option string)) "ambient corr" (Some "req-1") (Obs.Log.corr ());
+      Obs.Log.with_corr "req-2" (fun () ->
+          Alcotest.(check (option string)) "corr nests" (Some "req-2") (Obs.Log.corr ()));
+      Obs.Log.warn "t.correlated" []);
+  Alcotest.(check (option string)) "corr restored" None (Obs.Log.corr ());
+  Obs.Log.disable ();
+  Obs.Log.info "t.after_disable" [];
+  let lines = read_lines path in
+  Alcotest.(check int) "two lines reached the sink" 2 (List.length lines);
+  Alcotest.(check int) "obs.log.lines counted them" 2
+    (Obs.value (Obs.counter "obs.log.lines"));
+  List.iter
+    (fun line ->
+      match Jsonlite.parse line with
+      | Error msg -> Alcotest.failf "log line unparseable (%s): %s" msg line
+      | Ok _ -> ())
+    lines;
+  let first = Result.get_ok (Jsonlite.parse (List.nth lines 0)) in
+  Alcotest.(check (option string)) "event" (Some "t.event")
+    (Jsonlite.str_member "event" first);
+  Alcotest.(check (option string)) "level" (Some "info")
+    (Jsonlite.str_member "level" first);
+  Alcotest.(check (option (float 0.0))) "int field" (Some 42.0)
+    (Jsonlite.num_member "n" first);
+  Alcotest.(check (option string)) "escaped string field" (Some "x\"y\\z")
+    (Jsonlite.str_member "s" first);
+  Alcotest.(check bool) "ts present and recent" true
+    (match Jsonlite.num_member "ts" first with
+    | Some ts -> Float.abs (ts -. Unix.gettimeofday ()) < 3600.0
+    | None -> false);
+  let second = Result.get_ok (Jsonlite.parse (List.nth lines 1)) in
+  Alcotest.(check (option string)) "corr stamped" (Some "req-1")
+    (Jsonlite.str_member "corr" second);
+  Alcotest.(check (option string)) "warn level" (Some "warn")
+    (Jsonlite.str_member "level" second)
+
+let test_log_levels () =
+  Alcotest.(check (option string)) "parse warn"
+    (Some "warn")
+    (Option.map Obs.Log.level_name (Obs.Log.level_of_string "WARNING"));
+  Alcotest.(check (option string)) "parse debug"
+    (Some "debug")
+    (Option.map Obs.Log.level_name (Obs.Log.level_of_string "debug"));
+  Alcotest.(check bool) "garbage rejected" true
+    (Obs.Log.level_of_string "loud" = None);
+  Alcotest.(check bool) "no sink, nothing enabled" true
+    (Obs.Log.disable (); not (Obs.Log.is_enabled Obs.Log.Error))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram edges and metric-name escaping                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_zero_and_single () =
+  Obs.reset ();
+  let _zero = Obs.histogram "t.zero" in
+  let h1 = Obs.histogram "t.one" in
+  Obs.observe_ns h1 5_000;
+  let s = Obs.snapshot () in
+  let dz = List.assoc "t.zero" s.Obs.shists in
+  Alcotest.(check int) "zero samples: count" 0 dz.Obs.dcount;
+  Alcotest.(check int) "zero samples: sum" 0 dz.Obs.dsum_ns;
+  Alcotest.(check (float 0.0)) "zero samples: percentile" 0.0 (Obs.percentile dz 99.0);
+  let d1 = List.assoc "t.one" s.Obs.shists in
+  Alcotest.(check int) "single sample: count" 1 d1.Obs.dcount;
+  Alcotest.(check int) "single sample: max exact" 5_000 d1.Obs.dmax_ns;
+  check_near "single sample: p50" 5_000.0 (Obs.percentile d1 50.0);
+  check_near "single sample: p99" 5_000.0 (Obs.percentile d1 99.0);
+  Alcotest.(check bool) "single sample: clamped to max" true
+    (Obs.percentile d1 100.0 <= float_of_int d1.Obs.dmax_ns);
+  (* the empty histogram still renders as valid JSON *)
+  match Jsonlite.parse (Obs.to_json s) with
+  | Error msg -> Alcotest.failf "to_json with empty histogram: %s" msg
+  | Ok _ -> ()
+
+let test_histogram_saturating_sum () =
+  Obs.reset ();
+  let h = Obs.histogram "t.sat" in
+  Obs.observe_ns h max_int;
+  Obs.observe_ns h max_int;
+  let d = List.assoc "t.sat" (Obs.snapshot ()).Obs.shists in
+  Alcotest.(check int) "both observations counted" 2 d.Obs.dcount;
+  Alcotest.(check int) "sum saturates instead of wrapping" max_int d.Obs.dsum_ns;
+  Alcotest.(check bool) "mean stays non-negative" true (Obs.mean_ns d >= 0.0)
+
+let test_diff_across_reset () =
+  Obs.reset ();
+  let c = Obs.counter "t.rst" and h = Obs.histogram "t.rsth" in
+  Obs.incr ~by:9 c;
+  Obs.observe_ns h 1_000;
+  Obs.observe_ns h 1_000;
+  let s0 = Obs.snapshot () in
+  Obs.reset ();
+  Obs.incr ~by:2 c;
+  Obs.observe_ns h 3_000;
+  let d = Obs.diff s0 (Obs.snapshot ()) in
+  (* before > after everywhere the reset rolled back: each field
+     degrades to after's raw value, never goes negative *)
+  Alcotest.(check (option int)) "counter degrades" (Some 2) (counter_value d "t.rst");
+  let dh = List.assoc "t.rsth" d.Obs.shists in
+  Alcotest.(check int) "count degrades" 1 dh.Obs.dcount;
+  Alcotest.(check bool) "no negative buckets" true
+    (Array.for_all (fun v -> v >= 0) dh.Obs.dbuckets);
+  Alcotest.(check bool) "sum non-negative" true (dh.Obs.dsum_ns >= 0)
+
+(* A metric name round-trips through to_json + jsonlite byte-for-byte:
+   quotes, backslashes, control characters and raw high bytes included.
+   The snapshot is built directly so arbitrary names never pollute the
+   global registry. *)
+let name_roundtrips name =
+  let snap =
+    { Obs.scounters = [ (name, 1) ]; sgauges = []; stimers = []; shists = [] }
+  in
+  match Jsonlite.parse (Obs.to_json snap) with
+  | Error _ -> false
+  | Ok json -> (
+    match Jsonlite.member "counters" json with
+    | Some (Jsonlite.Obj [ (k, _) ]) -> String.equal k name
+    | _ -> false)
+
+let test_name_escaping_all_bytes () =
+  let nasty = String.init 256 Char.chr in
+  Alcotest.(check bool) "all 256 bytes round-trip" true (name_roundtrips nasty);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("round-trips: " ^ String.escaped name) true
+        (name_roundtrips name))
+    [ "plain"; "with \"quotes\""; "back\\slash"; "new\nline"; "tab\there";
+      "nul\000byte"; "del\127char"; "high\xc3\xa9bytes"; "" ]
+
+let qcheck_name_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"metric names survive to_json round-trip"
+       QCheck.string name_roundtrips)
+
+(* ------------------------------------------------------------------ *)
 (* Engine integration                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -313,6 +548,25 @@ let () =
           Alcotest.test_case "pp formatting" `Quick test_pp_format;
           Alcotest.test_case "json percentile fields" `Quick test_json_histogram_fields;
         ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "set/add, watermarks, rewind" `Quick test_gauge_basics;
+          Alcotest.test_case "diff keeps levels; json shape" `Quick test_gauge_diff_and_json;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "jsonl sink, fields, correlation" `Quick test_log_jsonl_sink;
+          Alcotest.test_case "level parsing and gating" `Quick test_log_levels;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "zero- and single-sample histograms" `Quick
+            test_histogram_zero_and_single;
+          Alcotest.test_case "saturating sum" `Quick test_histogram_saturating_sum;
+          Alcotest.test_case "diff across a registry reset" `Quick test_diff_across_reset;
+          Alcotest.test_case "name escaping, all bytes" `Quick test_name_escaping_all_bytes;
+          qcheck_name_roundtrip;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "counters under Pool.map" `Quick test_counter_under_pool_concurrency;
@@ -321,6 +575,7 @@ let () =
           Alcotest.test_case "timers under Pool.map" `Quick test_timer_under_pool_concurrency;
           Alcotest.test_case "histograms under Pool.map" `Quick
             test_histogram_under_pool_concurrency;
+          Alcotest.test_case "gauges under Pool.map" `Quick test_gauge_under_pool_concurrency;
         ] );
       ( "engine",
         [

@@ -210,15 +210,25 @@ let test_loop_wait_splits_batches () =
   Alcotest.(check int) "both answered" 2 (List.length out)
 
 let test_loop_malformed_recovery () =
-  (* a garbage line gets an error response; the loop keeps serving *)
+  (* a garbage line gets an error response under a minted "srv-N" id
+     (the mint counter is process-wide, so only the prefix is stable
+     within the test binary); the loop keeps serving *)
   let events =
     [ Serve.Line (req 0); Line "garbage"; Line {|{"id":"r2","kernel":"matvec"}|};
       Line (req 3); Eof ]
   in
   let out = run_loop events in
+  let ids = List.map resp_id out in
+  (match ids with
+  | [ _; Some minted; _; _ ] ->
+    Alcotest.(check bool)
+      ("id-less line got a minted id: " ^ minted)
+      true
+      (String.length minted > 4 && String.sub minted 0 4 = "srv-")
+  | _ -> Alcotest.failf "expected 4 responses, got %d" (List.length out));
   Alcotest.(check (list (option string))) "order kept, errors included"
-    [ Some "r0"; None; Some "r2"; Some "r3" ]
-    (List.map resp_id out);
+    [ Some "r0"; List.nth ids 1; Some "r2"; Some "r3" ]
+    ids;
   Alcotest.(check (list (option string))) "codes"
     [ None; Some "parse_error"; Some "invalid_request"; None ]
     (List.map resp_error_code out)
@@ -367,6 +377,92 @@ let test_serve_counters () =
   Alcotest.(check int) "batches" 1 (cv "serve.batches");
   Alcotest.(check int) "batch high-watermark" 3 (cv "serve.batch_size_max")
 
+let test_minted_ids () =
+  (* id-less requests get consecutive "srv-N" ids in arrival order;
+     client-supplied ids are echoed byte-for-byte, untouched by minting *)
+  let noid = {|{"kernel":"matvec","m":64}|} in
+  let out = run_loop [ Serve.Line noid; Line (req 1); Line noid; Eof ] in
+  match List.map resp_id out with
+  | [ Some a; Some b; Some c ] ->
+    Alcotest.(check string) "client id echoed" "r1" b;
+    let num id =
+      Alcotest.(check bool) ("minted prefix: " ^ id) true
+        (String.length id > 4 && String.sub id 0 4 = "srv-");
+      int_of_string (String.sub id 4 (String.length id - 4))
+    in
+    Alcotest.(check int) "minted ids consecutive in arrival order" (num a + 1) (num c)
+  | ids -> Alcotest.failf "expected 3 ids, got %d" (List.length ids)
+
+let test_serve_gauges () =
+  Obs.reset ();
+  (* between batches both levels sit at zero; the watermark window shows
+     the batch actually drove them up *)
+  let _ = run_loop [ Serve.Line (req 0); Line (req 1); Line (req 2); Eof ] in
+  let g = (Obs.snapshot ()).Obs.sgauges in
+  (match List.assoc_opt "serve.queue_depth" g with
+  | None -> Alcotest.fail "serve.queue_depth gauge missing"
+  | Some st ->
+    Alcotest.(check int) "queue idle after the batch" 0 st.Obs.gvalue;
+    Alcotest.(check int) "window max saw the batch depth" 3 st.Obs.gmax);
+  match List.assoc_opt "serve.inflight" g with
+  | None -> Alcotest.fail "serve.inflight gauge missing"
+  | Some st ->
+    Alcotest.(check int) "nothing inflight after the batch" 0 st.Obs.gvalue;
+    Alcotest.(check bool) "window max saw execution" true (st.Obs.gmax >= 1)
+
+let read_lines file =
+  let ic = open_in file in
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+let test_request_log_and_slow_log () =
+  Obs.reset ();
+  let path = Filename.temp_file "serve_log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Obs.Log.disable (); Sys.remove path) @@ fun () ->
+  (match Obs.Log.to_file path with
+  | Error msg -> Alcotest.failf "to_file: %s" msg
+  | Ok () -> ());
+  Obs.Log.set_level Obs.Log.Info;
+  (* slow_s = 0: every request trips the slow log *)
+  let cfg = { (Serve.default_config ()) with jobs = 1; slow_s = Some 0.0 } in
+  let out = run_loop ~cfg [ Serve.Line (req 0); Line {|{"kernel":"matvec","m":64}|}; Eof ] in
+  Obs.Log.disable ();
+  let events =
+    List.map
+      (fun l -> Result.get_ok (Jsonlite.parse l))
+      (List.filter (fun l -> l <> "") (read_lines path))
+  in
+  let named name =
+    List.filter (fun j -> Jsonlite.str_member "event" j = Some name) events
+  in
+  let field m j = Jsonlite.str_member m j in
+  (* every response id appears, byte-for-byte, as a serve.request log id
+     (and as the line's ambient correlation id) *)
+  let log_ids = List.filter_map (field "id") (named "serve.request") in
+  let resp_ids = List.filter_map resp_id out in
+  Alcotest.(check (list string)) "log ids match response ids byte-for-byte"
+    resp_ids log_ids;
+  List.iter
+    (fun j ->
+      Alcotest.(check (option string)) "corr = id" (field "id" j) (field "corr" j);
+      Alcotest.(check (option string)) "status ok" (Some "ok") (field "status" j))
+    (named "serve.request");
+  (* the slow log fired for both and carries per-stage wall times *)
+  let slow = named "serve.slow_request" in
+  Alcotest.(check int) "slow log per request" 2 (List.length slow);
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "stage delta present" true
+        (Jsonlite.num_member "analysis_ms" j <> None);
+      Alcotest.(check bool) "total present" true (Jsonlite.num_member "ms" j <> None))
+    slow
+
 let () =
   Alcotest.run "serve"
     [
@@ -400,5 +496,9 @@ let () =
           Alcotest.test_case "deferred warm-up" `Quick test_loop_deferred_warmup;
           Alcotest.test_case "report matches engine" `Quick test_report_matches_engine;
           Alcotest.test_case "serve counters" `Quick test_serve_counters;
+          Alcotest.test_case "minted ids" `Quick test_minted_ids;
+          Alcotest.test_case "queue and inflight gauges" `Quick test_serve_gauges;
+          Alcotest.test_case "request and slow-request log" `Quick
+            test_request_log_and_slow_log;
         ] );
     ]

@@ -1,0 +1,273 @@
+(* Tests for the periodic exporter (lib/obs/telemetry.ml) and the
+   [tilings top] frame renderer (lib/obs/dashboard.ml). The pure
+   renderers are exercised directly; one test runs a real ticker thread
+   against a temp file. *)
+
+let read_lines file =
+  let ic = open_in file in
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+let with_temp suffix f =
+  let path = Filename.temp_file "telemetry" suffix in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* A snapshot with one of everything, built via the registry so the
+   timer/histogram bucket encodings are the real ones. *)
+let sample_snapshot () =
+  Obs.reset ();
+  Obs.incr ~by:7 (Obs.counter "t.count");
+  Obs.set_gauge (Obs.gauge "t.level") 3;
+  Obs.add_seconds (Obs.timer "t.span") 0.25;
+  Obs.observe_ns (Obs.histogram "t.dist") 1_000_000;
+  Obs.snapshot ()
+
+(* ------------------------------------------------------------------ *)
+(* json_line + Dashboard.parse_line round-trip                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_line_roundtrip () =
+  let snap = sample_snapshot () in
+  let line = Telemetry.json_line ~ts:1722000000.5 ~seq:3 snap in
+  (match Jsonlite.parse line with
+  | Error msg -> Alcotest.failf "json_line unparseable: %s\n%s" msg line
+  | Ok json ->
+    Alcotest.(check (option (float 1e-3))) "ts" (Some 1722000000.5)
+      (Jsonlite.num_member "ts" json);
+    Alcotest.(check (option (float 0.0))) "seq" (Some 3.0)
+      (Jsonlite.num_member "seq" json);
+    Alcotest.(check bool) "obs payload present" true
+      (Jsonlite.member "obs" json <> None));
+  match Dashboard.parse_line line with
+  | Error msg -> Alcotest.failf "parse_line rejected json_line output: %s" msg
+  | Ok s ->
+    Alcotest.(check int) "seq survives" 3 s.Dashboard.seq;
+    Alcotest.(check (option (float 0.0))) "counter survives" (Some 7.0)
+      (List.assoc_opt "t.count" s.Dashboard.counters);
+    (match List.assoc_opt "t.level" s.Dashboard.gauges with
+    | Some (v, mn, mx) ->
+      Alcotest.(check (float 0.0)) "gauge value" 3.0 v;
+      Alcotest.(check bool) "gauge watermarks bracket" true (mn <= v && v <= mx)
+    | None -> Alcotest.fail "gauge missing from sample");
+    (match List.assoc_opt "t.span" s.Dashboard.timers with
+    | Some row ->
+      Alcotest.(check int) "timer calls" 1 row.Dashboard.calls;
+      Alcotest.(check bool) "timer p50 near 250ms" true
+        (Float.abs (row.Dashboard.p50_s -. 0.25) /. 0.25 < 0.25)
+    | None -> Alcotest.fail "timer missing from sample");
+    Alcotest.(check bool) "histogram row present" true
+      (List.mem_assoc "t.dist" s.Dashboard.hists)
+
+let test_parse_line_rejects_garbage () =
+  Alcotest.(check bool) "not json" true (Result.is_error (Dashboard.parse_line "junk"));
+  Alcotest.(check bool) "json but wrong shape" true
+    (Result.is_error (Dashboard.parse_line "{\"nope\":1}"))
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                              *)
+(* ------------------------------------------------------------------ *)
+
+let name_re = "^[a-zA-Z_:][a-zA-Z0-9_:]*$"
+
+let valid_metric_name n =
+  String.length n > 0
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       n
+
+let test_openmetrics_exposition () =
+  Obs.reset ();
+  Obs.incr ~by:7 (Obs.counter "t.count");
+  (* names that collide after sanitization must stay distinct *)
+  Obs.incr (Obs.counter "t.na/me");
+  Obs.incr (Obs.counter "t.na\\me");
+  Obs.set_gauge (Obs.gauge "t.level") 3;
+  Obs.add_seconds (Obs.timer "t.span") 0.25;
+  Obs.observe_ns (Obs.histogram "t.dist") 1_000_000;
+  let text = Telemetry.openmetrics (Obs.snapshot ()) in
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> l <> "") lines in
+  Alcotest.(check string) "EOF terminated" "# EOF" (List.nth lines (List.length lines - 1));
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if not (Astring.String.is_prefix ~affix:"#" line) then begin
+        (* sample line: <name>[{labels}] <value> *)
+        match String.index_opt line ' ' with
+        | None -> Alcotest.failf "sample line without value: %s" line
+        | Some sp ->
+          let name_part = String.sub line 0 sp in
+          let name =
+            match String.index_opt name_part '{' with
+            | Some b -> String.sub name_part 0 b
+            | None -> name_part
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "name %S matches %s" name name_re)
+            true (valid_metric_name name);
+          Alcotest.(check bool) ("prefixed: " ^ name) true
+            (Astring.String.is_prefix ~affix:"tilings_" name);
+          let v = float_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1)) in
+          Alcotest.(check bool) ("numeric value: " ^ line) true (v <> None);
+          Hashtbl.replace seen name ()
+      end)
+    lines;
+  (* TYPE headers are unique per family *)
+  let types = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if Astring.String.is_prefix ~affix:"# TYPE " line then begin
+        let fam = List.nth (String.split_on_char ' ' line) 2 in
+        Alcotest.(check bool) ("duplicate TYPE for " ^ fam) false (Hashtbl.mem types fam);
+        Hashtbl.add types fam ()
+      end)
+    lines;
+  Alcotest.(check bool) "counter family present" true
+    (Hashtbl.mem seen "tilings_t_count_total");
+  Alcotest.(check bool) "gauge family present" true (Hashtbl.mem seen "tilings_t_level");
+  Alcotest.(check bool) "gauge min present" true (Hashtbl.mem seen "tilings_t_level_min");
+  Alcotest.(check bool) "timer count present" true (Hashtbl.mem seen "tilings_t_span_count");
+  (* both collided names survived as distinct families *)
+  let collided =
+    Hashtbl.fold
+      (fun k () acc -> if Astring.String.is_prefix ~affix:"tilings_t_na_me" k then k :: acc else acc)
+      seen []
+  in
+  Alcotest.(check int) "sanitization collision deduplicated" 2
+    (List.length (List.filter (fun n -> Astring.String.is_suffix ~affix:"_total" n) collided))
+
+(* ------------------------------------------------------------------ *)
+(* The live ticker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ticker_jsonl () =
+  with_temp ".jsonl" @@ fun path ->
+  Obs.reset ();
+  Obs.incr ~by:5 (Obs.counter "t.live");
+  (match Telemetry.start ~interval_s:0.02 path with
+  | Error msg -> Alcotest.failf "start: %s" msg
+  | Ok t ->
+    Alcotest.(check (float 1e-9)) "interval clamped later, kept here" 0.02
+      (Telemetry.interval t);
+    Alcotest.(check string) "path recorded" path (Telemetry.path t);
+    Obs.incr ~by:2 (Obs.counter "t.live");
+    Thread.delay 0.06;
+    Telemetry.stop t;
+    Telemetry.stop t (* idempotent *));
+  let lines = read_lines path in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least two snapshots (got %d)" (List.length lines))
+    true
+    (List.length lines >= 2);
+  let samples =
+    List.map
+      (fun l ->
+        match Dashboard.parse_line l with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "bad trail line (%s): %s" msg l)
+      lines
+  in
+  (* seq increases, timestamps never go backwards *)
+  ignore
+    (List.fold_left
+       (fun (pseq, pts) s ->
+         Alcotest.(check bool) "seq strictly increasing" true (s.Dashboard.seq > pseq);
+         Alcotest.(check bool) "ts monotone" true (s.Dashboard.ts >= pts);
+         (s.Dashboard.seq, s.Dashboard.ts))
+       (-1, 0.0) samples);
+  let final = List.nth samples (List.length samples - 1) in
+  Alcotest.(check (option (float 0.0))) "final snapshot saw all increments" (Some 7.0)
+    (List.assoc_opt "t.live" final.Dashboard.counters)
+
+let test_ticker_openmetrics () =
+  with_temp ".om" @@ fun path ->
+  Obs.reset ();
+  Obs.incr ~by:3 (Obs.counter "t.om");
+  (match Telemetry.start ~interval_s:0.02 path with
+  | Error msg -> Alcotest.failf "start: %s" msg
+  | Ok t ->
+    Thread.delay 0.05;
+    Telemetry.stop t);
+  let text = String.concat "\n" (read_lines path) in
+  Alcotest.(check bool) "exposition written" true
+    (Astring.String.is_infix ~affix:"tilings_t_om_total 3" text);
+  Alcotest.(check bool) "EOF terminator" true (Astring.String.is_suffix ~affix:"# EOF" text)
+
+let test_start_error () =
+  match Telemetry.start "/nonexistent-dir-xyz/trail.jsonl" with
+  | Ok t ->
+    Telemetry.stop t;
+    Alcotest.fail "start into a missing directory should fail"
+  | Error msg -> Alcotest.(check bool) "error message non-empty" true (String.length msg > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Dashboard rendering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mk_sample ts seq count =
+  {
+    Dashboard.ts;
+    seq;
+    counters = [ ("t.reqs", float_of_int count) ];
+    gauges = [ ("t.depth", (float_of_int (count mod 5), 0.0, 5.0)) ];
+    timers =
+      [ ("t.lat", { Dashboard.calls = count; total_s = 0.1; p50_s = 0.001; p99_s = 0.004; max_s = 0.01 }) ];
+    hists = [];
+  }
+
+let test_sparkline () =
+  let s = Dashboard.sparkline [ 0.0; 1.0; 2.0; 3.0 ] in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0);
+  (* 4 glyphs, 3 bytes each (UTF-8 block elements) *)
+  Alcotest.(check int) "one glyph per value" 12 (String.length s);
+  Alcotest.(check bool) "ramp ends at full block" true
+    (Astring.String.is_suffix ~affix:"\xe2\x96\x88" s);
+  let flat = Dashboard.sparkline [ 2.0; 2.0; 2.0 ] in
+  Alcotest.(check bool) "flat series is lowest bar" true
+    (Astring.String.is_prefix ~affix:"\xe2\x96\x81" flat);
+  Alcotest.(check string) "empty series" "" (Dashboard.sparkline [])
+
+let test_render_frames () =
+  let one = Dashboard.render [ mk_sample 100.0 0 10 ] in
+  Alcotest.(check bool) "single sample renders" true (String.length one > 0);
+  Alcotest.(check bool) "rate needs two samples" true
+    (Astring.String.is_infix ~affix:"-" one);
+  Alcotest.(check bool) "counter named" true (Astring.String.is_infix ~affix:"t.reqs" one);
+  let two = Dashboard.render [ mk_sample 100.0 0 10; mk_sample 102.0 1 30 ] in
+  (* 20 counts over 2 seconds *)
+  Alcotest.(check bool) "rate computed" true (Astring.String.is_infix ~affix:"10.0/s" two);
+  Alcotest.(check bool) "gauge section" true (Astring.String.is_infix ~affix:"t.depth" two);
+  Alcotest.(check bool) "latency columns" true (Astring.String.is_infix ~affix:"t.lat" two);
+  Alcotest.(check bool) "empty trail renders a placeholder" true
+    (String.length (Dashboard.render []) > 0)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "json_line round-trips through parse_line" `Quick
+            test_json_line_roundtrip;
+          Alcotest.test_case "parse_line rejects garbage" `Quick test_parse_line_rejects_garbage;
+        ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "exposition lints clean" `Quick test_openmetrics_exposition ] );
+      ( "ticker",
+        [
+          Alcotest.test_case "jsonl trail, >=2 snapshots" `Quick test_ticker_jsonl;
+          Alcotest.test_case "openmetrics rewrite" `Quick test_ticker_openmetrics;
+          Alcotest.test_case "unopenable sink" `Quick test_start_error;
+        ] );
+      ( "dashboard",
+        [
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+          Alcotest.test_case "render" `Quick test_render_frames;
+        ] );
+    ]

@@ -122,6 +122,11 @@ let test_ring_overwrite_counts_drops () =
   let retained = List.length (events_named "t.wrap") in
   Alcotest.(check bool) "ring bounded" true (retained < n);
   Alcotest.(check int) "dropped = recorded - retained" (n - retained) (Obs.Trace.dropped ());
+  (* drops also surface as a plain registry counter, so a telemetry
+     exporter sees ring pressure without calling into Trace *)
+  Alcotest.(check int) "obs.trace.dropped counter mirrors Trace.dropped"
+    (Obs.Trace.dropped ())
+    (Obs.value (Obs.counter "obs.trace.dropped"));
   (* the ring keeps the most recent spans *)
   let max_tag =
     List.fold_left
