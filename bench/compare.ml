@@ -11,7 +11,11 @@
        runners is real, so CI runs this warn-only by default);
      - words_moved: any headline number that changed at all is a
        METRIC CHANGE — these are exact counters from a deterministic
-       simulator, so any drift means the model or the tiling changed;
+       simulator, so any drift means the model or the tiling changed.
+       Labels ending in "_ms" or "_ratio" are exempt: those carry
+       measured wall times (queue-wait percentiles and their speedups),
+       which legitimately differ run to run — gate them with
+       --gate-ratio instead;
      - presence: experiments that appear on only one side are reported.
 
    --gate-timers NAME1,NAME2 additionally compares the named aggregate
@@ -21,6 +25,13 @@
    search and the cache-simulator executor are gated this way so a
    regression in either fails CI even when no single experiment's wall
    time trips the per-experiment check.
+
+   --gate-ratio EXP:LABEL:MIN (repeatable) asserts that experiment EXP
+   in the NEW file carries words_moved label LABEL with value >= MIN —
+   the gate for measured speedup ratios (e.g. E19's analytic-class
+   queue-wait improvement), which the equality check deliberately
+   ignores. A missing experiment, missing label, or value below MIN is
+   a finding.
 
    Exit status is 0 unless --strict is given, in which case any finding
    makes it 1.
@@ -33,6 +44,15 @@
    across runs) added with the telemetry exporter. *)
 
 type experiment = { title : string; seconds : float; words : (string * float) list }
+
+(* Measured-time labels: exact byte-equality against a baseline is
+   meaningless for these, so the METRIC checks skip them on both sides.
+   Use --gate-ratio to bound them instead. *)
+let measured_label label =
+  let has_suffix s = String.length label >= String.length s
+    && String.sub label (String.length label - String.length s) (String.length s) = s
+  in
+  has_suffix "_ms" || has_suffix "_ratio"
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -90,6 +110,7 @@ let () =
   let threshold = ref 0.25 in
   let only = ref [] in
   let gate_timers = ref [] in
+  let gate_ratios = ref [] in
   let paths = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -107,6 +128,14 @@ let () =
     | "--gate-timers" :: names :: rest ->
       gate_timers := !gate_timers @ String.split_on_char ',' names;
       parse_args rest
+    | "--gate-ratio" :: spec :: rest ->
+      (match String.split_on_char ':' spec with
+      | [ exp; label; min_s ] -> (
+        match float_of_string_opt min_s with
+        | Some m -> gate_ratios := !gate_ratios @ [ (exp, label, m) ]
+        | None -> die "--gate-ratio: bad minimum %S in %S" min_s spec)
+      | _ -> die "--gate-ratio: expected EXP:LABEL:MIN, got %S" spec);
+      parse_args rest
     | a :: _ when String.length a > 0 && a.[0] = '-' -> die "unknown option %s" a
     | p :: rest ->
       paths := p :: !paths;
@@ -119,7 +148,7 @@ let () =
     | _ ->
       die
         "usage: compare [--strict] [--time-threshold T] [--only E1,E2] [--gate-timers \
-         T1,T2] BASELINE.json NEW.json"
+         T1,T2] [--gate-ratio EXP:LABEL:MIN] BASELINE.json NEW.json"
   in
   (* --only narrows the comparison to the named experiment ids (repeatable,
      comma-separable) — the CI gate on the plan-layer experiment uses this
@@ -156,15 +185,16 @@ let () =
             (100.0 *. !threshold) b.title;
         List.iter
           (fun (label, bw) ->
-            match List.assoc_opt label n.words with
-            | None -> report "METRIC MISSING %-4s %S dropped\n" id label
-            | Some nw ->
-              if nw <> bw then
-                report "METRIC CHANGE  %-4s %S: %.17g -> %.17g\n" id label bw nw)
+            if not (measured_label label) then
+              match List.assoc_opt label n.words with
+              | None -> report "METRIC MISSING %-4s %S dropped\n" id label
+              | Some nw ->
+                if nw <> bw then
+                  report "METRIC CHANGE  %-4s %S: %.17g -> %.17g\n" id label bw nw)
           b.words;
         List.iter
           (fun (label, _) ->
-            if not (List.mem_assoc label b.words) then
+            if (not (measured_label label)) && not (List.mem_assoc label b.words) then
               report "METRIC NEW     %-4s %S appeared\n" id label)
           n.words)
     base;
@@ -188,6 +218,21 @@ let () =
           Printf.printf "gate ok: timer %S %.3fs -> %.3fs (%+.0f%%)\n" name b n
             (100.0 *. ((n /. b) -. 1.0)))
     !gate_timers;
+  (* Ratio gates read only the NEW file: they bound this run's measured
+     speedups, not a diff against the baseline's machine. *)
+  let all_fresh = experiments_of new_path new_json in
+  List.iter
+    (fun (exp, label, min_v) ->
+      match List.assoc_opt exp all_fresh with
+      | None -> report "RATIO GATE     %-4s missing from %s\n" exp new_path
+      | Some e -> (
+        match List.assoc_opt label e.words with
+        | None -> report "RATIO GATE     %-4s has no %S label\n" exp label
+        | Some v ->
+          if v < min_v then
+            report "RATIO GATE     %-4s %S: %.2f below minimum %.2f\n" exp label v min_v
+          else Printf.printf "gate ok: %s %S %.2f >= %.2f\n" exp label v min_v))
+    !gate_ratios;
   let total = List.length fresh in
   if !findings = 0 then
     Printf.printf "compare: OK — %d experiments match %s (times within +%.0f%%)\n" total

@@ -618,12 +618,14 @@ let profile_cmd =
        $ jobs_arg $ trace_arg $ telemetry_arg $ telemetry_interval_arg))
 
 let serve_cmd =
-  let run socket queue jobs deadline_ms plans slow_ms log log_level telemetry
-      telemetry_interval metrics trace =
+  let run socket tcp cache_dir queue jobs deadline_ms plans slow_ms log log_level
+      telemetry telemetry_interval metrics trace =
     if queue < 1 then fail "queue capacity must be at least 1"
     else if deadline_ms < 0 then fail "--deadline-ms must be non-negative"
     else if (match slow_ms with Some s -> s < 0.0 | None -> false) then
       fail "--slow-ms must be non-negative"
+    else if (match tcp with Some p -> p < 0 || p > 65535 | None -> false) then
+      fail "--tcp must be a port number (0 picks a free one)"
     else begin
       (* Structured logging first, so startup events are captured too.
          stdout is the protocol stream, so "-" means stderr here. *)
@@ -648,6 +650,19 @@ let serve_cmd =
         match load_plans file with
         | Ok n -> Printf.eprintf "serve: plans: %d preloaded\n%!" n
         | Error msg -> fail_error (Engine_error.Invalid_request msg)));
+      (* Warm boot: restore the memo + plan caches snapshotted by a
+         previous run's drain. A missing file is a cold boot; a corrupt
+         or stale one only costs the entries it damaged (reject and
+         continue) — the daemon must come up either way. *)
+      (match cache_dir with
+      | None -> ()
+      | Some dir -> (
+        match Cache_store.load ~dir with
+        | Ok (0, 0) -> Printf.eprintf "serve: cache: cold boot (%s)\n%!" dir
+        | Ok (loaded, rejected) ->
+          Printf.eprintf "serve: cache: %d entries restored, %d rejected (%s)\n%!"
+            loaded rejected dir
+        | Error msg -> Printf.eprintf "serve: cache: load failed, cold boot: %s\n%!" msg));
       if trace <> None then begin
         Obs.Trace.enable ();
         Obs.Trace.set_lane_name "main"
@@ -676,7 +691,11 @@ let serve_cmd =
         }
       in
       let mode =
-        match socket with None -> "pipe (stdin/stdout)" | Some p -> "socket " ^ p
+        match (socket, tcp) with
+        | None, None -> "pipe (stdin/stdout)"
+        | Some p, None -> "socket " ^ p
+        | None, Some port -> Printf.sprintf "tcp 127.0.0.1:%d" port
+        | Some p, Some port -> Printf.sprintf "socket %s + tcp 127.0.0.1:%d" p port
       in
       Printf.eprintf "serve: pool: %d job%s (%s); queue capacity %d; mode: %s\n%!" jobs
         (if jobs = 1 then "" else "s")
@@ -709,14 +728,23 @@ let serve_cmd =
             Printf.eprintf "tilings: --telemetry %s: %s\n%!" path msg;
             exit 124)
       in
-      (match socket with
-      | None -> Serve.run_pipe ~stop cfg
-      | Some path -> Serve.run_socket ~stop cfg ~path);
+      (match (socket, tcp) with
+      | None, None -> Serve.run_pipe ~stop cfg
+      | socket_path, tcp_port -> Serve.run_daemon ~stop cfg ?socket_path ?tcp_port ());
       Obs.Log.info "serve.stop"
         [
           ("requests", `I (Obs.value (Obs.counter "serve.requests")));
           ("responses", `I (Obs.value (Obs.counter "serve.responses")));
         ];
+      (* Drain-time snapshot: persist what this run learned so the next
+         boot starts warm. Best-effort — a full disk must not turn a
+         clean drain into a failure. *)
+      (match cache_dir with
+      | None -> ()
+      | Some dir -> (
+        match Cache_store.save ~dir with
+        | Ok n -> Printf.eprintf "serve: cache: %d entries saved to %s\n%!" n (Cache_store.path ~dir)
+        | Error msg -> Printf.eprintf "serve: cache: save failed: %s\n%!" msg));
       Option.iter Telemetry.stop tel;
       Obs.Log.disable ();
       (* Diagnostics go to stderr: stdout is the protocol stream. *)
@@ -740,8 +768,31 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Listen on a Unix-domain socket at $(docv) instead of serving \
-             stdin/stdout; connections are NDJSON sessions served \
-             sequentially.")
+             stdin/stdout; concurrent connections are NDJSON sessions \
+             batched fairly into the shared pool, each with its own \
+             minted-id sequence.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Also (or instead) listen on TCP 127.0.0.1:$(docv); 0 picks a \
+             free port, announced on stderr. Combines with $(b,--socket); \
+             both listeners feed the same batch loop.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the memo and compiled-plan caches: load a versioned \
+             snapshot from $(docv) at boot (corrupt entries are rejected \
+             individually; a missing file is a cold boot) and write one \
+             back on drain, so a restarted daemon answers repeat shapes \
+             without re-solving.")
   in
   let queue_arg =
     Arg.(
@@ -827,9 +878,9 @@ let serve_cmd =
           requests into one parallel sweep over a warm memo cache")
     Term.(
       ret
-        (const run $ socket_arg $ queue_arg $ jobs_arg $ deadline_arg $ plans_arg
-       $ slow_ms_arg $ log_arg $ log_level_arg $ telemetry_arg $ telemetry_interval_arg
-       $ metrics_arg $ trace_arg))
+        (const run $ socket_arg $ tcp_arg $ cache_dir_arg $ queue_arg $ jobs_arg
+       $ deadline_arg $ plans_arg $ slow_ms_arg $ log_arg $ log_level_arg
+       $ telemetry_arg $ telemetry_interval_arg $ metrics_arg $ trace_arg))
 
 let partition_cmd =
   let run kernel preset procs metrics trace =

@@ -1,0 +1,71 @@
+let c_saved = Obs.counter "cache.store.saved_entries"
+let c_loaded = Obs.counter "cache.store.loaded_entries"
+let c_rejected = Obs.counter "cache.store.rejected_entries"
+let t_save = Obs.timer "cache.store.save"
+let t_load = Obs.timer "cache.store.load"
+
+let file_name = "tilings_caches.json"
+let path ~dir = Filename.concat dir file_name
+
+let ensure_dir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: mkdir: %s" dir (Unix.error_message e))
+
+(* Count the entries a snapshot carries without reparsing it: one "k"
+   key per table entry plus the plans (their own documents, one "shape"
+   each). Cheap and exact because both strings are emitted by us. *)
+let count_entries text =
+  let count needle =
+    let nl = String.length needle and tl = String.length text in
+    let n = ref 0 in
+    for i = 0 to tl - nl do
+      if String.sub text i nl = needle then incr n
+    done;
+    !n
+  in
+  count "{\"k\":" + count "\"shape\":"
+
+let save ~dir =
+  Obs.time t_save @@ fun () ->
+  match ensure_dir dir with
+  | Error _ as e -> e
+  | Ok () -> (
+    let target = path ~dir in
+    let tmp = target ^ ".tmp" in
+    let text = Pipeline.cache_snapshot () in
+    match
+      let oc = open_out_bin tmp in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc text;
+        output_char oc '\n');
+      Sys.rename tmp target
+    with
+    | () ->
+      let n = count_entries text in
+      Obs.incr ~by:n c_saved;
+      Ok n
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (e, op, _) ->
+      Error (Printf.sprintf "%s: %s: %s" target op (Unix.error_message e)))
+
+let load ~dir =
+  Obs.time t_load @@ fun () ->
+  let target = path ~dir in
+  if not (Sys.file_exists target) then Ok (0, 0)
+  else
+    match
+      let ic = open_in_bin target in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error msg
+    | text -> (
+      match Pipeline.cache_restore text with
+      | Error _ as e -> e
+      | Ok (loaded, rejected) ->
+        Obs.incr ~by:loaded c_loaded;
+        Obs.incr ~by:rejected c_rejected;
+        Ok (loaded, rejected))

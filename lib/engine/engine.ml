@@ -37,6 +37,8 @@ let tile_shared = Pipeline.tile_shared
 let hierarchy = Pipeline.hierarchy
 let cache_stats = Pipeline.cache_stats
 let reset_caches = Pipeline.reset_caches
+let cache_snapshot = Pipeline.cache_snapshot
+let cache_restore = Pipeline.cache_restore
 
 type plan_mode = Pipeline.plan_mode = Plan_off | Plan_inline | Plan_deferred
 

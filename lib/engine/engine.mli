@@ -40,10 +40,12 @@ val sweep : ?jobs:int -> Pipeline.request list -> report list
     @raise Engine_error.Error on the first failing request. *)
 
 val sweep_checked :
-  ?jobs:int -> ?deadline:float -> Pipeline.request list ->
+  ?jobs:int -> ?coarse:bool -> ?deadline:float -> Pipeline.request list ->
   (report, Engine_error.t) result list
 (** Re-export of {!Pipeline.sweep_checked}: per-request results in input
-    order, one bad request never poisons the batch. *)
+    order, one bad request never poisons the batch; analytic requests
+    are scheduled ahead of simulation tails ([~coarse:true] restores
+    the class-blind pre-split scheduler for A/B measurement). *)
 
 val sweep_grid :
   ?jobs:int ->
@@ -74,6 +76,11 @@ val hierarchy :
 
 val cache_stats : unit -> int * int
 val reset_caches : unit -> unit
+
+val cache_snapshot : unit -> string
+val cache_restore : string -> (int * int, string) result
+(** Re-exports of the {!Pipeline} cache persistence layer (see
+    {!Cache_store} for the file-backed form). *)
 
 (** {1 Tiling plans}
 

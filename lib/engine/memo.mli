@@ -11,15 +11,20 @@
     bounds and the same multiset of (support, mode) rows analyze
     identically, so they share cache entries.
 
-    Tables are domain-safe: lookups and inserts are serialized by a
-    mutex, while computations run outside it (a racing duplicate compute
-    of the same deterministic value is harmless and cheaper than holding
-    the lock across an LP solve). *)
+    Tables are domain-safe and sharded: keys hash onto a power-of-two
+    array of shards, each with its own mutex, so concurrent lookups of
+    different keys rarely contend (the serve daemon runs many
+    connections' requests against these tables at once). Hit/miss/entry
+    counts are atomics outside the shard locks. Computations still run
+    outside any lock (a racing duplicate compute of the same
+    deterministic value is harmless and cheaper than holding a lock
+    across an LP solve; first writer wins). *)
 
 type 'a t
 
-val create : ?name:string -> unit -> 'a t
-(** A named table additionally mirrors its hit/miss counts into the
+val create : ?shards:int -> ?name:string -> unit -> 'a t
+(** [shards] (default 16) is rounded up to a power of two; 1 gives the
+    old single-lock behavior. A named table additionally mirrors its hit/miss counts into the
     global {!Obs} counters [memo.<name>.hits] / [memo.<name>.misses] and
     its live entry count into the gauge [memo.<name>.entries], so
     snapshots show per-cache effectiveness and footprint. {!clear}
@@ -36,8 +41,23 @@ val find_opt : 'a t -> string -> 'a option
 val add : 'a t -> string -> 'a -> unit
 (** Insert if absent (first writer wins). *)
 
+val replace : 'a t -> string -> 'a -> unit
+(** Insert or overwrite (last writer wins) — for caches whose entries
+    improve over time, like the warm-start simplex bases where the most
+    recently certified basis is the best predictor for the next solve of
+    that shape. *)
+
 val hits : 'a t -> int
 val misses : 'a t -> int
+
+val length : 'a t -> int
+(** Live entries across all shards. *)
+
+val to_alist : 'a t -> (string * 'a) list
+(** Every entry, sorted by key — the deterministic order makes cache
+    snapshots byte-stable. Locks each shard in turn (the result is a
+    consistent view of each shard, not of the whole table). *)
+
 val clear : 'a t -> unit
 (** Drop all entries and reset the hit/miss counters (for tests). *)
 

@@ -135,10 +135,22 @@ let plan_of spec =
 let lp_lexmax spec ~beta =
   let key = Memo.key_of_spec_beta spec ~beta in
   Memo.find_or_add lp_cache key (fun () ->
+    (* Warm-start bases are keyed by the kernel {e shape}, not by this
+       cache's (spec, beta) key: the hooks only ever run inside this
+       miss closure, where the (spec, beta) key is by construction
+       fresh, so bases keyed by it could never be found again (that was
+       the 0%-hit-rate bug). Sharing one slot per (shape, k) across all
+       sizes is sound because a candidate basis is exactly certified
+       (Simplex.certify) before use and merely falls through on a
+       mismatch — a stale basis costs one failed certification, a fresh
+       one replaces a simplex solve. [replace] keeps the most recently
+       certified basis: with first-writer-wins a basis that stops
+       certifying would be pinned forever. *)
+    let shape = Memo.key_of_shape spec in
     let hooks =
       {
-        Tiling.lookup = (fun k -> Memo.find_opt basis_cache (Memo.key_of_basis key ~k));
-        store = (fun k basis -> Memo.add basis_cache (Memo.key_of_basis key ~k) basis);
+        Tiling.lookup = (fun k -> Memo.find_opt basis_cache (Memo.key_of_basis shape ~k));
+        store = (fun k basis -> Memo.replace basis_cache (Memo.key_of_basis shape ~k) basis);
       }
     in
     Tiling.solve_lp_lexmax ~hooks spec ~beta)
@@ -264,20 +276,27 @@ let timed span tm f =
    most one stage.  [Deadline_hit] never escapes [run_checked]. *)
 exception Deadline_hit of string
 
-let run_internal ?deadline req =
-  let guard stage =
-    match deadline with
-    | Some t when Unix.gettimeofday () >= t -> raise (Deadline_hit stage)
-    | _ -> ()
-  in
+let guard deadline stage =
+  match deadline with
+  | Some t when Unix.gettimeofday () >= t -> raise (Deadline_hit stage)
+  | _ -> ()
+
+(* The cheap half of a request: the memoized analysis (LP/plan lookup,
+   lower bound, tile). On the pool this runs at the request's submitted
+   class; for an analytic request it is the whole request. *)
+let analysis_half ?deadline req =
   let spec = req.rspec and m = req.rm in
   Obs.incr c_requests;
   Obs.incr ~by:(List.length req.rsims) c_simulations;
-  guard "analysis";
-  let (a, from_cache), d_analysis =
-    timed "pipeline.analysis" t_analysis (fun () -> analysis spec ~m)
-  in
-  guard "shared_tile";
+  guard deadline "analysis";
+  timed "pipeline.analysis" t_analysis (fun () -> analysis spec ~m)
+
+(* The heavy half: the shared-tile search (when wanted) and every cache
+   simulation. For simulation-carrying requests this is the [More]
+   continuation that re-queues at Simulation class. *)
+let simulate_half ?deadline req =
+  let spec = req.rspec and m = req.rm in
+  guard deadline "shared_tile";
   let shared, d_shared =
     timed "pipeline.shared_tile" t_shared (fun () ->
       let want_shared =
@@ -289,10 +308,14 @@ let run_internal ?deadline req =
     timed "pipeline.simulate_stage" t_simulate (fun () ->
       List.map
         (fun s ->
-          guard "simulate";
+          guard deadline "simulate";
           simulate spec ~m s)
         req.rsims)
   in
+  (shared, d_shared, sims, d_simulate)
+
+let assemble req ((a, from_cache), d_analysis) (shared, d_shared, sims, d_simulate) =
+  let spec = req.rspec and m = req.rm in
   (* Stage-level debug event; the ambient correlation id (set by serve
      around each request) attributes it to the request that ran us. The
      is_enabled guard keeps field construction off the default path. *)
@@ -344,21 +367,45 @@ let validate req =
   end
   else None
 
-let run_checked ?deadline req =
+let catch_errors f =
+  match f () with
+  | r -> Ok r
+  | exception Deadline_hit stage -> Error (Engine_error.Deadline_exceeded { stage })
+  | exception e -> (
+    match Engine_error.of_exn e with Some t -> Error t | None -> raise e)
+
+let classify req = if req.rsims = [] then Pool.Analytic else Pool.Simulation
+
+let run_staged ?deadline req =
   match validate req with
-  | Some e -> Error e
-  | None -> (
-    match run_internal ?deadline req with
-    | r -> Ok r
-    | exception Deadline_hit stage -> Error (Engine_error.Deadline_exceeded { stage })
-    | exception e -> (
-      match Engine_error.of_exn e with Some t -> Error t | None -> raise e))
+  | Some e -> Pool.Done (Error e)
+  | None ->
+    if req.rsims = [] then
+      Pool.Done
+        (catch_errors (fun () ->
+           let first = analysis_half ?deadline req in
+           assemble req first (simulate_half ?deadline req)))
+    else (
+      match catch_errors (fun () -> analysis_half ?deadline req) with
+      | Error e -> Pool.Done (Error e)
+      | Ok first ->
+        Pool.More
+          (fun () ->
+            catch_errors (fun () -> assemble req first (simulate_half ?deadline req))))
+
+let run_checked ?deadline req =
+  match run_staged ?deadline req with Pool.Done r -> r | Pool.More f -> f ()
 
 let run req =
   match run_checked req with Ok r -> r | Error e -> Engine_error.raise_error e
 
-let sweep ?jobs reqs = Pool.map_list ?jobs run reqs
-let sweep_checked ?jobs ?deadline reqs = Pool.map_list ?jobs (run_checked ?deadline) reqs
+let sweep_checked ?jobs ?coarse ?deadline reqs =
+  Pool.map_staged_list ?jobs ?coarse ~classify (run_staged ?deadline) reqs
+
+let sweep ?jobs reqs =
+  List.map
+    (function Ok r -> r | Error e -> Engine_error.raise_error e)
+    (sweep_checked ?jobs reqs)
 
 (* ------------------------------------------------------------------ *)
 (* Hierarchies                                                        *)
@@ -386,6 +433,196 @@ let hierarchy ?policy spec ~capacities =
     Executor.run_hierarchy ?policy spec ~schedule:(Schedules.Nested tiles) ~capacities
   in
   { hspec = spec; hcapacities = capacities; htiles = tiles; hresult }
+
+(* ------------------------------------------------------------------ *)
+(* Cache persistence                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A versioned JSON document of every durable memo table, so a restarted
+   daemon (or a fresh replica) boots warm. Persisted: the LP solutions,
+   the warm-start simplex bases, the shared tiles, the nested-tiling
+   table and the compiled plans. Deliberately not persisted: the
+   analysis cache (cheap to rebuild from a warm LP/plan table and full
+   of floats) and Plan_failed negative entries (re-failing is cheap).
+   Entries are emitted in sorted key order and rationals as exact
+   strings, so snapshot -> restore -> snapshot is byte-identical. *)
+
+let snapshot_version = 1
+
+let buf_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let cache_snapshot () =
+  let buf = Buffer.create 8192 in
+  let str s = buf_json_string buf s in
+  let rat_array rs =
+    Buffer.add_char buf '[';
+    Array.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_char buf ',';
+        str (Rat.to_string r))
+      rs;
+    Buffer.add_char buf ']'
+  in
+  let int_array label ints =
+    Buffer.add_string buf label;
+    Buffer.add_char buf '[';
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int x))
+      ints;
+    Buffer.add_char buf ']'
+  in
+  let section name entries emit =
+    Buffer.add_char buf ',';
+    str name;
+    Buffer.add_string buf ":[";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "{\"k\":";
+        str k;
+        emit v;
+        Buffer.add_char buf '}')
+      entries;
+    Buffer.add_char buf ']'
+  in
+  Buffer.add_string buf (Printf.sprintf "{\"v\":%d" snapshot_version);
+  section "lp" (Memo.to_alist lp_cache) (fun (sol : Tiling.lp_solution) ->
+    Buffer.add_string buf ",\"lambda\":";
+    rat_array sol.Tiling.lambda;
+    Buffer.add_string buf ",\"value\":";
+    str (Rat.to_string sol.Tiling.value);
+    Buffer.add_string buf ",\"dual\":";
+    rat_array sol.Tiling.dual);
+  section "basis" (Memo.to_alist basis_cache) (fun b -> int_array ",\"b\":" b);
+  section "shared" (Memo.to_alist shared_cache) (fun t -> int_array ",\"t\":" t);
+  section "nested" (Memo.to_alist nested_cache) (fun ts ->
+    Buffer.add_string buf ",\"ts\":[";
+    List.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_char buf ',';
+        int_array "" t)
+      ts;
+    Buffer.add_char buf ']');
+  (* Plans are embedded as their own canonical JSON documents
+     (Tiling_plan.to_json), which already round-trip byte-identically. *)
+  Buffer.add_string buf ",\"plans\":[";
+  let first = ref true in
+  List.iter
+    (fun (_, entry) ->
+      match entry with
+      | Plan_ready p ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf (Tiling_plan.to_json p)
+      | Plan_failed _ -> ())
+    (Memo.to_alist plan_cache);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* Per-entry validation on restore: a malformed entry is skipped and
+   counted, never fatal — a corrupt snapshot degrades to a colder boot,
+   not a dead daemon. Only a malformed container (unparseable JSON,
+   missing/wrong version) rejects the whole document. *)
+
+let json_ints j =
+  Option.bind (Jsonlite.to_list j) (fun l ->
+    let rec go acc = function
+      | [] -> Some (Array.of_list (List.rev acc))
+      | x :: tl -> (
+        match Jsonlite.to_num x with
+        | Some f when Float.is_integer f -> go (int_of_float f :: acc) tl
+        | _ -> None)
+    in
+    go [] l)
+
+let json_rats j =
+  Option.bind (Jsonlite.to_list j) (fun l ->
+    let rec go acc = function
+      | [] -> Some (Array.of_list (List.rev acc))
+      | x :: tl -> (
+        match Option.bind (Jsonlite.to_str x) Rat.of_string_opt with
+        | Some r -> go (r :: acc) tl
+        | None -> None)
+    in
+    go [] l)
+
+let cache_restore text =
+  match Jsonlite.parse text with
+  | Error msg -> Error ("cache snapshot: " ^ msg)
+  | Ok json -> (
+    match Jsonlite.num_member "v" json with
+    | None -> Error "cache snapshot: missing \"v\" version field"
+    | Some v when v <> float_of_int snapshot_version ->
+      Error
+        (Printf.sprintf "cache snapshot: unsupported version %g (want %d)" v
+           snapshot_version)
+    | Some _ ->
+      let loaded = ref 0 and rejected = ref 0 in
+      let each name accept =
+        match Jsonlite.list_member name json with
+        | None -> ()
+        | Some l ->
+          List.iter (fun e -> if accept e then incr loaded else incr rejected) l
+      in
+      let keyed f e =
+        match Jsonlite.str_member "k" e with None -> false | Some k -> f k e
+      in
+      each "lp"
+        (keyed (fun k e ->
+           match
+             ( Option.bind (Jsonlite.member "lambda" e) json_rats,
+               Option.bind (Jsonlite.str_member "value" e) Rat.of_string_opt,
+               Option.bind (Jsonlite.member "dual" e) json_rats )
+           with
+           | Some lambda, Some value, Some dual ->
+             Memo.add lp_cache k { Tiling.lambda; value; dual };
+             true
+           | _ -> false));
+      each "basis"
+        (keyed (fun k e ->
+           match Option.bind (Jsonlite.member "b" e) json_ints with
+           | Some b ->
+             Memo.add basis_cache k b;
+             true
+           | None -> false));
+      each "shared"
+        (keyed (fun k e ->
+           match Option.bind (Jsonlite.member "t" e) json_ints with
+           | Some t ->
+             Memo.add shared_cache k t;
+             true
+           | None -> false));
+      each "nested"
+        (keyed (fun k e ->
+           match Jsonlite.list_member "ts" e with
+           | None -> false
+           | Some ts_json ->
+             let ts = List.map json_ints ts_json in
+             if List.for_all Option.is_some ts then begin
+               Memo.add nested_cache k (List.map Option.get ts);
+               true
+             end
+             else false));
+      each "plans" (fun e ->
+        match Tiling_plan.of_json e with
+        | Ok p ->
+          install_plan p;
+          true
+        | Error _ -> false);
+      Ok (!loaded, !rejected))
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                      *)

@@ -61,6 +61,24 @@ val run : request -> Report.t
     straight-line callers: [Error e] becomes [raise (Engine_error.Error e)].
     New code should prefer {!run_checked}. *)
 
+val run_staged :
+  ?deadline:float -> request -> (Report.t, Engine_error.t) result Pool.staged
+(** {!run_checked} split at the analysis-vs-simulate boundary for the
+    work-stealing pool. The first stage runs the validation and the
+    memoized analysis; a request with no simulations (or that fails
+    early) finishes there as [Done]. A simulation-carrying request
+    returns [More] whose thunk runs the shared-tile search and every
+    simulation — on the pool that tail re-queues at [Simulation] class,
+    so it never blocks analytic work behind it. Forcing the staged value
+    is exactly [run_checked]: same results, same error mapping, same
+    memo effects. *)
+
+val classify : request -> Pool.priority
+(** The admission classification: [Analytic] iff the request carries no
+    simulations (plan/LP lookups are sub-millisecond; simulations are
+    seconds). Used by {!sweep_checked} and the serve daemon's per-class
+    queues. *)
+
 val sweep : ?jobs:int -> request list -> Report.t list
 (** Run independent requests in parallel with {!Pool.map_list}. Result
     order matches input order and every report is byte-identical (under
@@ -68,12 +86,17 @@ val sweep : ?jobs:int -> request list -> Report.t list
     @raise Engine_error.Error on the first failing request (via {!run}). *)
 
 val sweep_checked :
-  ?jobs:int -> ?deadline:float -> request list ->
+  ?jobs:int -> ?coarse:bool -> ?deadline:float -> request list ->
   (Report.t, Engine_error.t) result list
-(** {!run_checked} over the pool: one [result] per request, input order,
-    failures isolated per element (one bad request never poisons the
-    batch). The one [deadline] applies to every request; callers needing
-    per-request deadlines map {!run_checked} over {!Pool} directly. *)
+(** {!run_staged} over the pool ({!Pool.map_staged_list} with
+    {!classify}): one [result] per request, input order, failures
+    isolated per element (one bad request never poisons the batch).
+    Analytic requests run ahead of simulation tails however the input
+    interleaves them; the results are byte-identical to the sequential
+    path regardless. [~coarse:true] uses the pre-split class-blind
+    scheduler (the bench's ablation baseline). The one [deadline]
+    applies to every request; callers needing per-request deadlines map
+    {!run_checked} over {!Pool} directly. *)
 
 val sim_iteration_limit : int
 (** Iteration-count ceiling above which simulation requests are refused
@@ -161,3 +184,26 @@ val cache_stats : unit -> int * int
 (** Total (hits, misses) across the engine's memo tables. *)
 
 val reset_caches : unit -> unit
+
+(** {1 Cache persistence}
+
+    The durable memo tables — LP solutions, warm-start simplex bases,
+    shared tiles, nested tilings and compiled plans — serialize to a
+    versioned JSON snapshot so a restarted daemon or a fresh replica
+    boots warm ({!Cache_store} handles the file I/O; the serve CLI's
+    [--cache-dir] wires both ends). Rationals travel as exact strings
+    and entries in sorted key order, so
+    [snapshot -> restore -> snapshot] is byte-identical. *)
+
+val cache_snapshot : unit -> string
+(** The current cache contents as one versioned JSON document
+    ([{"v":1, "lp":[...], "basis":[...], "shared":[...], "nested":[...],
+    "plans":[...]}]). *)
+
+val cache_restore : string -> (int * int, string) result
+(** Load a snapshot into the (typically empty) caches:
+    [Ok (loaded, rejected)] on success, where [rejected] counts
+    malformed entries that were skipped — corruption is tolerated
+    per-entry (a damaged snapshot means a colder boot, never a dead
+    process); existing entries are never overwritten. [Error _] only
+    for an unparseable document or a version mismatch. *)

@@ -1,4 +1,5 @@
-(** Deterministic parallel map over OCaml 5 domains.
+(** Deterministic parallel map over OCaml 5 domains, scheduled by
+    per-domain work-stealing deques.
 
     Independent sweep points (per-(M, schedule, policy) simulations,
     per-kernel LP solves) are embarrassingly parallel; this module fans
@@ -7,19 +8,45 @@
     comes from element [i] of the input, so parallel and sequential runs
     produce byte-identical reports.
 
+    {b Scheduling.} Each worker owns two Chase–Lev deques
+    ({!Ws_deque}), one per {!priority} class. Items are dealt
+    round-robin at submit; a worker pops its own work LIFO and steals
+    FIFO from the others when idle. The claim order is the priority
+    gate: {e all} [Analytic] work in the pool — own or stolen — is
+    taken before {e any} [Simulation] work, so a sub-millisecond
+    analytic request is never stuck behind a multi-second simulation.
+    {!map_staged} sharpens this further: an item's cheap first stage
+    runs at its submitted class, and the [More] continuation it returns
+    (the heavy tail) re-queues on the executing worker's simulation
+    deque instead of blocking the lane.
+
     The pool size defaults to {!Domain.recommended_domain_count} and can
     be overridden with the [PROJTILE_JOBS] environment variable (or the
     [?jobs] argument, which wins). [jobs <= 1] degrades to a plain
     sequential map with no domains spawned.
 
-    Observability: besides the busy/idle/wall timers from PR 2, every
-    task records its submit-to-start latency in the
-    ["pool.queue_wait"] timer (whose histogram separates scheduling
-    stalls from long tasks) and its runtime in ["pool.task"]; with
-    {!Obs.Trace} enabled each task execution is a ["pool.task"] span
-    tagged with the task index, and each spawned worker gets its own
-    trace lane named ["worker-N"] (worker 0 runs on the caller's
-    domain and stays on the caller's lane). *)
+    Observability: besides the busy/idle/wall timers, every task stage
+    records its submit-to-start latency in ["pool.queue_wait"] {e and}
+    in its class's ["pool.queue_wait.analytic"] /
+    ["pool.queue_wait.simulation"] timer (the per-class histograms are
+    the stage split's acceptance metric), its runtime in ["pool.task"],
+    and steal outcomes in ["pool.steals"] / ["pool.steal_fails"]
+    (failed = lost the CAS race). ["pool.domains_spawned"] counts
+    spawned workers, ["pool.idle_domains"] gauges the instantaneous
+    idle width, and with {!Obs.Trace} enabled each stage execution is a
+    ["pool.task"] span tagged with the item index on the executing
+    worker's lane (["worker-N"]; worker 0 is the caller's domain). *)
+
+type priority =
+  | Analytic
+      (** closed-form / LP / plan work: sub-millisecond, latency-bound *)
+  | Simulation  (** cache-simulation work: seconds, throughput-bound *)
+
+type 'b staged =
+  | Done of 'b  (** the item finished in its first stage *)
+  | More of (unit -> 'b)
+      (** cheap stage finished; the thunk is the heavy tail, re-queued
+          at [Simulation] class on the executing worker's own deque *)
 
 val default_jobs : unit -> int
 (** [PROJTILE_JOBS] if set to a positive integer, otherwise
@@ -33,9 +60,37 @@ val validate_jobs : string -> int option
     (trimmed) positive integer, [None] for anything else. Exposed for
     tests. *)
 
+val map_staged :
+  ?jobs:int ->
+  ?coarse:bool ->
+  classify:('a -> priority) ->
+  ('a -> 'b staged) ->
+  'a array ->
+  'b array
+(** [map_staged ~classify f xs] applies [f] to every element with up to
+    [jobs] concurrent workers; a [More] thunk returned by [f] is
+    scheduled as a separate [Simulation]-class task. Results keep input
+    order. If any stage raises, the first (lowest-index) exception is
+    re-raised after all domains have joined.
+
+    [~coarse:true] swaps the scheduler for the pre-split baseline — a
+    shared claim counter handing out whole fused items in submit order,
+    class-blind — and exists so the bench can measure the deque
+    scheduler against it; it computes the same results. *)
+
+val map_staged_list :
+  ?jobs:int ->
+  ?coarse:bool ->
+  classify:('a -> priority) ->
+  ('a -> 'b staged) ->
+  'a list ->
+  'b list
+(** List version of {!map_staged}. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] applies [f] to every element, running up to [jobs]
-    applications concurrently. Results keep input order. If any
+    applications concurrently ([map_staged] with every item a
+    single-stage [Analytic] task). Results keep input order. If any
     application raises, the first (lowest-index) exception is re-raised
     after all domains have joined. *)
 

@@ -1,0 +1,109 @@
+(* Chase–Lev dynamic circular work-stealing deque (SPAA 2005), in the
+   formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP 2013) whose
+   fence placement maps directly onto OCaml 5 [Atomic] (every Atomic op
+   is seq_cst, which over-synchronizes relative to the paper's acq/rel
+   but can only be more correct).
+
+   Invariants:
+     - [top] is monotonically non-decreasing and only advanced by CAS,
+       so a successful steal CAS can never be an ABA victim.
+     - [bottom] is written only by the owner.
+     - live elements occupy indices [top, bottom) of the current buffer,
+       addressed modulo its (power-of-two) size.
+     - growth publishes a brand-new {buf; mask} record via [Atomic.set];
+       a thief still holding the old record reads stale but valid values
+       for any index it can win the top-CAS on, because the owner never
+       overwrites a live slot in place (a full buffer grows instead of
+       wrapping onto index [top]). *)
+
+type 'a buffer = { arr : 'a option array; mask : int }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make { arr = Array.make 16 None; mask = 15 };
+  }
+
+(* Owner only, called with the buffer full: copy the live window into a
+   buffer twice the size and publish it. Thieves that already loaded the
+   old buffer keep reading it — every index they can still win belongs
+   to the old live window, which we never mutate. *)
+let grow t ~top ~bottom =
+  let old = Atomic.get t.buf in
+  let size = (old.mask + 1) * 2 in
+  let arr = Array.make size None in
+  for i = top to bottom - 1 do
+    arr.(i land (size - 1)) <- old.arr.(i land old.mask)
+  done;
+  Atomic.set t.buf { arr; mask = size - 1 }
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf =
+    if b - tp > buf.mask then begin
+      grow t ~top:tp ~bottom:b;
+      Atomic.get t.buf
+    end
+    else buf
+  in
+  buf.arr.(b land buf.mask) <- Some x;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  (* Publish the lowered bottom before reading top: after this store a
+     thief can only reach indices < b, so when top < b the element at b
+     is exclusively ours, no CAS needed. *)
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty; restore the canonical empty state. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let x = buf.arr.(b land buf.mask) in
+    if b > tp then begin
+      (* More than one element: b is unreachable by thieves (see above),
+         take it and drop the reference so the value can be collected. *)
+      buf.arr.(b land buf.mask) <- None;
+      x
+    end
+    else begin
+      (* Exactly one element: race the thieves for it with their CAS. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then x else None
+    end
+  end
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b - tp <= 0 then Empty
+  else begin
+    let buf = Atomic.get t.buf in
+    match buf.arr.(tp land buf.mask) with
+    | None ->
+      (* The slot emptied between our reads (owner popped it); the CAS
+         would fail anyway. *)
+      Retry
+    | Some x -> if Atomic.compare_and_set t.top tp (tp + 1) then Stolen x else Retry
+  end
+
+let size t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  max 0 (b - tp)

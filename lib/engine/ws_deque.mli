@@ -1,0 +1,45 @@
+(** A Chase–Lev work-stealing deque.
+
+    One domain — the {e owner} — pushes and pops at the bottom with
+    plain loads/stores (lock-free, no CAS on the common path); any other
+    domain {e steals} from the top with a single compare-and-swap. The
+    owner therefore runs its own work in LIFO order (cache-warm, the
+    continuation it just created) while thieves drain the oldest tasks
+    FIFO — the classic split that makes stealing cheap and rare.
+
+    This is the dynamic-circular-work-stealing-deque of Chase & Lev
+    (SPAA 2005) on OCaml 5 [Atomic]s: [top] only ever grows (so the
+    steal CAS cannot ABA), [bottom] is written by the owner alone, and
+    the buffer grows by publishing a fresh array atomically — thieves
+    holding the old array still read valid slots for any index they can
+    win the CAS on.
+
+    Safety contract: exactly one domain may call {!push}/{!pop} on a
+    given deque; any number of domains may call {!steal}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom. Amortized O(1); grows the buffer
+    (doubling) when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element, or [None] when
+    empty. When exactly one element remains the owner races thieves for
+    it with the same CAS they use. *)
+
+type 'a steal_result =
+  | Stolen of 'a
+  | Empty
+  | Retry  (** lost a race with the owner or another thief *)
+
+val steal : 'a t -> 'a steal_result
+(** Thief: take the oldest element. [Retry] means the CAS failed —
+    someone else got there first; the element count is unknown, so
+    callers typically re-scan their victim list. *)
+
+val size : 'a t -> int
+(** Approximate occupancy (racy reads of both ends; never negative).
+    For monitoring only. *)

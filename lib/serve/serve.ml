@@ -29,21 +29,34 @@ let c_plan_compiles = Obs.counter "serve.plan_compiles"
 let t_batch = Obs.timer "serve.batch"
 let t_request = Obs.timer "serve.request"
 
+(* Per-class service latency: the split the scheduler exists for.
+   Analytic requests must stay in the sub-millisecond mode whatever
+   simulations share the batch; these histograms are where to look. *)
+let t_request_analytic = Obs.timer "serve.request.analytic"
+let t_request_simulation = Obs.timer "serve.request.simulation"
+
 (* Live levels for the dashboard: how deep the current batch cycle is
-   (admitted + rejected lines being worked), and how many requests are
-   executing on pool domains right now. *)
+   (admitted + rejected lines being worked, plus the per-class split of
+   the admitted), how many requests are executing on pool domains right
+   now, and how many client connections are open. *)
 let g_queue = Obs.gauge "serve.queue_depth"
+let g_queue_analytic = Obs.gauge "serve.queue_depth.analytic"
+let g_queue_simulation = Obs.gauge "serve.queue_depth.simulation"
 let g_inflight = Obs.gauge "serve.inflight"
+let g_open = Obs.gauge "serve.open_connections"
 
 (* Correlation ids minted for requests that arrive without one: "srv-N",
-   N process-wide in admission order (lines are decoded sequentially, so
-   the numbering is deterministic however batches split). The minted id
-   is echoed in the response and stamps every log line the request
-   produces, so a client that sent no id can still join its response to
-   the daemon's log. *)
-let next_mint = Atomic.make 1
-let mint () = Printf.sprintf "srv-%d" (Atomic.fetch_and_add next_mint 1)
-let ensure_id = function Some id -> id | None -> mint ()
+   N scoped to the session (one stdin/stdout stream, or one accepted
+   connection) in arrival order — every client sees its own srv-1,
+   srv-2, ... sequence however many neighbors the daemon is serving, so
+   a connection's transcript is byte-identical to the one-shot CLI's.
+   The minted id is echoed in the response and stamps every log line the
+   request produces. *)
+type session = { mint : int Atomic.t }
+
+let new_session () = { mint = Atomic.make 1 }
+let mint s = Printf.sprintf "srv-%d" (Atomic.fetch_and_add s.mint 1)
+let ensure_id s = function Some id -> id | None -> mint s
 
 let count_error err =
   Obs.incr c_errors;
@@ -53,75 +66,111 @@ let count_error err =
   | Overloaded _ -> Obs.incr c_overloaded
   | _ -> ()
 
-(* One batch: decode every admitted line, run them all through the pool
-   (decode errors ride along so indices stay aligned), then emit one
-   response per line in arrival order — admitted first, overload
-   rejections after (they arrived later by construction). *)
-let process cfg ~emit admitted rejected =
-  Obs.incr c_batches;
-  let depth = List.length admitted + List.length rejected in
-  Obs.incr ~by:depth c_requests;
-  Obs.record_max c_batch_max (List.length admitted);
-  Obs.record_max c_queue_max depth;
-  Obs.set_gauge g_queue depth;
-  Obs.Trace.with_span "serve.batch" @@ fun () ->
-  let batch_t0 = Unix.gettimeofday () in
-  Obs.time t_batch @@ fun () ->
-  let admitted_at = batch_t0 in
-  (* Decode sequentially in arrival order; this is also where requests
-     without an "id" get their minted correlation id, so the numbering
-     is deterministic however the stream splits into batches. *)
-  let decoded =
-    List.map
-      (fun line ->
-        match Serve_protocol.decode line with
-        | Error { Serve_protocol.err_id; err } -> (ensure_id err_id, Error err)
-        | Ok req ->
-          let budget =
-            match req.Serve_protocol.deadline_s with
-            | Some _ as b -> b
-            | None -> cfg.default_deadline_s
-          in
-          (ensure_id req.Serve_protocol.id, Ok (req, Option.map (fun b -> admitted_at +. b) budget)))
-      admitted
-  in
-  let run_one (id, item) =
-    Obs.add_gauge g_inflight 1;
-    Fun.protect ~finally:(fun () -> Obs.add_gauge g_inflight (-1)) @@ fun () ->
-    Obs.Log.with_corr id @@ fun () ->
-    let t0 = Unix.gettimeofday () in
-    let res, op_name, timings =
-      Obs.time t_request @@ fun () ->
-      match item with
-      | Error err -> (Error err, "invalid", [])
-      | Ok (req, deadline) -> (
-        match req.Serve_protocol.op with
-        | Serve_protocol.Compile ->
-          ( Result.map
-              (fun plan -> `Plan (Tiling_plan.to_json plan))
-              (Pipeline.plan_of req.Serve_protocol.spec),
-            "compile",
-            [] )
-        | Serve_protocol.Analyze ->
-          let presq =
-            Pipeline.request ~sims:req.Serve_protocol.sims
-              ~shared:req.Serve_protocol.shared req.Serve_protocol.spec
-              ~m:req.Serve_protocol.m
-          in
-          let checked = Pipeline.run_checked ?deadline presq in
-          let timings =
-            match checked with Ok rep -> rep.Report.timings | Error _ -> []
-          in
-          ( Result.map
-              (fun rep -> `Report (Report.to_json ~timings:req.Serve_protocol.timings rep))
-              checked,
-            "analyze",
-            timings ))
+(* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Requests are decoded — and classified — at admission, not at
+   execution: the class decides which queue the request waits in, so it
+   has to be known up front. Analytic = no simulations requested (plan /
+   LP / closed-form answers, sub-millisecond); everything else is
+   Simulation class. Compile requests are analytic: plan compilation is
+   bounded by the enumeration budget and serves the fast path. *)
+
+type item = {
+  it_id : string;
+  it_class : Pool.priority;
+  it_work : (Serve_protocol.request * float option, Engine_error.t) result;
+      (** decoded request plus its absolute deadline, or the decode error *)
+  it_emit : string -> unit;  (** the connection the response goes back to *)
+}
+
+let classify_request (req : Serve_protocol.request) =
+  match req.Serve_protocol.op with
+  | Serve_protocol.Compile -> Pool.Analytic
+  | Serve_protocol.Analyze ->
+    if req.Serve_protocol.sims = [] then Pool.Analytic else Pool.Simulation
+
+let decode_line cfg session ~admitted_at ~emit line =
+  match Serve_protocol.decode line with
+  | Error { Serve_protocol.err_id; err } ->
+    { it_id = ensure_id session err_id; it_class = Pool.Analytic;
+      it_work = Error err; it_emit = emit }
+  | Ok req ->
+    let budget =
+      match req.Serve_protocol.deadline_s with
+      | Some _ as b -> b
+      | None -> cfg.default_deadline_s
     in
+    {
+      it_id = ensure_id session req.Serve_protocol.id;
+      it_class = classify_request req;
+      it_work = Ok (req, Option.map (fun b -> admitted_at +. b) budget);
+      it_emit = emit;
+    }
+
+(* Per-class admission: each class has [queue_capacity] seats per batch
+   cycle, so a flood of simulation requests can exhaust its own queue
+   without costing analytic requests theirs (and vice versa). *)
+type admission = {
+  mutable adm_analytic : int;
+  mutable adm_simulation : int;
+  mutable adm_rejected : int;
+  mutable adm_admitted_rev : item list;
+  mutable adm_rejected_rev : (string * (string -> unit)) list;
+}
+
+let new_admission () =
+  {
+    adm_analytic = 0;
+    adm_simulation = 0;
+    adm_rejected = 0;
+    adm_admitted_rev = [];
+    adm_rejected_rev = [];
+  }
+
+let admit cfg adm item =
+  let seats =
+    match item.it_class with
+    | Pool.Analytic -> adm.adm_analytic
+    | Pool.Simulation -> adm.adm_simulation
+  in
+  if seats < cfg.queue_capacity then begin
+    (match item.it_class with
+    | Pool.Analytic -> adm.adm_analytic <- adm.adm_analytic + 1
+    | Pool.Simulation -> adm.adm_simulation <- adm.adm_simulation + 1);
+    adm.adm_admitted_rev <- item :: adm.adm_admitted_rev
+  end
+  else begin
+    adm.adm_rejected <- adm.adm_rejected + 1;
+    adm.adm_rejected_rev <- (item.it_id, item.it_emit) :: adm.adm_rejected_rev
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One admitted request as a staged pool task: the analytic half runs at
+   the item's class, and a simulation-carrying request returns [More] so
+   its heavy tail re-queues at Simulation class (Pipeline.run_staged).
+   The serve-level latency clock spans admission-to-finish across both
+   stages; the ambient correlation id is re-established inside the
+   continuation because it is domain-local and the tail may run on a
+   different worker. *)
+let run_one cfg item =
+  Obs.add_gauge g_inflight 1;
+  let t0 = Unix.gettimeofday () in
+  let finish ~op res timings =
     let dt = Unix.gettimeofday () -. t0 in
+    Obs.add_seconds t_request dt;
+    Obs.add_seconds
+      (match item.it_class with
+      | Pool.Analytic -> t_request_analytic
+      | Pool.Simulation -> t_request_simulation)
+      dt;
     let status = match res with Ok _ -> "ok" | Error e -> Engine_error.code e in
     Obs.Log.info "serve.request"
-      [ ("id", `S id); ("op", `S op_name); ("status", `S status); ("ms", `F (1e3 *. dt)) ];
+      [ ("id", `S item.it_id); ("op", `S op); ("status", `S status); ("ms", `F (1e3 *. dt)) ];
     (* The slow-request log carries the request's own per-stage wall
        times (the same deltas a "timings":true client would receive), so
        triage can tell an LP-bound request from a simulation-bound one
@@ -129,15 +178,71 @@ let process cfg ~emit admitted rejected =
     (match cfg.slow_s with
     | Some s when dt >= s ->
       Obs.Log.warn "serve.slow_request"
-        (("id", `S id) :: ("op", `S op_name) :: ("ms", `F (1e3 *. dt))
+        (("id", `S item.it_id) :: ("op", `S op) :: ("ms", `F (1e3 *. dt))
         :: List.map (fun (stage, d) -> (stage ^ "_ms", `F (1e3 *. d))) timings)
     | _ -> ());
-    (id, res)
+    Obs.add_gauge g_inflight (-1);
+    (item, res)
   in
-  let outcomes = Pool.map_list ~jobs:cfg.jobs run_one decoded in
+  Obs.Log.with_corr item.it_id @@ fun () ->
+  match item.it_work with
+  | Error err -> Pool.Done (finish ~op:"invalid" (Error err) [])
+  | Ok (req, deadline) -> (
+    match req.Serve_protocol.op with
+    | Serve_protocol.Compile ->
+      Pool.Done
+        (finish ~op:"compile"
+           (Result.map
+              (fun plan -> `Plan (Tiling_plan.to_json plan))
+              (Pipeline.plan_of req.Serve_protocol.spec))
+           [])
+    | Serve_protocol.Analyze -> (
+      let preq =
+        Pipeline.request ~sims:req.Serve_protocol.sims ~shared:req.Serve_protocol.shared
+          req.Serve_protocol.spec ~m:req.Serve_protocol.m
+      in
+      let render checked =
+        let timings = match checked with Ok rep -> rep.Report.timings | Error _ -> [] in
+        finish ~op:"analyze"
+          (Result.map
+             (fun rep -> `Report (Report.to_json ~timings:req.Serve_protocol.timings rep))
+             checked)
+          timings
+      in
+      match Pipeline.run_staged ?deadline preq with
+      | Pool.Done checked -> Pool.Done (render checked)
+      | Pool.More f ->
+        Pool.More (fun () -> Obs.Log.with_corr item.it_id (fun () -> render (f ())))))
+
+(* One batch: run every admitted item through the staged pool, then emit
+   one response per line in arrival order — admitted first, overload
+   rejections after. Each response goes back to the connection it came
+   from; with a single session the two are the same stream. *)
+let process cfg admitted rejected =
+  Obs.incr c_batches;
+  let n_admitted = List.length admitted and n_rejected = List.length rejected in
+  let depth = n_admitted + n_rejected in
+  Obs.incr ~by:depth c_requests;
+  Obs.record_max c_batch_max n_admitted;
+  Obs.record_max c_queue_max depth;
+  Obs.set_gauge g_queue depth;
+  let n_analytic =
+    List.fold_left
+      (fun n i -> if i.it_class = Pool.Analytic then n + 1 else n)
+      0 admitted
+  in
+  Obs.set_gauge g_queue_analytic n_analytic;
+  Obs.set_gauge g_queue_simulation (n_admitted - n_analytic);
+  Obs.Trace.with_span "serve.batch" @@ fun () ->
+  let batch_t0 = Unix.gettimeofday () in
+  Obs.time t_batch @@ fun () ->
+  let outcomes =
+    Pool.map_staged_list ~jobs:cfg.jobs ~classify:(fun i -> i.it_class) (run_one cfg)
+      admitted
+  in
   List.iter
-    (fun (id, res) ->
-      let id = Some id in
+    (fun (item, res) ->
+      let id = Some item.it_id in
       let line =
         match res with
         | Ok (`Report report_json) -> Serve_protocol.ok_response ~id ~report_json
@@ -147,23 +252,24 @@ let process cfg ~emit admitted rejected =
           Serve_protocol.error_response ~id err
       in
       Obs.incr c_responses;
-      emit line)
+      item.it_emit line)
     outcomes;
   List.iter
-    (fun line ->
+    (fun (id, emit) ->
       let err = Engine_error.Overloaded { capacity = cfg.queue_capacity } in
       count_error err;
       Obs.incr c_responses;
-      let id = ensure_id (Serve_protocol.peek_id line) in
       Obs.Log.warn "serve.overloaded"
         [ ("id", `S id); ("capacity", `I cfg.queue_capacity) ];
       emit (Serve_protocol.error_response ~id:(Some id) err))
     rejected;
   Obs.set_gauge g_queue 0;
+  Obs.set_gauge g_queue_analytic 0;
+  Obs.set_gauge g_queue_simulation 0;
   Obs.Log.debug "serve.batch"
     [
-      ("admitted", `I (List.length admitted));
-      ("rejected", `I (List.length rejected));
+      ("admitted", `I n_admitted);
+      ("rejected", `I n_rejected);
       ("ms", `F (1e3 *. (Unix.gettimeofday () -. batch_t0)));
     ];
   (* Shapes this batch met for the first time (Plan_deferred mode) were
@@ -174,39 +280,33 @@ let process cfg ~emit admitted rejected =
   if compiled > 0 then Obs.incr ~by:compiled c_plan_compiles
 
 let serve ?(stop = fun () -> false) cfg ~next ~emit =
+  let session = new_session () in
   let rec loop () =
     if stop () then ()
     else
       match next ~block:true with
       | Eof -> ()
-      | Wait -> loop ()  (* interrupted: re-check [stop] and retry *)
+      | Wait -> loop () (* interrupted: re-check [stop] and retry *)
       | Line first ->
         (* Drain what is already waiting into this cycle's batch. Reads
-           per cycle are bounded (capacity admitted + capacity rejected);
-           anything beyond stays in the transport's buffer. *)
-        let admitted = ref [ first ] and rejected = ref [] in
-        let n_admitted = ref 1 and n_rejected = ref 0 in
+           per cycle are bounded (capacity admitted per class + capacity
+           rejected); anything beyond stays in the transport's buffer. *)
+        let admitted_at = Unix.gettimeofday () in
+        let adm = new_admission () in
+        admit cfg adm (decode_line cfg session ~admitted_at ~emit first);
         let saw_eof = ref false in
         let draining = ref true in
         while !draining do
-          if !n_rejected >= cfg.queue_capacity then draining := false
+          if adm.adm_rejected >= cfg.queue_capacity then draining := false
           else
             match next ~block:false with
             | Wait -> draining := false
             | Eof ->
               saw_eof := true;
               draining := false
-            | Line l ->
-              if !n_admitted < cfg.queue_capacity then begin
-                admitted := l :: !admitted;
-                incr n_admitted
-              end
-              else begin
-                rejected := l :: !rejected;
-                incr n_rejected
-              end
+            | Line l -> admit cfg adm (decode_line cfg session ~admitted_at ~emit l)
         done;
-        process cfg ~emit (List.rev !admitted) (List.rev !rejected);
+        process cfg (List.rev adm.adm_admitted_rev) (List.rev adm.adm_rejected_rev);
         if !saw_eof then () else loop ()
   in
   loop ()
@@ -282,29 +382,172 @@ let write_line fd s =
   done
 
 let run_pipe ?stop cfg =
-  try
-    serve ?stop cfg ~next:(reader_of_fd Unix.stdin) ~emit:(write_line Unix.stdout)
+  try serve ?stop cfg ~next:(reader_of_fd Unix.stdin) ~emit:(write_line Unix.stdout)
   with Unix.Unix_error (Unix.EPIPE, _, _) -> ()
 
-let run_socket ?(stop = fun () -> false) cfg ~path =
+(* ------------------------------------------------------------------ *)
+(* The multi-client daemon                                            *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_next : block:bool -> event;
+  c_session : session;
+  c_num : int;
+  mutable c_eof : bool;  (** client finished sending; close after replying *)
+  mutable c_dead : bool;  (** write failed; stop emitting, close *)
+}
+
+let conn_emit c line =
+  if not c.c_dead then
+    try write_line c.c_fd line with Unix.Unix_error _ -> c.c_dead <- true
+
+type listener = { l_fd : Unix.file_descr; l_transport : string }
+
+let unix_listener path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind srv (Unix.ADDR_UNIX path);
-  Unix.listen srv 16;
-  let rec accept_loop () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  { l_fd = fd; l_transport = "unix" }
+
+let tcp_listener port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  let actual =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  ({ l_fd = fd; l_transport = "tcp" }, actual)
+
+let daemon_loop ?(stop = fun () -> false) cfg ~listeners () =
+  let conns = ref [] in
+  let conn_seq = ref 0 in
+  let accept_on l =
+    match Unix.accept l.l_fd with
+    | fd, _ ->
+      incr conn_seq;
+      Obs.incr c_connections;
+      Obs.add_gauge g_open 1;
+      Obs.Log.info "serve.connection"
+        [ ("conn", `I !conn_seq); ("transport", `S l.l_transport) ];
+      conns :=
+        !conns
+        @ [
+            {
+              c_fd = fd;
+              c_next = reader_of_fd fd;
+              c_session = new_session ();
+              c_num = !conn_seq;
+              c_eof = false;
+              c_dead = false;
+            };
+          ]
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      -> ()
+  in
+  let close_conn c =
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+    Obs.add_gauge g_open (-1);
+    Obs.Log.info "serve.disconnect" [ ("conn", `I c.c_num) ]
+  in
+  let cleanup () =
+    let dead, live = List.partition (fun c -> c.c_eof || c.c_dead) !conns in
+    List.iter close_conn dead;
+    conns := live
+  in
+  (* Fair batching across connections: pull at most one line per live
+     connection per round, rounds starting at a rotating offset, until
+     nothing more is immediately readable (or the admission caps are
+     hit). A chatty connection cannot starve a quiet one — its surplus
+     lines wait in its own reader buffer for the next cycle. *)
+  let rotation = ref 0 in
+  let drain_multi () =
+    let admitted_at = Unix.gettimeofday () in
+    let adm = new_admission () in
+    let active = Array.of_list !conns in
+    let n = Array.length active in
+    if n > 0 then begin
+      let start = !rotation mod n in
+      incr rotation;
+      let progress = ref true in
+      while !progress && adm.adm_rejected < cfg.queue_capacity do
+        progress := false;
+        for k = 0 to n - 1 do
+          let c = active.((start + k) mod n) in
+          if (not c.c_eof) && (not c.c_dead) && adm.adm_rejected < cfg.queue_capacity
+          then
+            match c.c_next ~block:false with
+            | Wait -> ()
+            | Eof -> c.c_eof <- true
+            | Line l ->
+              progress := true;
+              admit cfg adm
+                (decode_line cfg c.c_session ~admitted_at ~emit:(conn_emit c) l)
+            | exception Unix.Unix_error _ -> c.c_eof <- true
+        done
+      done
+    end;
+    (List.rev adm.adm_admitted_rev, List.rev adm.adm_rejected_rev)
+  in
+  let rec loop () =
     if stop () then ()
     else
-      match Unix.accept srv with
-      | conn, _ ->
-        Obs.incr c_connections;
-        (try serve ~stop cfg ~next:(reader_of_fd conn) ~emit:(write_line conn)
-         with Unix.Unix_error (Unix.EPIPE, _, _) -> ());
-        (try Unix.close conn with Unix.Unix_error _ -> ());
-        accept_loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      (* Buffered lines first: bytes already pulled into a reader can no
+         longer trip select. *)
+      match drain_multi () with
+      | [], [] ->
+        cleanup ();
+        let fds =
+          List.map (fun l -> l.l_fd) listeners
+          @ List.map (fun c -> c.c_fd) !conns
+        in
+        (match Unix.select fds [] [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | ready, _, _ ->
+          List.iter (fun l -> if List.memq l.l_fd ready then accept_on l) listeners);
+        loop ()
+      | admitted, rejected ->
+        process cfg admitted rejected;
+        cleanup ();
+        loop ()
   in
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close srv with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    accept_loop
+      List.iter close_conn !conns;
+      conns := [])
+    loop
+
+let run_daemon ?stop cfg ?socket_path ?tcp_port () =
+  let listeners = ref [] and finalizers = ref [] in
+  let add l fin =
+    listeners := !listeners @ [ l ];
+    finalizers := fin :: !finalizers
+  in
+  (match socket_path with
+  | None -> ()
+  | Some path ->
+    let l = unix_listener path in
+    Obs.Log.info "serve.listen" [ ("transport", `S "unix"); ("path", `S path) ];
+    add l (fun () ->
+        (try Unix.close l.l_fd with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ -> ()));
+  (match tcp_port with
+  | None -> ()
+  | Some port ->
+    let l, actual = tcp_listener port in
+    (* The bound port is announced on stderr (port 0 means "pick one"),
+       so scripts can scrape it without racing the daemon. *)
+    Printf.eprintf "serve: listening on 127.0.0.1:%d\n%!" actual;
+    Obs.Log.info "serve.listen" [ ("transport", `S "tcp"); ("port", `I actual) ];
+    add l (fun () -> try Unix.close l.l_fd with Unix.Unix_error _ -> ()));
+  if !listeners = [] then
+    invalid_arg "Serve.run_daemon: need a socket_path or a tcp_port";
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun f -> f ()) !finalizers)
+    (fun () -> daemon_loop ?stop cfg ~listeners:!listeners ())
+
+let run_socket ?stop cfg ~path = run_daemon ?stop cfg ~socket_path:path ()

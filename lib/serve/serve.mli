@@ -8,11 +8,17 @@
     batch into one {!Pool}-parallel sweep.
 
     Production semantics:
-    - {b Bounded admission}: per batch cycle at most [queue_capacity]
-      requests are admitted; further lines already waiting are answered
-      with a structured [overloaded] error instead of buffered without
-      bound (anything not yet read stays in the OS pipe buffer — that is
-      the transport's own backpressure).
+    - {b Classed admission}: requests are decoded and classified at
+      admission — [Analytic] (no simulations: plan/LP/closed-form, the
+      sub-millisecond class; compile requests too) or [Simulation]
+      (carries simulated executions) — and each class has its own
+      [queue_capacity] seats per batch cycle, so a flood of simulation
+      work cannot crowd analytic requests out of admission (or vice
+      versa). Lines beyond a class's seats are answered with a
+      structured [overloaded] error instead of buffered without bound
+      (anything not yet read stays in the OS pipe buffer — that is the
+      transport's own backpressure). Inside a batch the {!Pool}
+      scheduler serves all analytic work ahead of simulation tails.
     - {b Deadlines}: a request's [deadline_ms] budget starts at
       admission (queue wait counts). Expiry returns a [deadline_exceeded]
       response, checked at pipeline stage boundaries
@@ -35,26 +41,36 @@
 
     - {b Correlation}: every response carries a non-null ["id"] —
       the client's own when it sent one (echoed byte-for-byte), a
-      minted ["srv-N"] otherwise, numbered in admission order. The id
-      is also the ambient {!Obs.Log} correlation id while the request
-      runs, so [serve.request] / [pipeline.request] log lines join to
-      response lines exactly.
+      minted ["srv-N"] otherwise. Mint counters are scoped to the
+      session (one pipe, or one accepted connection) in arrival order,
+      so each client sees its own [srv-1], [srv-2], ... sequence and a
+      connection's transcript is byte-identical to serving it alone.
+      The id is also the ambient {!Obs.Log} correlation id while the
+      request runs — re-established around each pool stage, since
+      staged requests may finish on a different worker domain — so
+      [serve.request] / [pipeline.request] log lines join to response
+      lines exactly.
 
     Observability ([serve.*], via {!Obs}): counters [serve.requests],
     [serve.responses], [serve.batches], [serve.errors],
     [serve.parse_errors], [serve.deadline_exceeded],
-    [serve.rejected_overloaded], [serve.connections],
+    [serve.rejected_overloaded], [serve.connections] (total accepted),
     [serve.plan_compiles], high-watermarks
     [serve.batch_size_max] / [serve.queue_depth_max] / [serve.pool_jobs],
     gauges [serve.queue_depth] (depth of the batch cycle being worked,
-    0 between batches) and [serve.inflight] (requests executing on pool
-    domains right now), and timers (with latency histograms)
-    [serve.batch] / [serve.request]. Each batch is a [serve.batch]
-    trace span with one [serve.request] child per request. Structured
-    log events (when a {!Obs.Log} sink is set): [serve.request] (info,
-    per request: id/op/status/ms), [serve.slow_request] (warn, see
+    0 between batches) with its per-class split
+    [serve.queue_depth.analytic] / [serve.queue_depth.simulation],
+    [serve.inflight] (requests executing on pool domains right now) and
+    [serve.open_connections] (clients currently connected), and timers
+    (with latency histograms) [serve.batch] / [serve.request] plus the
+    per-class latency histograms [serve.request.analytic] /
+    [serve.request.simulation]. Each batch is a [serve.batch] trace
+    span with one [serve.request] child per request. Structured log
+    events (when a {!Obs.Log} sink is set): [serve.request] (info, per
+    request: id/op/status/ms), [serve.slow_request] (warn, see
     [slow_s]), [serve.overloaded] (warn, per rejection), [serve.batch]
-    (debug, per cycle). *)
+    (debug, per cycle), [serve.listen] / [serve.connection] /
+    [serve.disconnect] (info, connection lifecycle). *)
 
 type event =
   | Line of string  (** one complete request line, newline stripped *)
@@ -98,10 +114,38 @@ val run_pipe : ?stop:(unit -> bool) -> config -> unit
 (** Serve stdin -> stdout until EOF. Responses are written and flushed
     line-by-line. A broken stdout ([EPIPE]) drains and returns. *)
 
+val run_daemon :
+  ?stop:(unit -> bool) ->
+  config ->
+  ?socket_path:string ->
+  ?tcp_port:int ->
+  unit ->
+  unit
+(** The multi-client daemon: listen on a Unix-domain stream socket at
+    [socket_path] (an existing file there is replaced; removed on
+    return) and/or on TCP [tcp_port] bound to 127.0.0.1 (0 lets the
+    kernel pick; the bound port is announced on stderr as
+    ["serve: listening on 127.0.0.1:PORT"]). At least one listener is
+    required ([Invalid_argument] otherwise).
+
+    Connections are served {e concurrently} from one loop: each batch
+    cycle drains at most one line per connection per round (rotating
+    round-robin start, so no connection is structurally first) until
+    nothing more is immediately readable, runs the admitted batch on
+    the pool, then writes each response back to the connection its
+    request came from, in that connection's arrival order. Every
+    connection gets its own mint session ([srv-1], [srv-2], ... each),
+    its own correlation-id scope, and per-response bytes identical to
+    what a one-shot pipe session would produce for the same lines.
+    EOF from a client closes its connection after its admitted
+    requests are answered; a client that vanishes mid-write is dropped
+    without disturbing the others ([stop] and SIGPIPE caveats as in
+    {!run_socket}). *)
+
 val run_socket : ?stop:(unit -> bool) -> config -> path:string -> unit
-(** Listen on a Unix-domain stream socket at [path] (an existing file
-    there is replaced), serving connections sequentially: each
-    connection is an NDJSON session with the same semantics as
-    {!run_pipe}. The socket file is removed on return. Callers should
-    ignore [SIGPIPE] so a vanishing client surfaces as [EPIPE] (handled
-    per-connection) rather than killing the daemon. *)
+(** [run_daemon] with only the Unix-domain listener at [path]: each
+    connection is an NDJSON session with the same per-line semantics as
+    {!run_pipe}, and concurrent connections are served fairly from the
+    shared batch loop. The socket file is removed on return. Callers
+    should ignore [SIGPIPE] so a vanishing client surfaces as [EPIPE]
+    (handled per-connection) rather than killing the daemon. *)

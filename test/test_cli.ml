@@ -348,6 +348,208 @@ let test_profile_telemetry () =
     (Astring.String.is_infix ~affix:"# TYPE tilings_" text);
   Alcotest.(check bool) "EOF terminator" true (Astring.String.is_suffix ~affix:"# EOF" text)
 
+(* ---- multi-client daemon helpers --------------------------------- *)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Start `tilings serve <args>` in the background with stderr captured
+   to a file, run [f ~err], then SIGTERM and reap. The daemon drains and
+   exits 0 on SIGTERM; any other exit is a test failure. *)
+let with_daemon args f =
+  let err = Filename.temp_file "cli_daemon" ".err" in
+  let err_fd = Unix.openfile err [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process cli
+      (Array.of_list (cli :: "serve" :: args))
+      devnull Unix.stdout err_fd
+  in
+  Unix.close err_fd;
+  Unix.close devnull;
+  let result =
+    try Ok (f ~err) with e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  let stderr_text () = String.concat "\n" (read_lines err) in
+  let exit_check () =
+    match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "daemon exited %d\n%s" c (stderr_text ())
+    | _ -> Alcotest.failf "daemon killed abnormally\n%s" (stderr_text ())
+  in
+  Fun.protect ~finally:(fun () -> Sys.remove err) @@ fun () ->
+  match result with
+  | Ok v ->
+    exit_check ();
+    v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let wait_for ?(timeout = 10.0) pred what =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    match pred () with
+    | Some v -> v
+    | None ->
+      if Unix.gettimeofday () -. t0 > timeout then
+        Alcotest.failf "timed out waiting for %s" what;
+      Unix.sleepf 0.02;
+      go ()
+  in
+  go ()
+
+let send_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  if Unix.write fd b 0 (Bytes.length b) <> Bytes.length b then
+    Alcotest.fail "short write to daemon"
+
+(* Half-close the sending side, read the connection to EOF, split into
+   lines. The daemon closes the connection after answering everything it
+   read, so EOF here means the transcript is complete. *)
+let finish_conn fd =
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+  in
+  go ();
+  Unix.close fd;
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+
+let test_serve_multi_client () =
+  (* two clients interleaved on one Unix-socket daemon: each connection
+     sees its own responses in its own arrival order, minted ids restart
+     at srv-1 per connection, and every transcript is byte-identical to
+     the one-shot pipe transport fed the same lines *)
+  let dir = temp_dir "cli_sock" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "d.sock" in
+  with_daemon [ "--socket"; sock ] @@ fun ~err:_ ->
+  wait_for (fun () -> if Sys.file_exists sock then Some () else None) "socket file";
+  let a_lines =
+    [
+      {|{"id":"a0","kernel":"matmul","m":512}|};
+      {|{"kernel":"matvec","m":64}|};
+      {|{"id":"a2","kernel":"nbody","m":256}|};
+    ]
+  and b_lines =
+    [ {|{"kernel":"mm","m":64}|}; {|{"id":"b1","kernel":"conv","m":128}|} ]
+  in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    fd
+  in
+  let a = connect () and b = connect () in
+  (* interleave the writes across the two connections *)
+  send_line a (List.nth a_lines 0);
+  send_line b (List.nth b_lines 0);
+  send_line a (List.nth a_lines 1);
+  send_line b (List.nth b_lines 1);
+  send_line a (List.nth a_lines 2);
+  let a_out = finish_conn a in
+  let b_out = finish_conn b in
+  Alcotest.(check (list string)) "conn A byte-identical to one-shot"
+    (run_serve "" a_lines) a_out;
+  Alcotest.(check (list string)) "conn B byte-identical to one-shot"
+    (run_serve "" b_lines) b_out
+
+let test_serve_tcp () =
+  (* --tcp 0 binds an ephemeral loopback port and announces it on
+     stderr; a TCP client gets the same bytes as the pipe transport *)
+  with_daemon [ "--tcp"; "0" ] @@ fun ~err ->
+  let port =
+    wait_for
+      (fun () ->
+        List.find_map
+          (fun l ->
+            match Astring.String.cut ~sep:"listening on 127.0.0.1:" l with
+            | Some (_, p) -> int_of_string_opt (String.trim p)
+            | None -> None)
+          (read_lines err))
+      "tcp port announcement"
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = {|{"id":"t0","kernel":"matvec","m":64}|} in
+  send_line fd req;
+  Alcotest.(check (list string)) "tcp response = one-shot" (run_serve "" [ req ])
+    (finish_conn fd)
+
+let test_serve_cache_dir () =
+  (* cold boot fills the caches and snapshots them on drain; a warm boot
+     from the same dir answers byte-identically and replays with zero LP
+     misses; a corrupt snapshot degrades to a cold boot, not a crash *)
+  let dir = temp_dir "cli_cache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let reqs =
+    [
+      {|{"id":"c0","kernel":"matmul","m":1024}|};
+      {|{"id":"c1","kernel":"nbody","m":256}|};
+      {|{"id":"c2","kernel":"matvec","m":64}|};
+    ]
+  in
+  let args = Printf.sprintf "--cache-dir %s" dir in
+  let cold = run_serve args reqs in
+  Alcotest.(check int) "three responses" 3 (List.length cold);
+  Alcotest.(check bool) "snapshot file written" true
+    (Sys.file_exists (Filename.concat dir "tilings_caches.json"));
+  let warm = run_serve args reqs in
+  Alcotest.(check (list string)) "warm-boot transcript byte-identical" cold warm;
+  (* stderr view of another warm boot: the restore is announced and the
+     replay takes zero LP misses *)
+  let cmd = Printf.sprintf "%s serve %s --metrics 2>&1 >/dev/null" cli args in
+  let ic, oc = Unix.open_process cmd in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    reqs;
+  close_out oc;
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process (ic, oc));
+  let stderr_lines = List.rev !lines in
+  Alcotest.(check bool) "restore announced" true
+    (List.exists
+       (fun l -> Astring.String.is_infix ~affix:"entries restored" l)
+       stderr_lines);
+  (match
+     List.find_opt
+       (fun l -> Astring.String.is_infix ~affix:"memo.lp.misses" l)
+       stderr_lines
+   with
+  | None -> Alcotest.fail "memo.lp.misses missing from --metrics output"
+  | Some l -> (
+    match List.rev (List.filter (fun t -> t <> "") (String.split_on_char ' ' l)) with
+    | v :: _ -> Alcotest.(check string) "zero LP misses on warm replay" "0" v
+    | [] -> Alcotest.fail "unparseable memo.lp.misses line"));
+  let oc2 = open_out (Filename.concat dir "tilings_caches.json") in
+  output_string oc2 "garbage, not a snapshot\n";
+  close_out oc2;
+  Alcotest.(check (list string)) "corrupt snapshot -> cold boot, same answers" cold
+    (run_serve args reqs)
+
 let test_error_paths () =
   check_fails "no kernel" "analyze" "kernel is required";
   check_fails "both sources" "analyze -p matmul -k 'i = 2 : A[i] = B[i]'" "not both";
@@ -390,5 +592,8 @@ let () =
           Alcotest.test_case "metrics" `Quick test_serve_metrics;
           Alcotest.test_case "telemetry, log and top" `Quick test_serve_telemetry_and_top;
           Alcotest.test_case "profile telemetry" `Quick test_profile_telemetry;
+          Alcotest.test_case "multi-client unix socket" `Quick test_serve_multi_client;
+          Alcotest.test_case "tcp transport" `Quick test_serve_tcp;
+          Alcotest.test_case "cache-dir warm boot" `Quick test_serve_cache_dir;
         ] );
     ]

@@ -158,6 +158,218 @@ let test_pool_validate_jobs () =
   check "float rejected" "2.5" None
 
 (* ------------------------------------------------------------------ *)
+(* Staged scheduling and worker instrumentation                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_staged_values_and_order () =
+  (* A mixed workload: every third task carries a second stage (the
+     simulation-tail shape). Values and order must match the plain map
+     whatever the scheduler does, on the split scheduler, the coarse
+     ablation arm, and the sequential path. *)
+  let xs = List.init 50 Fun.id in
+  let classify i = if i mod 3 = 0 then Pool.Simulation else Pool.Analytic in
+  let f i =
+    if i mod 3 = 0 then Pool.More (fun () -> (i * 10) + 1) else Pool.Done (i * 10)
+  in
+  let expect = List.map (fun i -> if i mod 3 = 0 then (i * 10) + 1 else i * 10) xs in
+  Alcotest.(check (list int)) "split scheduler" expect
+    (Pool.map_staged_list ~jobs:4 ~classify f xs);
+  Alcotest.(check (list int)) "coarse ablation arm" expect
+    (Pool.map_staged_list ~jobs:4 ~coarse:true ~classify f xs);
+  Alcotest.(check (list int)) "sequential path" expect
+    (Pool.map_staged_list ~jobs:1 ~classify f xs)
+
+let test_pool_staged_continuation_exception () =
+  Alcotest.check_raises "exception from the second stage resurfaces"
+    (Failure "boom2") (fun () ->
+      ignore
+        (Pool.map_staged_list ~jobs:3
+           ~classify:(fun _ -> Pool.Analytic)
+           (fun i ->
+             if i = 7 then Pool.More (fun () -> failwith "boom2") else Pool.Done i)
+           (List.init 32 Fun.id)))
+
+let test_pool_worker_instrumentation () =
+  (* Regression: these were dead before the work-stealing rewrite — the
+     spawn/busy/idle accounting only ran on a code path that a 1-core
+     host never took. Forcing jobs:3 must light all of it up. *)
+  let s0 = Obs.snapshot () in
+  let out = Pool.map ~jobs:3 (fun x -> x * x) (Array.init 40 Fun.id) in
+  let d = Obs.diff s0 (Obs.snapshot ()) in
+  let counter n = Option.value ~default:0 (List.assoc_opt n d.Obs.scounters) in
+  let timer_calls n =
+    match List.assoc_opt n d.Obs.stimers with Some t -> t.Obs.tcalls | None -> 0
+  in
+  Alcotest.(check (array int)) "results correct" (Array.init 40 (fun i -> i * i)) out;
+  Alcotest.(check int) "jobs - 1 domains spawned" 2 (counter "pool.domains_spawned");
+  Alcotest.(check bool) "worker busy time measured" true
+    (timer_calls "pool.worker_busy" > 0);
+  Alcotest.(check bool) "worker idle time measured" true
+    (timer_calls "pool.worker_idle" > 0);
+  Alcotest.(check int) "queue wait recorded per task" 40 (timer_calls "pool.queue_wait");
+  Alcotest.(check int) "analytic-class wait recorded per task" 40
+    (timer_calls "pool.queue_wait.analytic")
+
+(* Satellite regression: warm-start bases used to be keyed under the
+   (spec, beta) memo key from inside that very key's miss closure, so a
+   lookup could never fire on a key that existed — 0 hits against
+   hundreds of insertions. Shape-keying makes repeat shapes (same kernel,
+   different M, hence different beta) reuse each other's optimal bases:
+   both the memo-level hit counter and the solver's certified-warm-start
+   counter must move. Plans are forced off so every point takes the LP
+   path. *)
+let test_warm_basis_hits_on_repeat_shapes () =
+  let mode0 = Engine.plan_mode () in
+  Engine.set_plan_mode Engine.Plan_off;
+  Engine.reset_caches ();
+  let spec = Kernels.matmul ~l1:48 ~l2:48 ~l3:48 in
+  let s0 = Obs.snapshot () in
+  List.iter (fun m -> ignore (Engine.analyze spec ~m)) [ 16; 64; 256; 1024; 4096 ];
+  let d = Obs.diff s0 (Obs.snapshot ()) in
+  Engine.set_plan_mode mode0;
+  Engine.reset_caches ();
+  let counter n = Option.value ~default:0 (List.assoc_opt n d.Obs.scounters) in
+  Alcotest.(check bool) "memo.basis.hits advanced" true (counter "memo.basis.hits" > 0);
+  Alcotest.(check bool) "tiling.search.warm_basis_hits advanced" true
+    (counter "tiling.search.warm_basis_hits" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded memo under concurrent domains                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_sharded_domain_stress () =
+  (* N domains hammer one sharded table with overlapping keys: no update
+     may be lost (every find_or_add returns the key's own value), the
+     final table holds exactly the distinct keys, and the hit/miss
+     accounting stays exact under races. *)
+  let memo : int Memo.t = Memo.create ~shards:8 () in
+  let keys = 64 and per_domain = 2000 and domains = 4 in
+  let value_of k = (k * 7919) + 13 in
+  let bad = Atomic.make 0 in
+  let worker seed () =
+    let st = Random.State.make [| seed; 0x5eed |] in
+    for _ = 1 to per_domain do
+      let k = Random.State.int st keys in
+      let v = Memo.find_or_add memo (Printf.sprintf "key-%03d" k) (fun () -> value_of k) in
+      if v <> value_of k then Atomic.incr bad
+    done
+  in
+  let spawned = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "no lost or cross-wired updates" 0 (Atomic.get bad);
+  (* a final sequential sweep fills in any key the random walks missed *)
+  for k = 0 to keys - 1 do
+    ignore (Memo.find_or_add memo (Printf.sprintf "key-%03d" k) (fun () -> value_of k))
+  done;
+  Alcotest.(check int) "distinct keys" keys (Memo.length memo);
+  Alcotest.(check int) "accounting exact" ((domains * per_domain) + keys)
+    (Memo.hits memo + Memo.misses memo);
+  let alist = Memo.to_alist memo in
+  Alcotest.(check int) "to_alist covers the table" keys (List.length alist);
+  Alcotest.(check bool) "to_alist sorted by key" true
+    (List.sort compare alist = alist);
+  List.iter
+    (fun (key, v) ->
+      Alcotest.(check int) (key ^ " holds its own value")
+        (value_of (int_of_string (String.sub key 4 3))) v)
+    alist
+
+let prop_memo_sharding_invisible =
+  (* Whatever the shard count (1 rounds up from anything), the table
+     behaves like one hashtable: add is first-writer-wins, replace is
+     last-writer-wins, find_opt sees exactly the surviving writes. *)
+  QCheck.Test.make ~name:"sharding is semantically invisible" ~count:100
+    QCheck.(
+      pair (int_range 1 32)
+        (small_list (pair (int_range 0 15) (pair bool small_int))))
+    (fun (shards, ops) ->
+      let memo : int Memo.t = Memo.create ~shards () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, (use_replace, v)) ->
+          let key = Printf.sprintf "k%02d" k in
+          if use_replace then begin
+            Memo.replace memo key v;
+            Hashtbl.replace model key v
+          end
+          else begin
+            Memo.add memo key v;
+            if not (Hashtbl.mem model key) then Hashtbl.add model key v
+          end)
+        ops;
+      Hashtbl.fold
+        (fun key v acc -> acc && Memo.find_opt memo key = Some v)
+        model
+        (Memo.length memo = Hashtbl.length model))
+
+(* ------------------------------------------------------------------ *)
+(* Cache persistence                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fill_caches () =
+  List.iter
+    (fun (spec, m) -> ignore (Engine.analyze ~shared:true spec ~m))
+    [
+      (Kernels.matmul ~l1:24 ~l2:24 ~l3:24, 64);
+      (Kernels.matmul ~l1:24 ~l2:24 ~l3:24, 256);
+      (Kernels.matvec ~m:64 ~n:64, 64);
+      (Kernels.nbody ~l1:48 ~l2:48, 128);
+    ];
+  ignore (Engine.hierarchy (Kernels.matmul ~l1:16 ~l2:16 ~l3:16) ~capacities:[| 32; 256 |])
+
+let test_cache_snapshot_roundtrip () =
+  let mode0 = Engine.plan_mode () in
+  Engine.set_plan_mode Engine.Plan_inline;
+  Engine.reset_caches ();
+  fill_caches ();
+  let snap1 = Engine.cache_snapshot () in
+  Engine.reset_caches ();
+  (match Engine.cache_restore snap1 with
+  | Error msg -> Alcotest.failf "restore failed: %s" msg
+  | Ok (loaded, rejected) ->
+    Alcotest.(check bool) "entries restored" true (loaded > 0);
+    Alcotest.(check int) "nothing rejected" 0 rejected);
+  (* snapshot -> restore -> snapshot is byte-identical: entries are
+     written in sorted key order with exact rationals, so the cycle is
+     lossless and the on-disk file is deterministic. *)
+  Alcotest.(check string) "snapshot byte-stable across restore" snap1
+    (Engine.cache_snapshot ());
+  (* a restored cache actually serves: the same sweep again must not
+     touch the LP solver *)
+  let s0 = Obs.snapshot () in
+  fill_caches ();
+  let d = Obs.diff s0 (Obs.snapshot ()) in
+  let counter n = Option.value ~default:0 (List.assoc_opt n d.Obs.scounters) in
+  Alcotest.(check int) "no LP misses after restore" 0 (counter "memo.lp.misses");
+  Engine.set_plan_mode mode0;
+  Engine.reset_caches ()
+
+let test_cache_restore_tolerates_corruption () =
+  Engine.reset_caches ();
+  (match Engine.cache_restore "not json at all {" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  (match Engine.cache_restore "{\"v\":99,\"lp\":[]}" with
+  | Ok _ -> Alcotest.fail "future version accepted"
+  | Error _ -> ());
+  (* Per-entry damage must not poison the rest: the bad lp value and the
+     keyless shared entry are rejected individually, the good basis
+     entry loads. *)
+  let mixed =
+    "{\"v\":1,"
+    ^ "\"lp\":[{\"k\":\"K1\",\"lambda\":[\"1/2\"],\"value\":\"bogus\",\"dual\":[\"0\"]}],"
+    ^ "\"basis\":[{\"k\":\"B1;k=0\",\"b\":[1,2,3]}],"
+    ^ "\"shared\":[{\"t\":[4,4]}],\"nested\":[],\"plans\":[]}"
+  in
+  (match Engine.cache_restore mixed with
+  | Error msg -> Alcotest.failf "mixed snapshot refused outright: %s" msg
+  | Ok (loaded, rejected) ->
+    Alcotest.(check int) "good entry loaded" 1 loaded;
+    Alcotest.(check int) "damaged entries rejected" 2 rejected);
+  Engine.reset_caches ()
+
+(* ------------------------------------------------------------------ *)
 (* Reports                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -247,6 +459,25 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exceptions;
           Alcotest.test_case "validate_jobs" `Quick test_pool_validate_jobs;
           Alcotest.test_case "PROJTILE_JOBS" `Quick test_pool_jobs_env_override;
+          Alcotest.test_case "staged values and order" `Quick
+            test_pool_staged_values_and_order;
+          Alcotest.test_case "staged continuation exception" `Quick
+            test_pool_staged_continuation_exception;
+          Alcotest.test_case "worker instrumentation" `Quick
+            test_pool_worker_instrumentation;
+          Alcotest.test_case "warm basis hits on repeat shapes" `Quick
+            test_warm_basis_hits_on_repeat_shapes;
+        ] );
+      ( "memo-sharded",
+        [
+          Alcotest.test_case "domain stress" `Quick test_memo_sharded_domain_stress;
+          QCheck_alcotest.to_alcotest prop_memo_sharding_invisible;
+        ] );
+      ( "cache-persistence",
+        [
+          Alcotest.test_case "snapshot round-trip" `Quick test_cache_snapshot_roundtrip;
+          Alcotest.test_case "corruption tolerated" `Quick
+            test_cache_restore_tolerates_corruption;
         ] );
       ( "report",
         [

@@ -410,6 +410,61 @@ let test_serve_gauges () =
     Alcotest.(check int) "nothing inflight after the batch" 0 st.Obs.gvalue;
     Alcotest.(check bool) "window max saw execution" true (st.Obs.gmax >= 1)
 
+let test_loop_class_admission () =
+  (* Per-class seats: with queue_capacity 1, one analytic and one
+     simulation-class request are both admitted in the same cycle — the
+     simulation line does not consume the analytic class's seat (the
+     class-blind queue would have rejected it). The second analytic line
+     overflows its own class and is rejected; the line after the
+     rejection cap is left for the next cycle and served fine. *)
+  let sim = {|,"schedules":["optimal"]|} in
+  let cfg = { (Serve.default_config ()) with jobs = 1; queue_capacity = 1 } in
+  let out =
+    run_loop ~cfg
+      [
+        Serve.Line (req 0); Line (req ~extra:sim 1); Line (req 2);
+        Line (req ~extra:sim 3); Eof;
+      ]
+  in
+  Alcotest.(check (list (option string))) "arrival order"
+    [ Some "r0"; Some "r1"; Some "r2"; Some "r3" ]
+    (List.map resp_id out);
+  Alcotest.(check (list (option string)))
+    "both classes admitted; only the class overflow rejected"
+    [ None; None; Some "overloaded"; None ]
+    (List.map resp_error_code out)
+
+let test_serve_class_telemetry () =
+  (* One request per class: each lands in its own latency histogram and
+     its own queue-depth gauge watermark. *)
+  Obs.reset ();
+  let out =
+    run_loop
+      [ Serve.Line (req 0); Line (req ~extra:{|,"schedules":["optimal"]|} 1); Eof ]
+  in
+  Alcotest.(check int) "both answered" 2 (List.length out);
+  let s = Obs.snapshot () in
+  let calls n =
+    match List.assoc_opt n s.Obs.stimers with Some t -> t.Obs.tcalls | None -> 0
+  in
+  Alcotest.(check int) "one analytic-class request timed" 1
+    (calls "serve.request.analytic");
+  Alcotest.(check int) "one simulation-class request timed" 1
+    (calls "serve.request.simulation");
+  Alcotest.(check int) "the class histograms partition serve.request" 2
+    (calls "serve.request");
+  let gauge n =
+    match List.assoc_opt n s.Obs.sgauges with
+    | Some st -> st
+    | None -> Alcotest.failf "gauge %s missing" n
+  in
+  List.iter
+    (fun n ->
+      let st = gauge n in
+      Alcotest.(check int) (n ^ " idle after the batch") 0 st.Obs.gvalue;
+      Alcotest.(check int) (n ^ " watermark saw its class") 1 st.Obs.gmax)
+    [ "serve.queue_depth.analytic"; "serve.queue_depth.simulation" ]
+
 let read_lines file =
   let ic = open_in file in
   let out = ref [] in
@@ -498,6 +553,8 @@ let () =
           Alcotest.test_case "serve counters" `Quick test_serve_counters;
           Alcotest.test_case "minted ids" `Quick test_minted_ids;
           Alcotest.test_case "queue and inflight gauges" `Quick test_serve_gauges;
+          Alcotest.test_case "per-class admission" `Quick test_loop_class_admission;
+          Alcotest.test_case "per-class telemetry" `Quick test_serve_class_telemetry;
           Alcotest.test_case "request and slow-request log" `Quick
             test_request_log_and_slow_log;
         ] );
