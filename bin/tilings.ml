@@ -11,7 +11,7 @@
      tilings simulate --preset matmul -m 512 --schedule optimal --policy lru
      tilings sweep --preset matmul -m 256,1024,4096 --schedules optimal,classic
      tilings profile mm --mem 4096 --iters 50
-     tilings partition --preset matmul -m 4096 --procs 8
+     tilings partition -k mm -p 64 -M 4096
      tilings presets
 
    Observability: every subcommand takes --metrics (print the counter /
@@ -882,34 +882,108 @@ let serve_cmd =
        $ deadline_arg $ plans_arg $ slow_ms_arg $ log_arg $ log_level_arg
        $ telemetry_arg $ telemetry_interval_arg $ metrics_arg $ trace_arg))
 
+(* The distributed-memory scenario class as a one-shot command. The
+   printed "partition" object is Partition_solve.to_json verbatim — the
+   same bytes a serve op:"partition" response embeds, which is what the
+   CLI/serve byte-identity test compares. Typed failures exit with their
+   stable codes: unfactorable_p 12, network_model_invalid 13,
+   cache_too_small 4, shape_too_large 11. *)
 let partition_cmd =
-  let run kernel preset procs metrics trace =
+  let run kernel procs m_local net validate jobs metrics trace =
     with_obs metrics trace
     @@ fun () ->
-    with_spec kernel preset (fun spec ->
-      if procs < 1 then fail "need at least one processor"
-      else begin
-        Format.printf "%a@." Spec.pp spec;
-        (match Comm_model.best_grid spec ~p:procs with
-        | None -> Format.printf "P = %d does not factor within the loop bounds@." procs
-        | Some g ->
-          Format.printf "best rectangular grid for P = %d: %s@." procs
-            (String.concat " x " (Array.to_list (Array.map string_of_int g.Comm_model.grid)));
-          Format.printf "per-processor block: %s   communication: %s words@."
-            (String.concat " x " (Array.to_list (Array.map string_of_int g.Comm_model.block)))
-            (Bigint.to_string g.Comm_model.words);
-          Format.printf "per-processor lower bound: %.0f words@."
-            (Comm_model.lower_bound spec ~p:procs));
-        `Ok ()
-      end)
+    match resolve_named kernel with
+    | Error msg -> fail "%s" msg
+    | Ok spec -> (
+      let net =
+        match net with
+        | None | Some "words" -> Ok Partition_solve.Words
+        | Some s -> (
+          match String.split_on_char ',' s with
+          | [ a; b ] -> (
+            match (Rat.of_string_opt a, Rat.of_string_opt b) with
+            | Some alpha, Some beta -> Ok (Partition_solve.Alpha_beta { alpha; beta })
+            | _ ->
+              Error
+                (Engine_error.Network_model_invalid
+                   (Printf.sprintf "cannot parse %S as ALPHA,BETA rationals" s)))
+          | _ ->
+            Error
+              (Engine_error.Network_model_invalid
+                 (Printf.sprintf "unknown network model %S (words, or ALPHA,BETA)" s)))
+      in
+      match net with
+      | Error e -> fail_error e
+      | Ok net -> (
+        match Engine.partition_checked spec ~p:procs ~m_local ~net with
+        | Error e -> fail_error e
+        | Ok sol ->
+          let validation =
+            if not validate then ""
+            else
+              match Engine.partition_validate ?jobs spec sol with
+              | Error e -> fail_error e
+              | Ok v ->
+                Printf.sprintf
+                  ",\"validation\":{\"matches\":%b,\"simulated_words\":\"%s\",\"groups\":%d}"
+                  v.Pipeline.pv_matches
+                  (Bigint.to_string v.Pipeline.pv_max_words)
+                  (List.length v.Pipeline.pv_groups)
+          in
+          Printf.printf "{\"v\":2,\"partition\":%s%s}\n"
+            (Partition_solve.to_json sol) validation;
+          `Ok ()))
+  in
+  let kernel_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "k"; "kernel" ] ~docv:"KERNEL"
+          ~doc:"Kernel: preset name, alias, unique prefix, or one-line DSL.")
   in
   let procs_arg =
-    Arg.(value & opt int 8 & info [ "procs" ] ~docv:"P" ~doc:"Number of processors.")
+    Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"P" ~doc:"Number of processors.")
+  in
+  let mlocal_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "M"; "memory" ] ~docv:"WORDS"
+          ~doc:"Per-processor fast-memory size in words.")
+  in
+  let net_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "net" ] ~docv:"MODEL"
+          ~doc:
+            "Network cost model: $(b,words) (default, minimize per-processor \
+             words) or $(b,ALPHA,BETA) rationals (minimize alpha*messages + \
+             beta*words, e.g. $(b,--net 100,1) or $(b,--net 1/2,3)).")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Also execute the P-processor schedule on the worker pool (one \
+             domain per distinct block shape) and append a \"validation\" \
+             object asserting the simulated per-processor words equal the \
+             model exactly.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains for --validate.")
   in
   Cmd.v
     (Cmd.info "partition"
-       ~doc:"Distributed-memory rectangular partition and its lower bound (Section 7)")
-    Term.(ret (const run $ kernel_arg $ preset_arg $ procs_arg $ metrics_arg $ trace_arg))
+       ~doc:
+         "Optimal processor grid, per-processor block and local tile for a \
+          distributed-memory machine (Section 7)")
+    Term.(
+      ret
+        (const run $ kernel_arg $ procs_arg $ mlocal_arg $ net_arg $ validate_arg
+       $ jobs_arg $ metrics_arg $ trace_arg))
 
 let codegen_cmd =
   let run kernel preset m lang untiled metrics trace =

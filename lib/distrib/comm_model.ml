@@ -26,8 +26,7 @@ let best_grid spec ~p =
       | _ -> Some c)
     None candidates
 
-let simulated_cost spec ~grid =
-  let block = Partition.block_dims spec ~grid in
+let simulated_block spec ~block =
   let sub = Spec.with_bounds spec block in
   let layout = Layout.make sub in
   let seen = Hashtbl.create 1024 in
@@ -37,6 +36,46 @@ let simulated_cost spec ~grid =
       if not (Hashtbl.mem seen addr) then Hashtbl.add seen addr ()
     done);
   Hashtbl.length seen
+
+let simulated_cost spec ~grid =
+  simulated_block spec ~block:(Partition.block_dims spec ~grid)
+
+let block_groups spec ~grid =
+  (* Processor [k_1, ..., k_d] owns the slice [k_i*b_i, min((k_i+1)*b_i,
+     L_i)) of each dimension, so along dimension i there are at most
+     three distinct slice widths: the full b_i (floor(L_i/b_i) of them),
+     one remainder L_i mod b_i, and empty slices for the processors the
+     ceiling over-provisioned. Grouping processors by block shape turns a
+     P-processor simulation into at most 3^d distinct sub-nests — one
+     per group, each standing in for [count] identical processors. Empty
+     blocks (zero in any dimension) move no words and are dropped. *)
+  let d = Spec.num_loops spec in
+  let block = Partition.block_dims spec ~grid in
+  let parts =
+    Array.init d (fun i ->
+      let l = spec.Spec.bounds.(i) and p = grid.(i) and b = block.(i) in
+      let full = l / b in
+      let rem = l - (full * b) in
+      let sizes = if rem > 0 then [ (b, full); (rem, 1) ] else [ (b, full) ] in
+      let empty = p - full - if rem > 0 then 1 else 0 in
+      if empty > 0 then sizes @ [ (0, empty) ] else sizes)
+  in
+  let acc = ref [] in
+  let shape = Array.make d 0 in
+  let rec go i count =
+    if i = d then begin
+      if Array.for_all (fun s -> s > 0) shape then
+        acc := (Array.copy shape, count) :: !acc
+    end
+    else
+      List.iter
+        (fun (size, n) ->
+          shape.(i) <- size;
+          go (i + 1) (count * n))
+        parts.(i)
+  in
+  go 0 1;
+  List.rev !acc
 
 type processor_run = {
   grid : int array;

@@ -27,11 +27,25 @@ val best_grid : Spec.t -> p:int -> grid_cost option
 (** Minimum-cost rectangular grid over all factorizations; [None] when
     [p] does not factor within the loop bounds. *)
 
+val simulated_block : Spec.t -> block:int array -> int
+(** Footprint of one block by execution: run the [block]-shaped sub-nest
+    and count the distinct words it touches — the data the owning
+    processor must receive. *)
+
 val simulated_cost : Spec.t -> grid:int array -> int
-(** Cross-check of {!cost} by execution: run one (full-size) block's
-    sub-nest and count the distinct words it touches — the data the
-    owning processor must receive. Equals [cost] exactly (tested), since
-    a rectangular block touches a rectangular sub-array of every array. *)
+(** Cross-check of {!cost} by execution: {!simulated_block} on one
+    (full-size) block. Equals [cost] exactly (tested), since a
+    rectangular block touches a rectangular sub-array of every array. *)
+
+val block_groups : Spec.t -> grid:int array -> (int array * int) list
+(** The distinct per-processor block shapes the grid induces, each with
+    the number of processors owning that shape (counts sum to at most
+    [prod grid]; processors whose ceiling-allocated slice is empty are
+    omitted). At most three shapes per dimension (full, remainder,
+    empty), so at most [3^d] groups — this is what lets the Pool
+    validator simulate a 4096-processor run with a handful of domains,
+    one per group. The full-size block (the grid's cost) is always the
+    first entry when it exists. *)
 
 type processor_run = {
   grid : int array;

@@ -1,21 +1,54 @@
-let grids spec ~p =
+(* Divisors of [n], sorted ascending. Trial division up to sqrt(n) is
+   plenty: P is a processor count, not a cryptographic modulus. *)
+let divisors n =
+  let acc = ref [] in
+  let i = ref 1 in
+  while !i * !i <= n do
+    if n mod !i = 0 then begin
+      acc := !i :: !acc;
+      let q = n / !i in
+      if q <> !i then acc := q :: !acc
+    end;
+    incr i
+  done;
+  List.sort compare !acc
+
+let default_budget = 200_000
+
+let grids ?(budget = default_budget) spec ~p =
   if p < 1 then invalid_arg "Partition.grids: p must be positive";
   let d = Spec.num_loops spec in
   let bounds = spec.Spec.bounds in
+  (* Divisor ladder: only divisors of [p] can ever appear in a grid, so
+     walk the (sorted) divisor list per level instead of every integer
+     in [1, min remaining bounds.(i)] — the old sweep was Theta(p) per
+     node, which for highly composite p (4096 over 6 dimensions) turned
+     enumeration into billions of wasted modulo tests. Ascending order
+     per level keeps the output in ascending lexicographic order, which
+     [Comm_model.best_grid]'s first-wins tie-breaking depends on. *)
+  let divs = Array.of_list (divisors p) in
   let acc = ref [] in
   let grid = Array.make d 1 in
-  (* Enumerate divisor assignments dimension by dimension. *)
+  let nodes = ref 0 in
   let rec go i remaining =
+    incr nodes;
+    if !nodes > budget then
+      invalid_arg
+        (Printf.sprintf
+           "Partition.grids: shape too large: enumeration budget %d exceeded \
+            factoring p=%d over %d dimensions"
+           budget p d);
     if i = d then begin
       if remaining = 1 then acc := Array.copy grid :: !acc
     end
     else
-      for f = 1 to min remaining bounds.(i) do
-        if remaining mod f = 0 then begin
-          grid.(i) <- f;
-          go (i + 1) (remaining / f)
-        end
-      done
+      Array.iter
+        (fun f ->
+          if f <= bounds.(i) && f <= remaining && remaining mod f = 0 then begin
+            grid.(i) <- f;
+            go (i + 1) (remaining / f)
+          end)
+        divs
   in
   go 0 p;
   List.rev !acc

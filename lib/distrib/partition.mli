@@ -7,10 +7,21 @@
     enumerates processor grids [p_1 x ... x p_d] with [prod p_i = P] and
     the per-processor blocks they induce. *)
 
-val grids : Spec.t -> p:int -> int array list
+val divisors : int -> int list
+(** Divisors of a positive integer, ascending. *)
+
+val default_budget : int
+(** Default enumeration budget for {!grids} (number of search nodes). *)
+
+val grids : ?budget:int -> Spec.t -> p:int -> int array list
 (** All factorizations of [p] into [d] per-dimension counts with
-    [1 <= p_i <= L_i]. Empty if [p] cannot be factored within the
-    bounds. *)
+    [1 <= p_i <= L_i], in ascending lexicographic order. Empty if [p]
+    cannot be factored within the bounds. Enumeration walks the divisor
+    ladder of [p] (never non-divisors), so the node count is bounded by
+    the number of ordered factorizations plus dead ends; if it still
+    exceeds [budget] (default {!default_budget}), raises
+    [Invalid_argument] with the ["shape too large"] marker that
+    [Engine_error.of_exn] maps to the typed [Shape_too_large] error. *)
 
 val block_dims : Spec.t -> grid:int array -> int array
 (** Per-processor block dimensions [ceil(L_i / p_i)]. *)

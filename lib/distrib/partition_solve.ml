@@ -1,0 +1,210 @@
+(* The distributed-memory partition solver (Section 7 end to end).
+
+   Given (kernel, P processors, M_local words per processor, network
+   model), pick the processor grid and per-processor tile minimizing the
+   modeled per-processor communication, exactly:
+
+   - gather_words(grid): the block's total footprint
+     [sum_j prod_{i in supp j} ceil(L_i/p_i)] — what a processor must
+     receive at minimum regardless of local memory (Comm_model.cost).
+   - words(grid): the memory-dependent (ITT04-style) prediction — the
+     communication-optimal local tile for a cache of M_local words
+     (Theorem 2 with M = M_local via Tiling.optimal_shared), charged one
+     full tile footprint per tile:
+     [prod_i ceil(b_i/t_i) * sum_j prod_{i in supp j} t_i].
+     Since the tiles cover the block and each element is charged at
+     least once, words >= gather_words always; equality (the tile spans
+     the whole block) is the memory-independent regime.
+
+   gather_words is therefore an admissible lower bound on words, which
+   is what lets the solver sort candidate grids by gather and skip the
+   (comparatively expensive) tile search for any grid whose gather
+   already meets the incumbent. *)
+
+type network = Words | Alpha_beta of { alpha : Rat.t; beta : Rat.t }
+
+type regime = Memory_independent | Memory_dependent
+
+type solution = {
+  p : int;
+  m_local : int;
+  net : network;
+  grid : int array;
+  block : int array;
+  tile : int array;
+  regime : regime;
+  words : Bigint.t;
+  gather_words : Bigint.t;
+  messages : int;
+  time : Rat.t;
+  lower_bound : float;
+  grids_enumerated : int;
+  grids_pruned : int;
+}
+
+let net_to_key = function
+  | Words -> "words"
+  | Alpha_beta { alpha; beta } ->
+    Printf.sprintf "ab:%s,%s" (Rat.to_string alpha) (Rat.to_string beta)
+
+let regime_to_string = function
+  | Memory_independent -> "memory_independent"
+  | Memory_dependent -> "memory_dependent"
+
+let ceil_log2 n =
+  let rec go k acc = if acc >= n then k else go (k + 1) (acc * 2) in
+  if n <= 1 then 0 else go 0 1
+
+(* Latency term: each array block shared by a fiber of [prod_{i not in
+   supp j} p_i] processors is all-gathered along that fiber in
+   [ceil(log2 fiber)] rounds. *)
+let message_count spec ~grid =
+  Array.fold_left
+    (fun acc (a : Spec.array_ref) ->
+      let fiber = ref 1 in
+      Array.iteri
+        (fun i p -> if not (Array.exists (fun s -> s = i) a.Spec.support) then fiber := !fiber * p)
+        grid;
+      acc + ceil_log2 !fiber)
+    0 spec.Spec.arrays
+
+let tile_words spec ~block ~tile =
+  (* Exact: [prod ceil(b_i/t_i)] tiles, each charged its full footprint. *)
+  let tiles =
+    ref Bigint.one
+  in
+  Array.iteri
+    (fun i b -> tiles := Bigint.mul !tiles (Bigint.of_int ((b + tile.(i) - 1) / tile.(i))))
+    block;
+  let footprint =
+    Array.fold_left
+      (fun acc (a : Spec.array_ref) ->
+        Bigint.add acc
+          (Array.fold_left
+             (fun f i -> Bigint.mul f (Bigint.of_int tile.(i)))
+             Bigint.one a.Spec.support))
+      Bigint.zero spec.Spec.arrays
+  in
+  Bigint.mul !tiles footprint
+
+let objective net ~words ~messages =
+  match net with
+  | Words -> Rat.of_bigint words
+  | Alpha_beta { alpha; beta } ->
+    Rat.add (Rat.mul_int alpha messages) (Rat.mul beta (Rat.of_bigint words))
+
+type candidate = {
+  c_grid : int array;
+  c_block : int array;
+  c_tile : int array;
+  c_words : Bigint.t;
+  c_gather : Bigint.t;
+  c_messages : int;
+  c_time : Rat.t;
+}
+
+let solve ?budget spec ~p ~m_local ~net =
+  let grids = Partition.grids ?budget spec ~p in
+  let enumerated = List.length grids in
+  (* Stable sort by gather footprint keeps the underlying ascending
+     lexicographic order within each gather class, so ties resolve to
+     the lexicographically smallest grid deterministically. *)
+  let with_gather =
+    List.map (fun grid -> (Comm_model.cost spec ~grid, grid)) grids
+  in
+  let sorted =
+    List.stable_sort
+      (fun ((a : Comm_model.grid_cost), _) (b, _) ->
+        Bigint.compare a.Comm_model.words b.Comm_model.words)
+      with_gather
+  in
+  let pruned = ref 0 in
+  let best = ref None in
+  (* Is a candidate with gather footprint [g] already beaten by the
+     incumbent before we compute its tile? In Words mode, yes when
+     g >= best.words (words >= gather). With alpha/beta, yes when
+     beta*g >= best.time — unless beta = 0, where words do not enter the
+     objective at all and no gather-based pruning is sound. *)
+  let dominated g =
+    match !best with
+    | None -> false
+    | Some b -> (
+      match net with
+      | Words -> Bigint.compare g b.c_words >= 0
+      | Alpha_beta { beta; _ } ->
+        Rat.sign beta > 0
+        && Rat.compare (Rat.mul beta (Rat.of_bigint g)) b.c_time >= 0)
+  in
+  List.iter
+    (fun ((gc : Comm_model.grid_cost), grid) ->
+      if dominated gc.Comm_model.words then incr pruned
+      else begin
+        let block = gc.Comm_model.block in
+        let sub = Spec.with_bounds spec block in
+        let tile = Tiling.optimal_shared sub ~m:m_local in
+        let words = tile_words spec ~block ~tile in
+        let messages = message_count spec ~grid in
+        let time = objective net ~words ~messages in
+        let c =
+          {
+            c_grid = grid;
+            c_block = block;
+            c_tile = tile;
+            c_words = words;
+            c_gather = gc.Comm_model.words;
+            c_messages = messages;
+            c_time = time;
+          }
+        in
+        match !best with
+        | Some b when Rat.compare b.c_time time <= 0 -> ()
+        | _ -> best := Some c
+      end)
+    sorted;
+  match !best with
+  | None -> None
+  | Some c ->
+    let regime =
+      if Bigint.equal c.c_words c.c_gather then Memory_independent
+      else Memory_dependent
+    in
+    Some
+      {
+        p;
+        m_local;
+        net;
+        grid = c.c_grid;
+        block = c.c_block;
+        tile = c.c_tile;
+        regime;
+        words = c.c_words;
+        gather_words = c.c_gather;
+        messages = c.c_messages;
+        time = c.c_time;
+        lower_bound = Comm_model.lower_bound spec ~p;
+        grids_enumerated = enumerated;
+        grids_pruned = !pruned;
+      }
+
+(* Canonical JSON payload — rendered identically by the CLI subcommand
+   and the serve response builder, which is what the byte-identity
+   acceptance test compares. Bigints and rationals travel as strings
+   (they exceed double precision); the float lower bound uses %.17g so
+   the text round-trips the IEEE value exactly. *)
+let to_json (s : solution) =
+  let ints a =
+    "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
+  in
+  let net_json =
+    match s.net with
+    | Words -> "\"words\""
+    | Alpha_beta { alpha; beta } ->
+      Printf.sprintf {|{"alpha":"%s","beta":"%s"}|} (Rat.to_string alpha)
+        (Rat.to_string beta)
+  in
+  Printf.sprintf
+    {|{"p":%d,"m_local":%d,"net":%s,"grid":%s,"block":%s,"tile":%s,"regime":"%s","words":"%s","gather_words":"%s","messages":%d,"time":"%s","lower_bound":%.17g,"grids_enumerated":%d,"grids_pruned":%d}|}
+    s.p s.m_local net_json (ints s.grid) (ints s.block) (ints s.tile)
+    (regime_to_string s.regime) (Bigint.to_string s.words)
+    (Bigint.to_string s.gather_words) s.messages (Rat.to_string s.time)
+    s.lower_bound s.grids_enumerated s.grids_pruned

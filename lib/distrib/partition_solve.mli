@@ -1,0 +1,71 @@
+(** Distributed-memory partition solver: optimal processor grid and
+    per-processor tile for a kernel on [P] processors with [M_local]
+    words of fast memory each, under a pluggable network cost model.
+
+    Two regimes fall out of one exact computation:
+
+    - {e memory-dependent} ([ITT04]-style): the per-processor block is
+      executed through a local cache of [M_local] words using the
+      communication-optimal local tiling (Theorem 2 with
+      [M = M_local]); predicted words are
+      [prod_i ceil(b_i/t_i) * sum_j prod_{i in supp j} t_i], exact.
+    - {e memory-independent}: when the optimal tile spans the whole
+      block, predicted words collapse to the block's gather footprint
+      [sum_j prod_{i in supp j} ceil(L_i/p_i)] — the regime whose tight
+      closed forms for matrix multiplication are Al Daas–Ballard–
+      Grigori–Kumar–Rouse (arXiv:2205.13407); bench E20 validates
+      against them.
+
+    The solver enumerates grids via {!Partition.grids}, prunes by the
+    gather footprint (an admissible lower bound on predicted words), and
+    breaks ties toward the lexicographically smallest grid. *)
+
+type network =
+  | Words  (** minimize per-processor words (bandwidth only) *)
+  | Alpha_beta of { alpha : Rat.t; beta : Rat.t }
+      (** minimize [alpha * messages + beta * words] (latency +
+          bandwidth), exact rational arithmetic *)
+
+type regime = Memory_independent | Memory_dependent
+
+type solution = {
+  p : int;  (** processor count *)
+  m_local : int;  (** per-processor fast-memory words *)
+  net : network;
+  grid : int array;  (** optimal processor grid, [prod grid = p] *)
+  block : int array;  (** per-processor block [ceil(L_i / grid_i)] *)
+  tile : int array;  (** local communication-optimal tile inside the block *)
+  regime : regime;
+  words : Bigint.t;  (** predicted per-processor words, exact *)
+  gather_words : Bigint.t;
+      (** the block's gather footprint ({!Comm_model.cost}); equals
+          [words] exactly in the memory-independent regime *)
+  messages : int;
+      (** latency term: [sum_j ceil(log2 prod_{i not in supp j} p_i)]
+          all-gather rounds *)
+  time : Rat.t;
+      (** the minimized objective: [words] under {!Words}, else
+          [alpha * messages + beta * words] *)
+  lower_bound : float;
+      (** per-processor word lower bound, Theorem 2 with [M = F]
+          ({!Comm_model.lower_bound}) *)
+  grids_enumerated : int;  (** candidate grids considered *)
+  grids_pruned : int;  (** grids skipped by the gather-footprint bound *)
+}
+
+val solve :
+  ?budget:int -> Spec.t -> p:int -> m_local:int -> net:network -> solution option
+(** [None] when [p] has no factorization within the loop bounds.
+    @raise Invalid_argument (with the ["shape too large"] marker) when
+    grid enumeration exceeds [budget] — see {!Partition.grids}. *)
+
+val net_to_key : network -> string
+(** Canonical short form (["words"] or ["ab:<alpha>,<beta>"]) for memo
+    keys. *)
+
+val regime_to_string : regime -> string
+
+val to_json : solution -> string
+(** Canonical single-line JSON payload. The CLI ([tilings partition])
+    and the serve [op:"partition"] response embed this string verbatim,
+    which is what makes the two surfaces byte-identical. *)

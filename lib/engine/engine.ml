@@ -15,6 +15,8 @@ let analyze_checked ?sims ?shared ?deadline spec ~m =
 let run_checked = Pipeline.run_checked
 let sweep = Pipeline.sweep
 let sweep_checked = Pipeline.sweep_checked
+let partition_checked = Pipeline.partition_checked
+let partition_validate = Pipeline.partition_validate
 
 let sweep_grid ?jobs ?sims ?shared specs ~ms =
   let reqs =

@@ -47,6 +47,26 @@ val sweep_checked :
     are scheduled ahead of simulation tails ([~coarse:true] restores
     the class-blind pre-split scheduler for A/B measurement). *)
 
+val partition_checked :
+  ?deadline:float ->
+  ?budget:int ->
+  Spec.t ->
+  p:int ->
+  m_local:int ->
+  net:Partition_solve.network ->
+  (Partition_solve.solution, Engine_error.t) result
+(** Re-export of {!Pipeline.partition_checked}: the distributed-memory
+    partition solver as a checked request. *)
+
+val partition_validate :
+  ?jobs:int ->
+  Spec.t ->
+  Partition_solve.solution ->
+  (Pipeline.partition_validation, Engine_error.t) result
+(** Re-export of {!Pipeline.partition_validate}: Pool-simulate the
+    P-processor schedule (one domain per block-shape group) and check
+    the modeled words exactly. *)
+
 val sweep_grid :
   ?jobs:int ->
   ?sims:Pipeline.sim_request list ->

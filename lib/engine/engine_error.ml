@@ -7,6 +7,8 @@ type t =
   | Deadline_exceeded of { stage : string }
   | Overloaded of { capacity : int }
   | Shape_too_large of { detail : string }
+  | Unfactorable_p of { p : int }
+  | Network_model_invalid of string
   | Internal of string
 
 exception Error of t
@@ -22,6 +24,8 @@ let code = function
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Overloaded _ -> "overloaded"
   | Shape_too_large _ -> "shape_too_large"
+  | Unfactorable_p _ -> "unfactorable_p"
+  | Network_model_invalid _ -> "network_model_invalid"
   | Internal _ -> "internal"
 
 let exit_code = function
@@ -34,6 +38,8 @@ let exit_code = function
   | Invalid_request _ -> 8
   | Internal _ -> 10
   | Shape_too_large _ -> 11
+  | Unfactorable_p _ -> 12
+  | Network_model_invalid _ -> 13
 
 let to_string = function
   | Parse_error { line; col; message } ->
@@ -55,6 +61,10 @@ let to_string = function
       capacity
   | Shape_too_large { detail } ->
     Printf.sprintf "shape too large for closed-form/plan compilation: %s" detail
+  | Unfactorable_p { p } ->
+    Printf.sprintf
+      "p = %d has no processor-grid factorization within the loop bounds" p
+  | Network_model_invalid msg -> Printf.sprintf "invalid network model: %s" msg
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 (* Closed_form.compute and Tiling_plan.compile both refuse oversized

@@ -37,6 +37,13 @@ type t =
           shape: its vertex-enumeration candidate count exceeds the
           budget. Analysis requests for such shapes still succeed via
           the direct LP path; only explicit compilation fails. *)
+  | Unfactorable_p of { p : int }
+      (** a partition request's processor count has no grid
+          factorization within the kernel's loop bounds (e.g. a prime
+          [p] larger than every bound) *)
+  | Network_model_invalid of string
+      (** a partition request's network model is malformed: negative
+          [alpha]/[beta], non-rational values, or an unknown model name *)
   | Internal of string  (** an invariant violation surfaced as [Failure] *)
 
 exception Error of t
@@ -48,13 +55,14 @@ val code : t -> string
 (** Stable wire identifier: ["parse_error"], ["invalid_spec"],
     ["invalid_request"], ["cache_too_small"], ["kernel_too_large"],
     ["deadline_exceeded"], ["overloaded"], ["shape_too_large"],
-    ["internal"]. *)
+    ["unfactorable_p"], ["network_model_invalid"], ["internal"]. *)
 
 val exit_code : t -> int
 (** Distinct CLI exit codes, disjoint from 0 (success), 1 (generic) and
     cmdliner's 124/125: parse_error 2, invalid_spec 3, cache_too_small 4,
     kernel_too_large 5, deadline_exceeded 6, overloaded 7,
-    invalid_request 8, internal 10, shape_too_large 11. *)
+    invalid_request 8, internal 10, shape_too_large 11,
+    unfactorable_p 12, network_model_invalid 13. *)
 
 val to_string : t -> string
 (** Human-readable one-line message (no trailing newline). *)

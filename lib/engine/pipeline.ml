@@ -408,6 +408,124 @@ let sweep ?jobs reqs =
     (sweep_checked ?jobs reqs)
 
 (* ------------------------------------------------------------------ *)
+(* Distributed-memory partitioning                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Partition solutions depend on the canonical spec plus (p, M_local,
+   network model); all four land in the memo key. The network model's
+   canonical short form (Partition_solve.net_to_key) renders rationals
+   exactly, so distinct alpha/beta never alias. *)
+let partition_cache : Partition_solve.solution Memo.t = Memo.create ~name:"partition" ()
+
+let c_part_enumerated = Obs.counter "partition.grids_enumerated"
+let c_part_pruned = Obs.counter "partition.pruned"
+let t_partition = Obs.timer "partition.solve"
+
+let key_of_partition spec ~p ~m_local ~net =
+  Printf.sprintf "%s;p=%d;M=%d;net=%s" (Memo.key_of_spec spec) p m_local
+    (Partition_solve.net_to_key net)
+
+let validate_net = function
+  | Partition_solve.Words -> None
+  | Partition_solve.Alpha_beta { alpha; beta } ->
+    if Rat.sign alpha < 0 then
+      Some
+        (Engine_error.Network_model_invalid
+           (Printf.sprintf "alpha must be non-negative (got %s)" (Rat.to_string alpha)))
+    else if Rat.sign beta < 0 then
+      Some
+        (Engine_error.Network_model_invalid
+           (Printf.sprintf "beta must be non-negative (got %s)" (Rat.to_string beta)))
+    else None
+
+let partition_checked ?deadline ?budget spec ~p ~m_local ~net =
+  let min_words = max 2 (Spec.num_arrays spec) in
+  if p < 1 then
+    Error
+      (Engine_error.Invalid_request (Printf.sprintf "p must be positive (got %d)" p))
+  else if m_local < min_words then
+    Error (Engine_error.Cache_too_small { m = m_local; min_words })
+  else
+    match validate_net net with
+    | Some e -> Error e
+    | None ->
+      let key = key_of_partition spec ~p ~m_local ~net in
+      catch_errors (fun () ->
+        guard deadline "partition";
+        match Memo.find_opt partition_cache key with
+        | Some sol -> sol
+        | None -> (
+          match
+            staged "partition.solve" t_partition (fun () ->
+              Partition_solve.solve ?budget spec ~p ~m_local ~net)
+          with
+          | None -> Engine_error.raise_error (Engine_error.Unfactorable_p { p })
+          | Some sol ->
+            Obs.incr ~by:sol.Partition_solve.grids_enumerated c_part_enumerated;
+            Obs.incr ~by:sol.Partition_solve.grids_pruned c_part_pruned;
+            Memo.add partition_cache key sol;
+            sol))
+
+type partition_group = {
+  pg_block : int array;
+  pg_procs : int;
+  pg_words : int;  (** simulated distinct words for this block shape *)
+}
+
+type partition_validation = {
+  pv_groups : partition_group list;
+  pv_max_words : Bigint.t;
+  pv_matches : bool;
+}
+
+(* Execute the claim: one Pool task per distinct block shape (a domain
+   stands in for every processor in the shape's group — their sub-nests
+   are congruent, so one simulation covers the lot), count the distinct
+   words each touches, and compare the largest against the solution's
+   modeled gather footprint. Exact equality is the acceptance bar: the
+   model is a closed-form count of the same set the simulation
+   enumerates. *)
+let partition_validate ?jobs spec (sol : Partition_solve.solution) =
+  let groups = Comm_model.block_groups spec ~grid:sol.Partition_solve.grid in
+  let oversized =
+    List.find_opt
+      (fun (block, _) ->
+        let n = Spec.iteration_count_big (Spec.with_bounds spec block) in
+        Bigint.compare n (Bigint.of_int sim_iteration_limit) > 0)
+      groups
+  in
+  match oversized with
+  | Some (block, _) ->
+    Error
+      (Engine_error.Kernel_too_large
+         {
+           iterations =
+             Bigint.to_string (Spec.iteration_count_big (Spec.with_bounds spec block));
+           limit = sim_iteration_limit;
+         })
+  | None ->
+    catch_errors (fun () ->
+      let sims =
+        Pool.map_list ?jobs
+          (fun (block, procs) ->
+            {
+              pg_block = block;
+              pg_procs = procs;
+              pg_words = Comm_model.simulated_block spec ~block;
+            })
+          groups
+      in
+      let max_words =
+        List.fold_left (fun acc g -> max acc g.pg_words) 0 sims
+      in
+      {
+        pv_groups = sims;
+        pv_max_words = Bigint.of_int max_words;
+        pv_matches =
+          Bigint.equal (Bigint.of_int max_words) sol.Partition_solve.gather_words;
+      })
+
+(* ------------------------------------------------------------------ *)
 (* Hierarchies                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -631,11 +749,11 @@ let cache_restore text =
 let cache_stats () =
   let tables_hits =
     Memo.hits lp_cache + Memo.hits analysis_cache + Memo.hits shared_cache
-    + Memo.hits nested_cache + Memo.hits plan_cache
+    + Memo.hits nested_cache + Memo.hits plan_cache + Memo.hits partition_cache
   in
   let tables_misses =
     Memo.misses lp_cache + Memo.misses analysis_cache + Memo.misses shared_cache
-    + Memo.misses nested_cache + Memo.misses plan_cache
+    + Memo.misses nested_cache + Memo.misses plan_cache + Memo.misses partition_cache
   in
   (tables_hits, tables_misses)
 
@@ -646,6 +764,7 @@ let reset_caches () =
   Memo.clear nested_cache;
   Memo.clear plan_cache;
   Memo.clear basis_cache;
+  Memo.clear partition_cache;
   Mutex.lock pending_lock;
   Hashtbl.reset pending_shapes;
   Mutex.unlock pending_lock

@@ -165,6 +165,60 @@ val tile_shared : Spec.t -> m:int -> int array
 val schedule_of : Spec.t -> m:int -> schedule_choice -> Schedules.t
 val simulate : Spec.t -> m:int -> sim_request -> Report.sim
 
+(** {1 Distributed-memory partitioning}
+
+    The Section-7 scenario class: split the iteration space over [p]
+    processors with [m_local] words of fast memory each. Results are
+    memoized per canonical [(spec, p, m_local, net)] key
+    ([memo.partition.*] counters); each solve is timed under
+    [partition.solve] and feeds the [partition.grids_enumerated] /
+    [partition.pruned] counters. *)
+
+val partition_checked :
+  ?deadline:float ->
+  ?budget:int ->
+  Spec.t ->
+  p:int ->
+  m_local:int ->
+  net:Partition_solve.network ->
+  (Partition_solve.solution, Engine_error.t) result
+(** Optimal processor grid + per-processor tile via
+    {!Partition_solve.solve}, without raising. Up-front validation:
+    [Error Invalid_request] for [p < 1], [Error Cache_too_small] when
+    [m_local] cannot hold one word per array, and
+    [Error Network_model_invalid] for negative [alpha]/[beta].
+    [Error (Unfactorable_p _)] when [p] has no grid factorization within
+    the loop bounds, [Error (Shape_too_large _)] when grid enumeration
+    exceeds [budget] ({!Partition.grids}). [deadline] as in
+    {!run_checked}. *)
+
+type partition_group = {
+  pg_block : int array;  (** the group's per-processor block shape *)
+  pg_procs : int;  (** processors owning a block of this shape *)
+  pg_words : int;  (** simulated distinct words for this block shape *)
+}
+
+type partition_validation = {
+  pv_groups : partition_group list;
+  pv_max_words : Bigint.t;  (** largest simulated per-processor volume *)
+  pv_matches : bool;
+      (** [pv_max_words] equals the solution's [gather_words] exactly *)
+}
+
+val partition_validate :
+  ?jobs:int ->
+  Spec.t ->
+  Partition_solve.solution ->
+  (partition_validation, Engine_error.t) result
+(** Execute the P-processor claim on the {!Pool}: one domain per
+    distinct block-shape group ({!Comm_model.block_groups} — congruent
+    blocks share one simulation), counting the distinct words each
+    block's sub-nest touches ({!Comm_model.simulated_block}). The
+    validation passes ([pv_matches]) iff the largest simulated volume
+    equals the modeled gather footprint {e exactly}.
+    [Error Kernel_too_large] when any block exceeds
+    {!sim_iteration_limit}. *)
+
 (** {1 Multi-level hierarchies} *)
 
 type hierarchy_report = {

@@ -79,32 +79,36 @@ let count_error err =
 
 type item = {
   it_id : string;
+  it_v : int;  (** wire version to stamp on the response envelope *)
   it_class : Pool.priority;
-  it_work : (Serve_protocol.request * float option, Engine_error.t) result;
+  it_warnings : Serve_protocol.warning list;
+  it_work : (Request.t * float option, Engine_error.t) result;
       (** decoded request plus its absolute deadline, or the decode error *)
   it_emit : string -> unit;  (** the connection the response goes back to *)
 }
 
-let classify_request (req : Serve_protocol.request) =
-  match req.Serve_protocol.op with
-  | Serve_protocol.Compile -> Pool.Analytic
-  | Serve_protocol.Analyze ->
-    if req.Serve_protocol.sims = [] then Pool.Analytic else Pool.Simulation
+let classify_request (req : Request.t) =
+  match req.Request.body with
+  | Request.Compile | Request.Partition _ -> Pool.Analytic
+  | Request.Analyze { sims; _ } | Request.Sweep { sims; _ } ->
+    if sims = [] then Pool.Analytic else Pool.Simulation
 
 let decode_line cfg session ~admitted_at ~emit line =
-  match Serve_protocol.decode line with
-  | Error { Serve_protocol.err_id; err } ->
-    { it_id = ensure_id session err_id; it_class = Pool.Analytic;
-      it_work = Error err; it_emit = emit }
+  match Request.decode line with
+  | Error { Request.err_id; err_v; err } ->
+    { it_id = ensure_id session err_id; it_v = err_v; it_class = Pool.Analytic;
+      it_warnings = []; it_work = Error err; it_emit = emit }
   | Ok req ->
     let budget =
-      match req.Serve_protocol.deadline_s with
+      match req.Request.deadline_s with
       | Some _ as b -> b
       | None -> cfg.default_deadline_s
     in
     {
-      it_id = ensure_id session req.Serve_protocol.id;
+      it_id = ensure_id session req.Request.id;
+      it_v = req.Request.v;
       it_class = classify_request req;
+      it_warnings = req.Request.warnings;
       it_work = Ok (req, Option.map (fun b -> admitted_at +. b) budget);
       it_emit = emit;
     }
@@ -117,7 +121,7 @@ type admission = {
   mutable adm_simulation : int;
   mutable adm_rejected : int;
   mutable adm_admitted_rev : item list;
-  mutable adm_rejected_rev : (string * (string -> unit)) list;
+  mutable adm_rejected_rev : (string * int * (string -> unit)) list;
 }
 
 let new_admission () =
@@ -143,7 +147,7 @@ let admit cfg adm item =
   end
   else begin
     adm.adm_rejected <- adm.adm_rejected + 1;
-    adm.adm_rejected_rev <- (item.it_id, item.it_emit) :: adm.adm_rejected_rev
+    adm.adm_rejected_rev <- (item.it_id, item.it_v, item.it_emit) :: adm.adm_rejected_rev
   end
 
 (* ------------------------------------------------------------------ *)
@@ -188,26 +192,49 @@ let run_one cfg item =
   match item.it_work with
   | Error err -> Pool.Done (finish ~op:"invalid" (Error err) [])
   | Ok (req, deadline) -> (
-    match req.Serve_protocol.op with
-    | Serve_protocol.Compile ->
+    let spec = req.Request.spec in
+    match req.Request.body with
+    | Request.Compile ->
       Pool.Done
         (finish ~op:"compile"
-           (Result.map
-              (fun plan -> `Plan (Tiling_plan.to_json plan))
-              (Pipeline.plan_of req.Serve_protocol.spec))
+           (Result.map (fun plan -> `Plan (Tiling_plan.to_json plan)) (Pipeline.plan_of spec))
            [])
-    | Serve_protocol.Analyze -> (
-      let preq =
-        Pipeline.request ~sims:req.Serve_protocol.sims ~shared:req.Serve_protocol.shared
-          req.Serve_protocol.spec ~m:req.Serve_protocol.m
-      in
+    | Request.Partition { procs; m_local; net } ->
+      Pool.Done
+        (finish ~op:"partition"
+           (Result.map
+              (fun sol -> `Partition (Partition_solve.to_json sol))
+              (Pipeline.partition_checked ?deadline spec ~p:procs ~m_local ~net))
+           [])
+    | Request.Sweep { ms; sims; shared; timings } ->
+      (* One pool task for the whole sweep: the points share the memo
+         caches, each report renders exactly as the one-shot CLI's, and
+         the first failing size fails the request. *)
+      Pool.Done
+        (finish ~op:"sweep"
+           (List.fold_left
+              (fun acc m ->
+                match acc with
+                | Error _ as e -> e
+                | Ok rendered -> (
+                  match
+                    Pipeline.run_checked ?deadline
+                      (Pipeline.request ~sims ~shared spec ~m)
+                  with
+                  | Error e -> Error e
+                  | Ok rep -> Ok (Report.to_json ~timings rep :: rendered)))
+              (Ok []) ms
+           |> Result.map (fun rendered -> `Reports (List.rev rendered)))
+           [])
+    | Request.Analyze { m; sims; shared; timings } -> (
+      let preq = Pipeline.request ~sims ~shared spec ~m in
       let render checked =
-        let timings = match checked with Ok rep -> rep.Report.timings | Error _ -> [] in
+        let stage_times =
+          match checked with Ok rep -> rep.Report.timings | Error _ -> []
+        in
         finish ~op:"analyze"
-          (Result.map
-             (fun rep -> `Report (Report.to_json ~timings:req.Serve_protocol.timings rep))
-             checked)
-          timings
+          (Result.map (fun rep -> `Report (Report.to_json ~timings rep)) checked)
+          stage_times
       in
       match Pipeline.run_staged ?deadline preq with
       | Pool.Done checked -> Pool.Done (render checked)
@@ -243,25 +270,32 @@ let process cfg admitted rejected =
   List.iter
     (fun (item, res) ->
       let id = Some item.it_id in
+      let v = item.it_v and warnings = item.it_warnings in
       let line =
         match res with
-        | Ok (`Report report_json) -> Serve_protocol.ok_response ~id ~report_json
-        | Ok (`Plan plan_json) -> Serve_protocol.plan_response ~id ~plan_json
+        | Ok (`Report report_json) ->
+          Serve_protocol.ok_response ~warnings ~v ~id ~report_json ()
+        | Ok (`Reports report_jsons) ->
+          Serve_protocol.sweep_response ~warnings ~v ~id ~report_jsons ()
+        | Ok (`Plan plan_json) ->
+          Serve_protocol.plan_response ~warnings ~v ~id ~plan_json ()
+        | Ok (`Partition partition_json) ->
+          Serve_protocol.partition_response ~warnings ~v ~id ~partition_json ()
         | Error err ->
           count_error err;
-          Serve_protocol.error_response ~id err
+          Serve_protocol.error_response ~v ~id err
       in
       Obs.incr c_responses;
       item.it_emit line)
     outcomes;
   List.iter
-    (fun (id, emit) ->
+    (fun (id, v, emit) ->
       let err = Engine_error.Overloaded { capacity = cfg.queue_capacity } in
       count_error err;
       Obs.incr c_responses;
       Obs.Log.warn "serve.overloaded"
         [ ("id", `S id); ("capacity", `I cfg.queue_capacity) ];
-      emit (Serve_protocol.error_response ~id:(Some id) err))
+      emit (Serve_protocol.error_response ~v ~id:(Some id) err))
     rejected;
   Obs.set_gauge g_queue 0;
   Obs.set_gauge g_queue_analytic 0;

@@ -1,18 +1,3 @@
-type op = Analyze | Compile
-
-type request = {
-  id : string option;
-  op : op;
-  spec : Spec.t;
-  m : int;
-  sims : Pipeline.sim_request list;
-  shared : bool;
-  deadline_s : float option;
-  timings : bool;
-}
-
-type decode_error = { err_id : string option; err : Engine_error.t }
-
 (* ------------------------------------------------------------------ *)
 (* JSON writing (mirrors Report's conventions)                        *)
 (* ------------------------------------------------------------------ *)
@@ -35,15 +20,47 @@ let json_escape s =
 let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
 let jid = function None -> "null" | Some s -> jstr s
 
-let ok_response ~id ~report_json =
-  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true,\"report\":%s}" Report.schema_version
-    (jid id) report_json
+(* Structured, non-fatal decode diagnostics. A v1 client that omits an
+   envelope field the v2 schema made explicit still gets its answer —
+   plus one of these in the response so operators can find laggards
+   before v1 is retired. *)
+type warning = { w_code : string; w_field : string; w_message : string }
 
-let plan_response ~id ~plan_json =
-  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true,\"plan\":%s}" Report.schema_version
-    (jid id) plan_json
+let deprecated_field ~field ~message =
+  { w_code = "deprecated_field"; w_field = field; w_message = message }
 
-let error_response ~id err =
+let warnings_json = function
+  | [] -> ""
+  | ws ->
+    let one w =
+      Printf.sprintf "{\"code\":%s,\"field\":%s,\"message\":%s}" (jstr w.w_code)
+        (jstr w.w_field) (jstr w.w_message)
+    in
+    Printf.sprintf ",\"warnings\":[%s]" (String.concat "," (List.map one ws))
+
+(* Every response envelope echoes the request's wire version, so a v1
+   client keeps reading {"v":1,...} lines while a v2 client on the same
+   daemon reads {"v":2,...}; [warnings], when present, sits between
+   "ok" and the payload. *)
+
+let ok_response ?(warnings = []) ~v ~id ~report_json () =
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true%s,\"report\":%s}" v (jid id)
+    (warnings_json warnings) report_json
+
+let sweep_response ?(warnings = []) ~v ~id ~report_jsons () =
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true%s,\"reports\":[%s]}" v (jid id)
+    (warnings_json warnings)
+    (String.concat "," report_jsons)
+
+let plan_response ?(warnings = []) ~v ~id ~plan_json () =
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true%s,\"plan\":%s}" v (jid id)
+    (warnings_json warnings) plan_json
+
+let partition_response ?(warnings = []) ~v ~id ~partition_json () =
+  Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":true%s,\"partition\":%s}" v (jid id)
+    (warnings_json warnings) partition_json
+
+let error_response ~v ~id err =
   let position =
     match err with
     | Engine_error.Parse_error { line; col; _ } when line > 0 ->
@@ -51,13 +68,13 @@ let error_response ~id err =
     | _ -> ""
   in
   Printf.sprintf "{\"v\":%d,\"id\":%s,\"ok\":false,\"error\":{\"code\":%s,\"message\":%s%s}}"
-    Report.schema_version (jid id)
+    v (jid id)
     (jstr (Engine_error.code err))
     (jstr (Engine_error.to_string err))
     position
 
 (* ------------------------------------------------------------------ *)
-(* Decoding                                                           *)
+(* Shared decoding helpers (used by Request.decode)                   *)
 (* ------------------------------------------------------------------ *)
 
 let peek_id line =
@@ -108,97 +125,3 @@ let int_field json field =
     match Jsonlite.member field json with
     | None | Some Jsonlite.Null -> None
     | Some _ -> reject "%S must be an integer" field)
-
-let decode line =
-  match Jsonlite.parse line with
-  | Error msg -> Error { err_id = None; err = Parse_error { line = 0; col = 0; message = msg } }
-  | Ok json -> (
-    let err_id = Jsonlite.str_member "id" json in
-    try
-      (match json with Jsonlite.Obj _ -> () | _ -> reject "request must be a JSON object");
-      (match int_field json "v" with
-      | None | Some 1 -> ()
-      | Some v -> reject "unsupported schema version %d (this server speaks v1)" v);
-      let id =
-        match Jsonlite.member "id" json with
-        | None | Some Jsonlite.Null -> None
-        | Some (Jsonlite.Str s) -> Some s
-        | Some _ -> reject "\"id\" must be a string"
-      in
-      let spec =
-        match Jsonlite.str_member "kernel" json with
-        | None -> reject "\"kernel\" is required (preset name or DSL)"
-        | Some text ->
-          if String.contains text ':' then (
-            match Parser.parse text with
-            | Ok s -> s
-            | Error e ->
-              raise
-                (Reject
-                   (Engine_error.Parse_error
-                      {
-                        line = e.Parser.pos.Parser.line;
-                        col = e.Parser.pos.Parser.col;
-                        message = e.Parser.message;
-                      })))
-          else (
-            match Kernels.lookup text with
-            | Ok s -> s
-            | Error msg -> raise (Reject (Engine_error.Invalid_spec msg)))
-      in
-      let op =
-        match Jsonlite.str_member "op" json with
-        | None | Some "analyze" -> Analyze
-        | Some "compile" -> Compile
-        | Some other -> reject "unknown op %S (analyze, compile)" other
-      in
-      let m =
-        match int_field json "m" with
-        | Some m -> m
-        | None -> (
-          match op with
-          | Compile -> 0  (* a plan is size-independent; "m" is not needed *)
-          | Analyze -> reject "\"m\" (fast-memory words) is required")
-      in
-      let schedules =
-        List.map
-          (fun s ->
-            match schedule_of_string s with
-            | Some sched -> sched
-            | None -> reject "unknown schedule %S (optimal, classic, untiled)" s)
-          (string_list json "schedules" ~default:[])
-      in
-      let policies =
-        List.map
-          (fun s ->
-            match policy_of_string s with
-            | Some p -> p
-            | None -> reject "unknown policy %S (lru, fifo, opt)" s)
-          (string_list json "policies" ~default:[ "lru" ])
-      in
-      let sims =
-        List.concat_map
-          (fun sched -> List.map (fun policy -> Pipeline.sim ~policy sched) policies)
-          schedules
-      in
-      let deadline_s =
-        match Jsonlite.num_member "deadline_ms" json with
-        | Some ms when ms >= 0.0 -> Some (ms /. 1000.0)
-        | Some _ -> reject "\"deadline_ms\" must be non-negative"
-        | None -> (
-          match Jsonlite.member "deadline_ms" json with
-          | None | Some Jsonlite.Null -> None
-          | Some _ -> reject "\"deadline_ms\" must be a number")
-      in
-      Ok
-        {
-          id;
-          op;
-          spec;
-          m;
-          sims;
-          shared = bool_field json "shared" ~default:true;
-          deadline_s;
-          timings = bool_field json "timings" ~default:false;
-        }
-    with Reject err -> Error { err_id; err })

@@ -1,84 +1,90 @@
-(** Wire protocol of the [tilings serve] daemon.
+(** Wire rendering + shared decode helpers of the [tilings serve]
+    protocol. The typed request union and its versioned decoder live in
+    {!Request}; this module owns the response envelopes (and the small
+    JSON field readers the decoder is built from).
 
     Newline-delimited JSON, one request per line, one response line per
-    request, in arrival order. Schema version 1 (the ["v"] field,
-    {!Report.schema_version}); a request may omit ["v"] and is then
-    treated as v1, but a present-and-different version is refused.
+    request, in arrival order. Two schema versions are spoken: a request
+    may carry ["v":1] (or omit ["v"], which means v1) or ["v":2]; the
+    response envelope echoes the request's version. See {!Request} for
+    the request schema and the v1 compatibility rules.
 
-    Request object:
-    {v
-      {"v": 1,                  // optional, must be 1 when present
-       "id": "r42",             // optional, echoed back verbatim;
-                                // absent -> daemon mints "srv-N"
-       "kernel": "matmul",      // preset | alias | unique prefix | DSL
-       "m": 4096,               // required: fast-memory words
-       "schedules": ["optimal", "classic", "untiled"],  // default []
-       "policies": ["lru", "fifo", "opt"],              // default ["lru"]
-       "shared": true,          // default true: also compute shared tile
-       "deadline_ms": 250,      // optional per-request budget
-       "timings": false}        // default false: stage wall-times in report
-    v}
-    Unknown fields are ignored (forward compatibility). The simulations
-    run are the cross product [schedules x policies], exactly like
-    [tilings sweep].
-
-    An optional ["op"] field selects the request kind: ["analyze"] (the
-    default, everything above) or ["compile"], which needs only
-    ["kernel"] and returns the kernel shape's compiled tiling plan
-    ({!Tiling_plan.to_json}) instead of a report — the same object
-    [tilings compile] prints, so a client can harvest plans from one
-    replica and preload another via [--plans].
-
-    Response lines (see {!ok_response} / {!plan_response} /
-    {!error_response}):
+    Response lines:
     {v
       {"v":1,"id":"r42","ok":true,"report":{...Report.to_json...}}
+      {"v":2,"id":"s1","ok":true,"reports":[{...},{...}]}
       {"v":1,"id":"c1","ok":true,"plan":{...Tiling_plan.to_json...}}
+      {"v":2,"id":"p1","ok":true,"partition":{...Partition_solve.to_json...}}
       {"v":1,"id":"r42","ok":false,
        "error":{"code":"deadline_exceeded","message":"..."}}
     v}
+    A non-empty [warnings] list renders between ["ok"] and the payload:
+    {v
+      {"v":1,"id":"r1","ok":true,
+       "warnings":[{"code":"deprecated_field","field":"op","message":"..."}],
+       "report":{...}}
+    v}
     The embedded ["report"] object is byte-identical to what the
-    one-shot [tilings sweep] emits for the same request. Error ["code"]s
-    are {!Engine_error.code} values; [parse_error]s carry ["line"] and
-    ["col"] fields too; an oversized ["compile"] fails with
-    [shape_too_large]. *)
+    one-shot [tilings sweep] emits for the same request, and the
+    ["partition"] object to what [tilings partition] prints. Error
+    ["code"]s are {!Engine_error.code} values; [parse_error]s carry
+    ["line"] and ["col"] fields too. *)
 
-type op = Analyze | Compile
+type warning = { w_code : string; w_field : string; w_message : string }
+(** A structured, non-fatal decode diagnostic echoed in the response. *)
 
-type request = {
-  id : string option;
-  op : op;
-  spec : Spec.t;
-  m : int;  (** 0 when [op = Compile] and no ["m"] was sent *)
-  sims : Pipeline.sim_request list;
-  shared : bool;
-  deadline_s : float option;  (** relative budget in seconds, [>= 0] *)
-  timings : bool;
-}
+val deprecated_field : field:string -> message:string -> warning
+(** The ["deprecated_field"] warning a v1 request earns by omitting an
+    envelope field the v2 schema made explicit. *)
 
-type decode_error = {
-  err_id : string option;
-      (** the request's ["id"] when the line parsed far enough to have
-          one — so even a rejected request gets a correlatable answer *)
-  err : Engine_error.t;
-}
+val ok_response :
+  ?warnings:warning list -> v:int -> id:string option -> report_json:string -> unit -> string
+(** [report_json] must be a pre-rendered JSON object
+    ({!Report.to_json}). *)
 
-val decode : string -> (request, decode_error) result
-(** Decode one request line. Malformed JSON -> [Parse_error]; a non-object
-    or missing/ill-typed field -> [Invalid_request]; an unknown preset ->
-    [Invalid_spec]; a DSL kernel that fails to parse -> [Parse_error]
-    with the DSL's line/column. *)
+val sweep_response :
+  ?warnings:warning list ->
+  v:int -> id:string option -> report_jsons:string list -> unit -> string
+(** Success envelope for [op = "sweep"]: the reports, in request order,
+    as one JSON array. *)
+
+val plan_response :
+  ?warnings:warning list -> v:int -> id:string option -> plan_json:string -> unit -> string
+(** Success envelope for [op = "compile"]; [plan_json] is
+    {!Tiling_plan.to_json} output. *)
+
+val partition_response :
+  ?warnings:warning list ->
+  v:int -> id:string option -> partition_json:string -> unit -> string
+(** Success envelope for [op = "partition"]; [partition_json] is
+    {!Partition_solve.to_json} output, embedded verbatim — the CLI
+    byte-identity guarantee. *)
+
+val error_response : v:int -> id:string option -> Engine_error.t -> string
 
 val peek_id : string -> string option
 (** Best-effort ["id"] extraction from a raw line (used for [overloaded]
     rejections, which are answered without full decoding). *)
 
-val ok_response : id:string option -> report_json:string -> string
-(** [report_json] must be a pre-rendered JSON object
-    ({!Report.to_json}). *)
+(** {1 Decode helpers}
 
-val plan_response : id:string option -> plan_json:string -> string
-(** Success envelope for [op = "compile"]; [plan_json] is
-    {!Tiling_plan.to_json} output. *)
+    Building blocks for {!Request.decode}; exposed because the decoder
+    lives in its own module and the tests exercise them directly. *)
 
-val error_response : id:string option -> Engine_error.t -> string
+val json_escape : string -> string
+val jstr : string -> string
+val jid : string option -> string
+
+val schedule_of_string : string -> Pipeline.schedule_choice option
+val policy_of_string : string -> Policy.t option
+
+exception Reject of Engine_error.t
+(** Internal control flow of the decoder; never escapes
+    {!Request.decode}. *)
+
+val reject : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Reject} with [Invalid_request] of the formatted message. *)
+
+val string_list : Jsonlite.t -> string -> default:string list -> string list
+val bool_field : Jsonlite.t -> string -> default:bool -> bool
+val int_field : Jsonlite.t -> string -> int option

@@ -97,7 +97,30 @@ let test_hierarchy () =
     [ "level 1"; "level 2"; "traffic L1"; "memory" ]
 
 let test_partition () =
-  check_ok "partition" "partition -p matmul --procs 8" [ "best rectangular grid"; "lower bound" ]
+  check_ok "partition" "partition -k matmul -p 64 -M 4096"
+    [
+      {|{"v":2,"partition":{|};
+      {|"grid":[4,4,4]|};
+      {|"regime":"memory_independent"|};
+      {|"gather_words":"768"|};
+    ];
+  (* the Pool-simulated schedule agrees with the model exactly *)
+  check_ok "partition --validate" "partition -k matmul -p 64 -M 4096 --validate"
+    [ {|"validation":{"matches":true,"simulated_words":"768"|} ];
+  (* a constrained memory budget flips the regime *)
+  check_ok "partition memory-dependent" "partition -k matmul -p 64 -M 24"
+    [ {|"regime":"memory_dependent"|} ];
+  check_ok "partition alpha-beta" "partition -k matmul -p 64 -M 4096 --net 100,1"
+    [ {|"net":{"alpha":"100","beta":"1"}|}; {|"messages":6|} ];
+  (* typed failures carry their own exit codes *)
+  let code, out = run "partition -k 'i = 7, j = 7 : A[i] += B[i,j]' -p 11 -M 64" in
+  if code <> 12 then Alcotest.failf "unfactorable p: expected exit 12, got %d\n%s" code out;
+  if not (Astring.String.is_infix ~affix:"unfactorable_p" out) then
+    Alcotest.failf "unfactorable p: missing typed code\n%s" out;
+  let code, out = run "partition -k matmul -p 8 --net nonsense" in
+  if code <> 13 then Alcotest.failf "bad net: expected exit 13, got %d\n%s" code out;
+  if not (Astring.String.is_infix ~affix:"network_model_invalid" out) then
+    Alcotest.failf "bad net: missing typed code\n%s" out
 
 let test_codegen () =
   check_ok "codegen c" "codegen -p nbody -m 256 --lang c" [ "void nbody_tiled"; "for (int" ];
@@ -170,7 +193,7 @@ let test_overflow_guards () =
      reports the exact (past-max_int) communication volume *)
   check_ok "partition overflow"
     "partition -k 'i = 2097152, j = 2097152, k = 2097152 : C[i,j,k] += A[i,j]' --procs 1"
-    [ "communication: 9223376434901286912 words" ]
+    [ {|"gather_words":"9223376434901286912"|} ]
 
 (* Pipe [lines] into `tilings serve`, return the response lines. The
    requests (a few KB) fit in the pipe buffer, so writing everything
@@ -225,12 +248,34 @@ let test_serve_matches_sweep () =
   let report =
     String.sub sweep (String.length pre) (String.length sweep - String.length pre - 2)
   in
-  match run_serve "" [ "{\"id\":\"a\",\"kernel\":\"matmul\",\"m\":512}" ] with
+  match run_serve "" [ "{\"id\":\"a\",\"op\":\"analyze\",\"kernel\":\"matmul\",\"m\":512}" ] with
   | [ line ] ->
     let expected =
       Printf.sprintf "{\"v\":1,\"id\":\"a\",\"ok\":true,\"report\":%s}" report
     in
     Alcotest.(check string) "byte-identical report" expected line
+  | out -> Alcotest.failf "expected 1 response, got %d" (List.length out)
+
+let test_serve_matches_partition () =
+  (* the daemon's partition payload is byte-identical to the one-shot
+     CLI's: both embed Partition_solve.to_json verbatim *)
+  let code, cli_out = run "partition -k matmul -p 64 -M 4096" in
+  if code <> 0 then Alcotest.failf "partition: exit %d\n%s" code cli_out;
+  let cli_out = String.trim cli_out in
+  let pre = {|{"v":2,"partition":|} in
+  if not (Astring.String.is_prefix ~affix:pre cli_out) then
+    Alcotest.failf "partition envelope changed: %s" cli_out;
+  let payload =
+    String.sub cli_out (String.length pre) (String.length cli_out - String.length pre - 1)
+  in
+  match
+    run_serve "" [ {|{"v":2,"id":"p","op":"partition","kernel":"matmul","p":64,"m":4096}|} ]
+  with
+  | [ line ] ->
+    let expected =
+      Printf.sprintf {|{"v":2,"id":"p","ok":true,"partition":%s}|} payload
+    in
+    Alcotest.(check string) "byte-identical partition payload" expected line
   | out -> Alcotest.failf "expected 1 response, got %d" (List.length out)
 
 let read_lines file =
@@ -587,6 +632,7 @@ let () =
         [
           Alcotest.test_case "pipe 120 requests" `Quick test_serve_pipe;
           Alcotest.test_case "matches sweep" `Quick test_serve_matches_sweep;
+          Alcotest.test_case "matches partition" `Quick test_serve_matches_partition;
           Alcotest.test_case "golden transcript" `Quick test_serve_golden;
           Alcotest.test_case "plans preloaded" `Quick test_serve_plans;
           Alcotest.test_case "metrics" `Quick test_serve_metrics;

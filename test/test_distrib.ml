@@ -25,6 +25,51 @@ let test_grids_respect_bounds () =
   let tiny = Kernels.nbody ~l1:2 ~l2:2 in
   Alcotest.(check (list (array int))) "no grid" [] (Partition.grids tiny ~p:8)
 
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Partition.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (Partition.divisors 1);
+  Alcotest.(check (list int)) "prime" [ 1; 97 ] (Partition.divisors 97);
+  Alcotest.(check (list int)) "square" [ 1; 2; 4; 8; 16 ] (Partition.divisors 16)
+
+let spec_d6 l =
+  (* a 6-deep nest (grid enumeration only looks at the bounds) *)
+  Spec.create_exn ~name:"d6"
+    ~loops:[| "a"; "b"; "c"; "d"; "e"; "f" |]
+    ~bounds:(Array.make 6 l)
+    ~arrays:
+      [|
+        Spec.array_ref ~mode:Spec.Update "Z" [ 0; 1; 2 ];
+        Spec.array_ref "A" [ 3; 4; 5 ];
+      |]
+
+let test_grids_highly_composite () =
+  (* P = 4096 over d = 6: the divisor ladder walks only divisor chains,
+     so the worst-named case of the old dense enumerator stays far under
+     the default budget. 4096 = 2^12 into 6 ordered factors, each <= 16:
+     compositions of 12 into 6 parts of at most 4 -> 1751 grids. *)
+  let gs = Partition.grids (spec_d6 16) ~p:4096 in
+  Alcotest.(check int) "grid count" 1751 (List.length gs);
+  List.iter
+    (fun g ->
+      Alcotest.(check int) "product" 4096 (Array.fold_left ( * ) 1 g);
+      Array.iter (fun f -> Alcotest.(check bool) "within bounds" true (f >= 1 && f <= 16)) g)
+    gs
+
+let test_grids_budget () =
+  (* an explicit tiny budget trips the typed refusal; the default does not *)
+  (try
+     ignore (Partition.grids ~budget:10 (spec_d6 16) ~p:4096);
+     Alcotest.fail "budget 10 accepted 4096^6"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "carries the shape-too-large marker" true
+       (Astring.String.is_infix ~affix:"shape too large" msg));
+  Alcotest.(check bool) "engine maps it to Shape_too_large" true
+    (match
+       Engine_error.of_exn (Invalid_argument "Partition.grids: shape too large: budget")
+     with
+    | Some (Engine_error.Shape_too_large _) -> true
+    | _ -> false)
+
 let test_block_dims () =
   let spec = Kernels.matmul ~l1:10 ~l2:8 ~l3:8 in
   Alcotest.(check (array int)) "ceil division" [| 4; 4; 8 |]
@@ -109,6 +154,108 @@ let test_simulated_cost_matches_analytic () =
     ]
 
 
+let test_block_groups () =
+  (* ragged 10x8x8 over a 3x2x1 grid: two distinct block shapes — the
+     full 4x4x8 block (4 processors) and the 2-wide remainder (2) *)
+  let spec = Kernels.matmul ~l1:10 ~l2:8 ~l3:8 in
+  let groups = Comm_model.block_groups spec ~grid:[| 3; 2; 1 |] in
+  (match groups with
+  | (shape, count) :: _ ->
+    Alcotest.(check (array int)) "full-size block first" [| 4; 4; 8 |] shape;
+    Alcotest.(check int) "four full blocks" 4 count
+  | [] -> Alcotest.fail "no groups");
+  Alcotest.(check int) "two shapes" 2 (List.length groups);
+  Alcotest.(check int) "every processor accounted for" 6
+    (List.fold_left (fun a (_, c) -> a + c) 0 groups);
+  (* per-group simulation: the full block dominates, and its distinct
+     addresses equal the analytic per-processor cost *)
+  let full = Comm_model.simulated_block spec ~block:[| 4; 4; 8 |] in
+  List.iter
+    (fun (shape, _) ->
+      Alcotest.(check bool) "full block dominates" true
+        (Comm_model.simulated_block spec ~block:shape <= full))
+    groups;
+  Alcotest.check bigint "max group = analytic cost"
+    (Comm_model.cost spec ~grid:[| 3; 2; 1 |]).Comm_model.words
+    (Bigint.of_int full);
+  (* an evenly divisible nest collapses to a single group of P blocks *)
+  let even = Kernels.matmul ~l1:8 ~l2:8 ~l3:8 in
+  Alcotest.(check int) "uniform nest: one group" 1
+    (List.length (Comm_model.block_groups even ~grid:[| 2; 2; 2 |]))
+
+let rat_str = Alcotest.testable (fun fmt r -> Format.pp_print_string fmt (Rat.to_string r)) Rat.equal
+
+let test_partition_solve_regimes () =
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  (match Partition_solve.solve spec ~p:64 ~m_local:4096 ~net:Partition_solve.Words with
+  | None -> Alcotest.fail "factorable"
+  | Some s ->
+    Alcotest.(check (array int)) "cube grid" [| 4; 4; 4 |] s.Partition_solve.grid;
+    Alcotest.(check (array int)) "block" [| 16; 16; 16 |] s.Partition_solve.block;
+    Alcotest.(check bool) "memory-independent" true
+      (s.Partition_solve.regime = Partition_solve.Memory_independent);
+    Alcotest.check bigint "words = gather (tile covers the block)"
+      s.Partition_solve.gather_words s.Partition_solve.words;
+    Alcotest.(check string) "exact words" "768" (Bigint.to_string s.Partition_solve.words);
+    Alcotest.(check bool) "above the continuous lower bound" true
+      (Bigint.to_float s.Partition_solve.words >= s.Partition_solve.lower_bound);
+    Alcotest.(check int) "all candidates seen" 28 s.Partition_solve.grids_enumerated);
+  (* a tight per-processor memory flips to the memory-dependent regime:
+     the tile no longer covers the block, so words exceed the gather *)
+  (match Partition_solve.solve spec ~p:64 ~m_local:24 ~net:Partition_solve.Words with
+  | None -> Alcotest.fail "factorable"
+  | Some s ->
+    Alcotest.(check bool) "memory-dependent" true
+      (s.Partition_solve.regime = Partition_solve.Memory_dependent);
+    Alcotest.(check bool) "words > gather" true
+      (Bigint.compare s.Partition_solve.words s.Partition_solve.gather_words > 0));
+  (* a prime p beyond every bound has no grid *)
+  let tiny = Kernels.nbody ~l1:7 ~l2:7 in
+  Alcotest.(check bool) "unfactorable" true
+    (Partition_solve.solve tiny ~p:11 ~m_local:64 ~net:Partition_solve.Words = None)
+
+let test_partition_solve_alpha_beta () =
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  let alpha = Rat.of_int 100 and beta = Rat.of_ints 1 2 in
+  match
+    Partition_solve.solve spec ~p:64 ~m_local:4096
+      ~net:(Partition_solve.Alpha_beta { alpha; beta })
+  with
+  | None -> Alcotest.fail "factorable"
+  | Some s ->
+    (* the objective is exactly alpha x messages + beta x words *)
+    Alcotest.check rat_str "time decomposes"
+      (Rat.add
+         (Rat.mul_int alpha s.Partition_solve.messages)
+         (Rat.mul beta (Rat.of_bigint s.Partition_solve.words)))
+      s.Partition_solve.time;
+    (* all-gather rounds: one per grid dimension split, ceil(log2 fiber) *)
+    Alcotest.(check int) "messages for the 4x4x4 grid" 6 s.Partition_solve.messages
+
+let test_memory_independent_matches_aldaas () =
+  (* The memory-independent per-processor volume lands exactly on the
+     Al Daas-Ballard-Grigori-Kumar-Rouse closed forms (arXiv:2205.13407)
+     when the bounds divide evenly — one point per regime, L1>=L2>=L3:
+       3D (P >= L1L2/L3^2):          3 (L1 L2 L3 / P)^(2/3)
+       2D (L1/L2 <= P <= L1L2/L3^2): L1 L2 / P + 2 L3 sqrt(L1 L2 / P)
+       1D (P <= L1/L2):              L1 (L2 + L3) / P + L2 L3 *)
+  let check_point name ~l1 ~l2 ~l3 ~p expect =
+    let spec = Kernels.matmul ~l1 ~l2 ~l3 in
+    match Partition_solve.solve spec ~p ~m_local:(1 lsl 22) ~net:Partition_solve.Words with
+    | None -> Alcotest.failf "%s: unfactorable" name
+    | Some s ->
+      Alcotest.(check bool) (name ^ " memory-independent") true
+        (s.Partition_solve.regime = Partition_solve.Memory_independent);
+      Alcotest.(check (float 1e-9)) (name ^ " = closed form") expect
+        (Bigint.to_float s.Partition_solve.words)
+  in
+  (* 3D: cube, P = 64 >= 64^2/64^2 = 1: 3 (64^3/64)^(2/3) = 768 *)
+  check_point "3D" ~l1:64 ~l2:64 ~l3:64 ~p:64 768.0;
+  (* 2D: 256x256x8, P = 16 in [1, 1024]: 65536/16 + 2*8*sqrt(4096) = 5120 *)
+  check_point "2D" ~l1:256 ~l2:256 ~l3:8 ~p:16 5120.0;
+  (* 1D: 1024x4x4, P = 8 <= 256: 1024*8/8 + 16 = 1040 *)
+  check_point "1D" ~l1:1024 ~l2:4 ~l3:4 ~p:8 1040.0
+
 let test_simulate_processor_regimes () =
   let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
   let grid = [| 2; 2; 2 |] in
@@ -192,6 +339,52 @@ let test_simulate_processor_overflow_guard () =
 
 let props =
   [
+    (* the acceptance property of the partition solver's cost model: the
+       analytic per-processor gather volume equals a literal address-set
+       simulation of the block, over random kernels and every grid *)
+    QCheck.Test.make ~name:"analytic cost = simulated cost" ~count:40
+      (QCheck.make
+         ~print:(fun (k, l1, l2, p) -> Printf.sprintf "kernel=%d L1=%d L2=%d P=%d" k l1 l2 p)
+         QCheck.Gen.(
+           quad (int_range 0 2) (int_range 4 14) (int_range 4 14) (oneofl [ 2; 3; 4; 6; 8; 12 ])))
+      (fun (k, l1, l2, p) ->
+        let spec =
+          match k with
+          | 0 -> Kernels.matmul ~l1 ~l2 ~l3:((l1 + l2) / 2)
+          | 1 -> Kernels.nbody ~l1 ~l2
+          | _ -> Kernels.pointwise_conv ~b:2 ~c:(1 + (l1 / 2)) ~k:(1 + (l2 / 2)) ~w:3 ~h:3
+        in
+        List.for_all
+          (fun grid ->
+            Bigint.compare
+              (Comm_model.cost spec ~grid).Comm_model.words
+              (Bigint.of_int (Comm_model.simulated_cost spec ~grid))
+            = 0)
+          (Partition.grids spec ~p));
+    (* the divisor ladder is a pure re-enumeration: same grids, same
+       (ascending lexicographic) order as the definitional generator *)
+    QCheck.Test.make ~name:"divisor ladder = brute force" ~count:40
+      (QCheck.make
+         ~print:(fun (l, p) -> Printf.sprintf "L=%d P=%d" l p)
+         QCheck.Gen.(pair (int_range 2 20) (int_range 1 36)))
+      (fun (l, p) ->
+        let spec = Kernels.matmul ~l1:l ~l2:(l + 1) ~l3:(l + 2) in
+        let brute =
+          (* all ordered triples of [1..p] within bounds whose product is p *)
+          List.concat_map
+            (fun a ->
+              List.concat_map
+                (fun b ->
+                  List.filter_map
+                    (fun c ->
+                      if a * b * c = p && a <= l && b <= l + 1 && c <= l + 2 then
+                        Some [| a; b; c |]
+                      else None)
+                    (List.init p (fun i -> i + 1)))
+                (List.init p (fun i -> i + 1)))
+            (List.init p (fun i -> i + 1))
+        in
+        Partition.grids spec ~p = brute);
     QCheck.Test.make ~name:"grid costs bounded below by the LB" ~count:50
       (QCheck.make
          ~print:(fun (l, p) -> Printf.sprintf "L=%d P=%d" l p)
@@ -226,6 +419,9 @@ let () =
         [
           Alcotest.test_case "grids enumeration" `Quick test_grids_enumeration;
           Alcotest.test_case "bounds respected" `Quick test_grids_respect_bounds;
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "highly composite p" `Quick test_grids_highly_composite;
+          Alcotest.test_case "enumeration budget" `Quick test_grids_budget;
           Alcotest.test_case "block dims" `Quick test_block_dims;
         ] );
       ( "comm-model",
@@ -237,7 +433,14 @@ let () =
           Alcotest.test_case "min footprint monotone" `Quick test_min_footprint_monotone;
           Alcotest.test_case "Hong-Kung shape" `Quick test_min_footprint_matches_hk;
           Alcotest.test_case "simulated = analytic cost" `Quick test_simulated_cost_matches_analytic;
+          Alcotest.test_case "block groups" `Quick test_block_groups;
           Alcotest.test_case "processor simulation regimes" `Quick test_simulate_processor_regimes;
+        ] );
+      ( "partition-solve",
+        [
+          Alcotest.test_case "two regimes" `Quick test_partition_solve_regimes;
+          Alcotest.test_case "alpha-beta objective" `Quick test_partition_solve_alpha_beta;
+          Alcotest.test_case "Al Daas closed forms" `Quick test_memory_independent_matches_aldaas;
         ] );
       ( "overflow",
         [

@@ -436,6 +436,68 @@ let test_hierarchy_report () =
   let hits_after, _ = Engine.cache_stats () in
   Alcotest.(check bool) "nested tiles memoized" true (hits_after > hits_before)
 
+let test_partition_checked () =
+  Engine.reset_caches ();
+  let spec = Kernels.matmul ~l1:64 ~l2:64 ~l3:64 in
+  (match Engine.partition_checked spec ~p:64 ~m_local:4096 ~net:Partition_solve.Words with
+  | Error e -> Alcotest.failf "valid partition failed: %s" (Engine_error.to_string e)
+  | Ok sol ->
+    Alcotest.(check (array int)) "grid" [| 4; 4; 4 |] sol.Partition_solve.grid;
+    (* the second identical request is served from the partition memo *)
+    let hits_before, _ = Engine.cache_stats () in
+    (match Engine.partition_checked spec ~p:64 ~m_local:4096 ~net:Partition_solve.Words with
+    | Ok sol2 ->
+      Alcotest.(check string) "memoized answer identical"
+        (Partition_solve.to_json sol) (Partition_solve.to_json sol2)
+    | Error e -> Alcotest.failf "memoized request failed: %s" (Engine_error.to_string e));
+    let hits_after, _ = Engine.cache_stats () in
+    Alcotest.(check bool) "partition memo hit" true (hits_after > hits_before));
+  (* typed refusals, each with its stable wire code and exit code *)
+  (match Engine.partition_checked (Kernels.nbody ~l1:7 ~l2:7) ~p:11 ~m_local:64
+           ~net:Partition_solve.Words with
+  | Error (Engine_error.Unfactorable_p { p = 11 } as e) ->
+    Alcotest.(check string) "code" "unfactorable_p" (Engine_error.code e);
+    Alcotest.(check int) "exit" 12 (Engine_error.exit_code e)
+  | Error e -> Alcotest.failf "wanted unfactorable_p, got %s" (Engine_error.code e)
+  | Ok _ -> Alcotest.fail "p=11 accepted on a 7x7 nest");
+  (match Engine.partition_checked spec ~p:8 ~m_local:64
+           ~net:(Partition_solve.Alpha_beta { alpha = Rat.minus_one; beta = Rat.one }) with
+  | Error (Engine_error.Network_model_invalid _ as e) ->
+    Alcotest.(check string) "code" "network_model_invalid" (Engine_error.code e);
+    Alcotest.(check int) "exit" 13 (Engine_error.exit_code e)
+  | Error e -> Alcotest.failf "wanted network_model_invalid, got %s" (Engine_error.code e)
+  | Ok _ -> Alcotest.fail "negative alpha accepted");
+  (match Engine.partition_checked spec ~p:0 ~m_local:64 ~net:Partition_solve.Words with
+  | Error (Engine_error.Invalid_request _) -> ()
+  | Error e -> Alcotest.failf "wanted invalid_request, got %s" (Engine_error.code e)
+  | Ok _ -> Alcotest.fail "p=0 accepted");
+  match Engine.partition_checked ~deadline:0.0 spec ~p:4 ~m_local:64 ~net:Partition_solve.Words with
+  | Error (Engine_error.Deadline_exceeded _) -> ()
+  | Error e -> Alcotest.failf "wanted deadline_exceeded, got %s" (Engine_error.code e)
+  | Ok _ -> Alcotest.fail "expired deadline accepted"
+
+let test_partition_validate () =
+  (* the tentpole loop-closer: run the P-processor schedule on the Pool
+     (one domain per distinct block shape) and check the simulated
+     per-processor maximum equals the model's words exactly — on a
+     ragged nest whose remainder blocks differ from the full ones *)
+  let spec = Kernels.matmul ~l1:10 ~l2:8 ~l3:8 in
+  match Engine.partition_checked spec ~p:6 ~m_local:4096 ~net:Partition_solve.Words with
+  | Error e -> Alcotest.failf "partition: %s" (Engine_error.to_string e)
+  | Ok sol -> (
+    match Engine.partition_validate spec sol with
+    | Error e -> Alcotest.failf "validate: %s" (Engine_error.to_string e)
+    | Ok v ->
+      Alcotest.(check bool) "simulation matches the model exactly" true
+        v.Pipeline.pv_matches;
+      Alcotest.(check string) "simulated max = gather words"
+        (Bigint.to_string sol.Partition_solve.gather_words)
+        (Bigint.to_string v.Pipeline.pv_max_words);
+      Alcotest.(check bool) "ragged nest: several shape groups" true
+        (List.length v.Pipeline.pv_groups >= 2);
+      Alcotest.(check int) "every processor simulated" 6
+        (List.fold_left (fun a g -> a + g.Pipeline.pg_procs) 0 v.Pipeline.pv_groups))
+
 let () =
   Alcotest.run "engine"
     [
@@ -472,6 +534,11 @@ let () =
         [
           Alcotest.test_case "domain stress" `Quick test_memo_sharded_domain_stress;
           QCheck_alcotest.to_alcotest prop_memo_sharding_invisible;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "checked path and typed errors" `Quick test_partition_checked;
+          Alcotest.test_case "Pool validation = model" `Quick test_partition_validate;
         ] );
       ( "cache-persistence",
         [

@@ -39,43 +39,57 @@ let resp_version line =
 (* ------------------------------------------------------------------ *)
 
 let test_decode_minimal () =
-  match Serve_protocol.decode {|{"kernel":"matmul","m":64}|} with
+  match Request.decode {|{"kernel":"matmul","m":64}|} with
   | Error _ -> Alcotest.fail "minimal request rejected"
   | Ok req ->
-    Alcotest.(check (option string)) "no id" None req.Serve_protocol.id;
-    Alcotest.(check string) "kernel" "matmul" req.Serve_protocol.spec.Spec.name;
-    Alcotest.(check int) "m" 64 req.Serve_protocol.m;
-    Alcotest.(check int) "no sims by default" 0 (List.length req.Serve_protocol.sims);
-    Alcotest.(check bool) "shared defaults on" true req.Serve_protocol.shared;
-    Alcotest.(check bool) "no deadline" true (req.Serve_protocol.deadline_s = None);
-    Alcotest.(check bool) "timings off" false req.Serve_protocol.timings
+    Alcotest.(check (option string)) "no id" None req.Request.id;
+    Alcotest.(check int) "defaults to v1" 1 req.Request.v;
+    Alcotest.(check string) "kernel" "matmul" req.Request.spec.Spec.name;
+    (match req.Request.body with
+    | Request.Analyze { m; sims; shared; timings } ->
+      Alcotest.(check int) "m" 64 m;
+      Alcotest.(check int) "no sims by default" 0 (List.length sims);
+      Alcotest.(check bool) "shared defaults on" true shared;
+      Alcotest.(check bool) "timings off" false timings
+    | b -> Alcotest.failf "op-less v1 should decode as analyze, got %s" (Request.op_name b));
+    Alcotest.(check bool) "no deadline" true (req.Request.deadline_s = None);
+    (* the implicit op earns exactly one deprecated_field warning *)
+    (match req.Request.warnings with
+    | [ w ] ->
+      Alcotest.(check string) "warning code" "deprecated_field" w.Serve_protocol.w_code;
+      Alcotest.(check string) "warned field" "op" w.Serve_protocol.w_field
+    | ws -> Alcotest.failf "expected 1 warning, got %d" (List.length ws))
 
 let test_decode_full () =
   let line =
-    {|{"v":1,"id":"q7","kernel":"mv","m":256,"schedules":["optimal","classic"],|}
+    {|{"v":1,"id":"q7","op":"analyze","kernel":"mv","m":256,"schedules":["optimal","classic"],|}
     ^ {|"policies":["lru","fifo"],"shared":false,"deadline_ms":1500,"timings":true}|}
   in
-  match Serve_protocol.decode line with
+  match Request.decode line with
   | Error _ -> Alcotest.fail "full request rejected"
   | Ok req ->
-    Alcotest.(check (option string)) "id" (Some "q7") req.Serve_protocol.id;
+    Alcotest.(check (option string)) "id" (Some "q7") req.Request.id;
     (* "mv" is the matvec alias *)
-    Alcotest.(check string) "alias resolved" "matvec" req.Serve_protocol.spec.Spec.name;
-    Alcotest.(check int) "schedules x policies" 4 (List.length req.Serve_protocol.sims);
-    Alcotest.(check bool) "shared off" false req.Serve_protocol.shared;
+    Alcotest.(check string) "alias resolved" "matvec" req.Request.spec.Spec.name;
+    (match req.Request.body with
+    | Request.Analyze { sims; shared; timings; _ } ->
+      Alcotest.(check int) "schedules x policies" 4 (List.length sims);
+      Alcotest.(check bool) "shared off" false shared;
+      Alcotest.(check bool) "timings on" true timings
+    | b -> Alcotest.failf "wanted analyze, got %s" (Request.op_name b));
     Alcotest.(check (option (float 1e-9))) "deadline in seconds" (Some 1.5)
-      req.Serve_protocol.deadline_s;
-    Alcotest.(check bool) "timings on" true req.Serve_protocol.timings
+      req.Request.deadline_s;
+    Alcotest.(check int) "explicit op: no warnings" 0 (List.length req.Request.warnings)
 
 let test_decode_dsl () =
-  match Serve_protocol.decode {|{"kernel":"i = 8, j = 8 : A[i] += B[i,j]","m":32}|} with
+  match Request.decode {|{"kernel":"i = 8, j = 8 : A[i] += B[i,j]","m":32}|} with
   | Error _ -> Alcotest.fail "DSL kernel rejected"
-  | Ok req -> Alcotest.(check int) "two loops" 2 (Array.length req.Serve_protocol.spec.Spec.loops)
+  | Ok req -> Alcotest.(check int) "two loops" 2 (Array.length req.Request.spec.Spec.loops)
 
 let expect_error name line pred =
-  match Serve_protocol.decode line with
+  match Request.decode line with
   | Ok _ -> Alcotest.failf "%s: expected a decode error" name
-  | Error { Serve_protocol.err_id; err } -> pred err_id err
+  | Error { Request.err_id; err; _ } -> pred err_id err
 
 let test_decode_errors () =
   expect_error "not json" "this is not json" (fun id err ->
@@ -89,7 +103,10 @@ let test_decode_errors () =
     Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
   expect_error "missing kernel" {|{"m":64}|} (fun _ err ->
     Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
-  expect_error "bad version" {|{"v":2,"kernel":"matmul","m":64}|} (fun _ err ->
+  expect_error "bad version" {|{"v":3,"kernel":"matmul","m":64}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  (* v2 makes the op mandatory; the same line at v1 is fine *)
+  expect_error "v2 without op" {|{"v":2,"kernel":"matmul","m":64}|} (fun _ err ->
     Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
   expect_error "unknown kernel" {|{"kernel":"nosuch","m":64}|} (fun _ err ->
     Alcotest.(check string) "code" "invalid_spec" (Engine_error.code err));
@@ -103,17 +120,17 @@ let test_decode_errors () =
       | e -> Alcotest.failf "wanted parse_error, got %s" (Engine_error.code e))
 
 let test_decode_compile_op () =
-  (* op:"compile" needs only the kernel; m defaults to 0 (a plan is
-     size-independent) *)
-  (match Serve_protocol.decode {|{"id":"c1","op":"compile","kernel":"matmul"}|} with
+  (* op:"compile" needs only the kernel (a plan is size-independent) *)
+  (match Request.decode {|{"id":"c1","op":"compile","kernel":"matmul"}|} with
   | Error _ -> Alcotest.fail "compile request rejected"
   | Ok req ->
-    Alcotest.(check bool) "op decoded" true (req.Serve_protocol.op = Serve_protocol.Compile);
-    Alcotest.(check int) "m defaulted" 0 req.Serve_protocol.m);
-  (match Serve_protocol.decode {|{"op":"analyze","kernel":"matmul","m":64}|} with
+    Alcotest.(check bool) "op decoded" true (req.Request.body = Request.Compile));
+  (match Request.decode {|{"op":"analyze","kernel":"matmul","m":64}|} with
   | Error _ -> Alcotest.fail "explicit analyze rejected"
-  | Ok req ->
-    Alcotest.(check bool) "analyze" true (req.Serve_protocol.op = Serve_protocol.Analyze));
+  | Ok req -> (
+    match req.Request.body with
+    | Request.Analyze _ -> ()
+    | b -> Alcotest.failf "wanted analyze, got %s" (Request.op_name b)));
   expect_error "unknown op" {|{"op":"frobnicate","kernel":"matmul","m":64}|} (fun _ err ->
     Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
   (* analyze still requires m even when op is implicit *)
@@ -121,16 +138,81 @@ let test_decode_compile_op () =
     (fun _ err ->
       Alcotest.(check string) "code" "invalid_request" (Engine_error.code err))
 
+let test_decode_sweep_op () =
+  (match Request.decode {|{"op":"sweep","kernel":"matmul","ms":[64,256,1024]}|} with
+  | Error _ -> Alcotest.fail "sweep request rejected"
+  | Ok req -> (
+    match req.Request.body with
+    | Request.Sweep { ms; sims; shared; _ } ->
+      Alcotest.(check (list int)) "sizes in order" [ 64; 256; 1024 ] ms;
+      Alcotest.(check int) "no sims by default" 0 (List.length sims);
+      Alcotest.(check bool) "shared defaults on" true shared
+    | b -> Alcotest.failf "wanted sweep, got %s" (Request.op_name b)));
+  expect_error "missing ms" {|{"op":"sweep","kernel":"matmul"}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  expect_error "empty ms" {|{"op":"sweep","kernel":"matmul","ms":[]}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err))
+
+let test_decode_partition_op () =
+  (match
+     Request.decode {|{"v":2,"id":"p1","op":"partition","kernel":"matmul","p":64,"m":4096}|}
+   with
+  | Error _ -> Alcotest.fail "partition request rejected"
+  | Ok req ->
+    Alcotest.(check int) "v echoed" 2 req.Request.v;
+    Alcotest.(check int) "no warnings at v2" 0 (List.length req.Request.warnings);
+    (match req.Request.body with
+    | Request.Partition { procs; m_local; net } ->
+      Alcotest.(check int) "p" 64 procs;
+      Alcotest.(check int) "m_local" 4096 m_local;
+      Alcotest.(check bool) "net defaults to words" true (net = Partition_solve.Words)
+    | b -> Alcotest.failf "wanted partition, got %s" (Request.op_name b)));
+  (* alpha-beta network: numbers and "p/q" strings are both rationals *)
+  (match
+     Request.decode
+       {|{"op":"partition","kernel":"matmul","p":8,"m":64,"net":{"alpha":2,"beta":"1/2"}}|}
+   with
+  | Ok { Request.body = Request.Partition { net = Partition_solve.Alpha_beta { alpha; beta }; _ }; _ }
+    ->
+    Alcotest.(check string) "alpha" "2" (Rat.to_string alpha);
+    Alcotest.(check string) "beta" "1/2" (Rat.to_string beta)
+  | _ -> Alcotest.fail "alpha-beta net rejected");
+  expect_error "missing p" {|{"op":"partition","kernel":"matmul","m":64}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  expect_error "missing m" {|{"op":"partition","kernel":"matmul","p":8}|} (fun _ err ->
+    Alcotest.(check string) "code" "invalid_request" (Engine_error.code err));
+  expect_error "unknown net" {|{"op":"partition","kernel":"matmul","p":8,"m":64,"net":"rings"}|}
+    (fun _ err ->
+      Alcotest.(check string) "code" "network_model_invalid" (Engine_error.code err));
+  expect_error "net not an object"
+    {|{"op":"partition","kernel":"matmul","p":8,"m":64,"net":7}|} (fun _ err ->
+      Alcotest.(check string) "code" "network_model_invalid" (Engine_error.code err))
+
 let test_peek_id () =
   Alcotest.(check (option string)) "valid" (Some "a")
     (Serve_protocol.peek_id {|{"id":"a","kernel":"nosuch","m":1}|});
   Alcotest.(check (option string)) "malformed" None (Serve_protocol.peek_id "garbage")
 
 let test_response_shapes () =
-  let ok = Serve_protocol.ok_response ~id:(Some "a") ~report_json:{|{"x":1}|} in
+  let ok = Serve_protocol.ok_response ~v:1 ~id:(Some "a") ~report_json:{|{"x":1}|} () in
   Alcotest.(check string) "ok line" {|{"v":1,"id":"a","ok":true,"report":{"x":1}}|} ok;
+  let warned =
+    Serve_protocol.ok_response
+      ~warnings:[ Serve_protocol.deprecated_field ~field:"op" ~message:"say the op" ]
+      ~v:1 ~id:(Some "a") ~report_json:{|{"x":1}|} ()
+  in
+  Alcotest.(check string) "warnings sit between ok and the payload"
+    {|{"v":1,"id":"a","ok":true,"warnings":[{"code":"deprecated_field","field":"op","message":"say the op"}],"report":{"x":1}}|}
+    warned;
+  let swept = Serve_protocol.sweep_response ~v:2 ~id:(Some "s") ~report_jsons:[ "{}"; "{}" ] () in
+  Alcotest.(check string) "sweep line" {|{"v":2,"id":"s","ok":true,"reports":[{},{}]}|} swept;
+  let part =
+    Serve_protocol.partition_response ~v:2 ~id:(Some "p") ~partition_json:{|{"p":4}|} ()
+  in
+  Alcotest.(check string) "partition line" {|{"v":2,"id":"p","ok":true,"partition":{"p":4}}|}
+    part;
   let err =
-    Serve_protocol.error_response ~id:None
+    Serve_protocol.error_response ~v:1 ~id:None
       (Engine_error.Parse_error { line = 3; col = 9; message = "boom" })
   in
   Alcotest.(check string) "error line"
@@ -308,11 +390,13 @@ let test_report_matches_engine () =
     | Ok r -> Report.to_json ~timings:false r
     | Error e -> Alcotest.failf "engine: %s" (Engine_error.to_string e)
   in
-  let out = run_loop [ Serve.Line {|{"id":"a","kernel":"matmul","m":256}|}; Eof ] in
+  let out =
+    run_loop [ Serve.Line {|{"id":"a","op":"analyze","kernel":"matmul","m":256}|}; Eof ]
+  in
   match out with
   | [ line ] ->
     Alcotest.(check string) "embedded verbatim"
-      (Serve_protocol.ok_response ~id:(Some "a") ~report_json:expected)
+      (Serve_protocol.ok_response ~v:1 ~id:(Some "a") ~report_json:expected ())
       line
   | _ -> Alcotest.failf "expected 1 response, got %d" (List.length out)
 
@@ -331,10 +415,111 @@ let test_loop_compile_op () =
   match out with
   | [ plan_line; analyze_line ] ->
     Alcotest.(check string) "plan envelope"
-      (Serve_protocol.plan_response ~id:(Some "c1") ~plan_json:expected)
+      (Serve_protocol.plan_response ~v:1 ~id:(Some "c1") ~plan_json:expected ())
       plan_line;
     Alcotest.(check bool) "analyze unaffected" true (resp_ok analyze_line)
   | _ -> Alcotest.failf "expected 2 responses, got %d" (List.length out)
+
+let test_loop_sweep_op () =
+  (* a sweep request returns one envelope holding the same reports, in
+     size order, that per-size analyze calls produce *)
+  let spec = spec_of "matvec" in
+  let expected =
+    List.map
+      (fun m ->
+        match Engine.analyze_checked ~shared:true spec ~m with
+        | Ok r -> Report.to_json ~timings:false r
+        | Error e -> Alcotest.failf "engine: %s" (Engine_error.to_string e))
+      [ 64; 256 ]
+  in
+  let out =
+    run_loop [ Serve.Line {|{"id":"s1","op":"sweep","kernel":"matvec","ms":[64,256]}|}; Eof ]
+  in
+  match out with
+  | [ line ] ->
+    Alcotest.(check string) "sweep envelope"
+      (Serve_protocol.sweep_response ~v:1 ~id:(Some "s1") ~report_jsons:expected ())
+      line
+  | _ -> Alcotest.failf "expected 1 response, got %d" (List.length out)
+
+let test_loop_partition_op () =
+  (* the serve partition payload is byte-identical to what the engine
+     (and hence the CLI) renders for the same request *)
+  let spec = spec_of "matmul" in
+  let expected =
+    match Engine.partition_checked spec ~p:64 ~m_local:4096 ~net:Partition_solve.Words with
+    | Ok sol -> Partition_solve.to_json sol
+    | Error e -> Alcotest.failf "engine: %s" (Engine_error.to_string e)
+  in
+  let out =
+    run_loop
+      [
+        Serve.Line {|{"v":2,"id":"p1","op":"partition","kernel":"matmul","p":64,"m":4096}|};
+        Eof;
+      ]
+  in
+  match out with
+  | [ line ] ->
+    Alcotest.(check string) "partition envelope, v2 echoed"
+      (Serve_protocol.partition_response ~v:2 ~id:(Some "p1") ~partition_json:expected ())
+      line
+  | _ -> Alcotest.failf "expected 1 response, got %d" (List.length out)
+
+let test_loop_partition_errors () =
+  (* typed partition failures ride the normal error envelope: a prime p
+     that exceeds every loop bound cannot be factored into a grid, and a
+     malformed or negative network model is rejected at decode/validate *)
+  let out =
+    run_loop
+      [
+        Serve.Line
+          {|{"id":"e1","op":"partition","kernel":"i = 7, j = 7 : A[i] += B[i,j]","p":11,"m":64}|};
+        Line {|{"id":"e2","op":"partition","kernel":"matmul","p":8,"m":64,"net":"rings"}|};
+        Line
+          {|{"id":"e3","op":"partition","kernel":"matmul","p":8,"m":64,"net":{"alpha":-1}}|};
+        Eof;
+      ]
+  in
+  Alcotest.(check (list (option string))) "ids"
+    [ Some "e1"; Some "e2"; Some "e3" ]
+    (List.map resp_id out);
+  Alcotest.(check (list (option string))) "codes"
+    [ Some "unfactorable_p"; Some "network_model_invalid"; Some "network_model_invalid" ]
+    (List.map resp_error_code out)
+
+let test_loop_version_echo_and_warnings () =
+  (* responses echo the request's wire version; an op-less v1 line earns
+     the structured deprecation warning, an explicit op does not *)
+  let out =
+    run_loop
+      [
+        Serve.Line {|{"id":"v2","v":2,"op":"analyze","kernel":"matvec","m":64}|};
+        Line {|{"id":"v1","kernel":"matvec","m":64}|};
+        Line {|{"id":"x","op":"analyze","kernel":"matvec","m":64}|};
+        Eof;
+      ]
+  in
+  Alcotest.(check (list int)) "versions echoed" [ 2; 1; 1 ] (List.map resp_version out);
+  List.iter (fun l -> Alcotest.(check bool) "ok" true (resp_ok l)) out;
+  let warning_fields line =
+    match Jsonlite.member "warnings" (parse_line line) with
+    | Some (Jsonlite.Arr ws) ->
+      List.map
+        (fun w ->
+          ( Jsonlite.str_member "code" w |> Option.value ~default:"?",
+            Jsonlite.str_member "field" w |> Option.value ~default:"?" ))
+        ws
+    | _ -> []
+  in
+  match out with
+  | [ v2; v1; explicit ] ->
+    Alcotest.(check (list (pair string string))) "v2 clean" [] (warning_fields v2);
+    Alcotest.(check (list (pair string string))) "v1 op-less warned"
+      [ ("deprecated_field", "op") ]
+      (warning_fields v1);
+    Alcotest.(check (list (pair string string))) "explicit op clean" []
+      (warning_fields explicit)
+  | _ -> Alcotest.failf "expected 3 responses, got %d" (List.length out)
 
 let test_loop_deferred_warmup () =
   (* the daemon's contract: under Plan_deferred a batch's new shapes
@@ -528,6 +713,8 @@ let () =
           Alcotest.test_case "decode dsl" `Quick test_decode_dsl;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
           Alcotest.test_case "decode compile op" `Quick test_decode_compile_op;
+          Alcotest.test_case "decode sweep op" `Quick test_decode_sweep_op;
+          Alcotest.test_case "decode partition op" `Quick test_decode_partition_op;
           Alcotest.test_case "peek id" `Quick test_peek_id;
           Alcotest.test_case "response shapes" `Quick test_response_shapes;
         ] );
@@ -548,6 +735,11 @@ let () =
           Alcotest.test_case "stop flag" `Quick test_loop_stop_flag;
           Alcotest.test_case "batch = sequential" `Quick test_batch_matches_sequential;
           Alcotest.test_case "compile op" `Quick test_loop_compile_op;
+          Alcotest.test_case "sweep op" `Quick test_loop_sweep_op;
+          Alcotest.test_case "partition op" `Quick test_loop_partition_op;
+          Alcotest.test_case "partition errors" `Quick test_loop_partition_errors;
+          Alcotest.test_case "version echo and warnings" `Quick
+            test_loop_version_echo_and_warnings;
           Alcotest.test_case "deferred warm-up" `Quick test_loop_deferred_warmup;
           Alcotest.test_case "report matches engine" `Quick test_report_matches_engine;
           Alcotest.test_case "serve counters" `Quick test_serve_counters;
